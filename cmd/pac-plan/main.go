@@ -1,0 +1,92 @@
+// Command pac-plan runs the PAC hybrid-parallelism planner for a model
+// on an edge cluster and prints the chosen configuration alongside the
+// Eco-FL (pure pipeline) and EDDL (pure data parallel) baselines —
+// reproducing the paper's Figure 10 for arbitrary setups.
+//
+// Usage:
+//
+//	pac-plan [-model t5-base|bart-large|t5-large] [-devices N] [-batch N]
+//	         [-technique full|adapters|lora|parallel] [-seq N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"pac/internal/cluster"
+	"pac/internal/costmodel"
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/planner"
+)
+
+func main() {
+	modelName := flag.String("model", "t5-base", "model: t5-base, bart-large, t5-large")
+	devices := flag.Int("devices", 8, "number of Jetson Nano devices")
+	batch := flag.Int("batch", 16, "mini-batch size")
+	techName := flag.String("technique", "parallel", "technique: full, adapters, lora, parallel")
+	seq := flag.Int("seq", 128, "encoder sequence length")
+	flag.Parse()
+
+	var cfg model.Config
+	switch *modelName {
+	case "t5-base":
+		cfg = model.T5Base()
+	case "bart-large":
+		cfg = model.BARTLarge()
+	case "t5-large":
+		cfg = model.T5Large()
+	default:
+		fmt.Fprintf(os.Stderr, "pac-plan: unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+	var kind peft.Kind
+	switch *techName {
+	case "full":
+		kind = peft.Full
+	case "adapters":
+		kind = peft.Adapters
+	case "lora":
+		kind = peft.LoRA
+	case "parallel":
+		kind = peft.ParallelAdapters
+	default:
+		fmt.Fprintf(os.Stderr, "pac-plan: unknown technique %q\n", *techName)
+		os.Exit(2)
+	}
+
+	costs := costmodel.Costs{Cfg: cfg, Kind: kind, EncSeq: *seq, DecSeq: 2}
+	in := planner.Input{Blocks: costs.Blocks(), Cluster: cluster.Nanos(*devices), MiniBatch: *batch}
+
+	fmt.Printf("model %s (%dM params), technique %s, %d× %s, batch %d, seq %d\n\n",
+		cfg.Name, cfg.ParamCount()/1e6, kind, *devices, cluster.JetsonNano().Name, *batch, *seq)
+
+	p, err := planner.New(in)
+	if err != nil {
+		fmt.Println("PAC (hybrid):  no memory-feasible configuration (OOM)")
+	} else {
+		fmt.Printf("PAC (hybrid):  %s\n", p)
+		if ev, ok := planner.Evaluate(p, in); ok {
+			for k, st := range p.Stages {
+				fmt.Printf("  stage %d: blocks [%d,%d) on %d device(s), peak %.2f GiB, inflight ≤%d\n",
+					k, st.StartBlock, st.EndBlock, len(st.Devices),
+					float64(ev.PeakMemory[k].Total())/(1<<30), ev.PeakInflight[k])
+			}
+		}
+	}
+
+	pp := planner.PipelineOnly(in)
+	if math.IsInf(pp.StepSec, 1) {
+		fmt.Println("Eco-FL (PP):   OOM")
+	} else {
+		fmt.Printf("Eco-FL (PP):   %s\n", pp)
+	}
+	dp := planner.DataParallel(in)
+	if math.IsInf(dp.StepSec, 1) {
+		fmt.Println("EDDL (DP):     OOM")
+	} else {
+		fmt.Printf("EDDL (DP):     step %.3fs (full replica per device)\n", dp.StepSec)
+	}
+}

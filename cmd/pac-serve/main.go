@@ -1,0 +1,61 @@
+// Command pac-serve hosts a personal LLM over HTTP: classification and
+// generation endpoints backed by a Parallel-Adapters replica, with
+// checkpoint hot-swap — the serving half of the paper's Figure 1 agent.
+//
+// Usage:
+//
+//	pac-serve [-addr :8080] [-lm] [-vocab N] [-adapters FILE]
+//
+// Endpoints: POST /classify, POST /generate, POST /swap, GET /stats.
+//
+// Example session:
+//
+//	pac-train -save adapters.pack
+//	pac-serve -adapters adapters.pack &
+//	curl -d '{"tokens":[[17,33,21,54]]}' localhost:8080/classify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"pac/internal/checkpoint"
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	lm := flag.Bool("lm", false, "serve a language model (enables /generate)")
+	vocab := flag.Int("vocab", 64, "vocabulary size")
+	adapters := flag.String("adapters", "", "checkpoint to load at startup")
+	flag.Parse()
+
+	cfg := model.Tiny()
+	cfg.Vocab = *vocab
+	cfg.MaxSeq = 64
+	if *lm {
+		cfg.NumClasses = *vocab
+		cfg.LM = true
+	}
+	m := model.New(cfg)
+	tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 2})
+	srv := serve.NewServer(tech, cfg)
+
+	if *adapters != "" {
+		if _, err := checkpoint.Load(*adapters, tech, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "pac-serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded adapters from %s\n", *adapters)
+	}
+
+	fmt.Printf("serving %s (lm=%v, vocab=%d) on %s\n", cfg.Name, *lm, *vocab, *addr)
+	if err := http.ListenAndServe(*addr, serve.Handler(srv)); err != nil {
+		fmt.Fprintf(os.Stderr, "pac-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command pac-sim simulates a full fine-tuning job on a virtual edge
+// cluster and reports the outcome (duration, memory, throughput,
+// redistribution cost). It can also export a Chrome-tracing timeline of
+// one pipeline mini-batch for inspection in chrome://tracing or
+// Perfetto.
+//
+// Usage:
+//
+//	pac-sim [-model t5-base|bart-large|t5-large] [-technique full|adapters|lora|parallel]
+//	        [-engine standalone|eco-fl|eddl|pac] [-devices N] [-batch N]
+//	        [-samples N] [-epochs N] [-cache] [-trace FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pac/internal/cluster"
+	"pac/internal/core"
+	"pac/internal/costmodel"
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/planner"
+	"pac/internal/sim"
+)
+
+func main() {
+	modelName := flag.String("model", "t5-base", "model: t5-base, bart-large, t5-large")
+	techName := flag.String("technique", "parallel", "technique: full, adapters, lora, parallel")
+	engName := flag.String("engine", "pac", "engine: standalone, eco-fl, eddl, pac")
+	devices := flag.Int("devices", 8, "Jetson Nano count")
+	batch := flag.Int("batch", 16, "mini-batch size")
+	samples := flag.Int("samples", 3668, "dataset size (default: MRPC)")
+	epochs := flag.Int("epochs", 3, "epochs")
+	useCache := flag.Bool("cache", true, "enable the activation cache (PAC + Parallel Adapters)")
+	traceFile := flag.String("trace", "", "write a Chrome-tracing JSON of one pipeline step")
+	flag.Parse()
+
+	cfgs := map[string]model.Config{
+		"t5-base": model.T5Base(), "bart-large": model.BARTLarge(), "t5-large": model.T5Large(),
+	}
+	kinds := map[string]peft.Kind{
+		"full": peft.Full, "adapters": peft.Adapters, "lora": peft.LoRA, "parallel": peft.ParallelAdapters,
+	}
+	engines := map[string]core.Engine{
+		"standalone": core.Standalone, "eco-fl": core.EcoFL, "eddl": core.EDDL, "pac": core.PAC,
+	}
+	cfg, ok1 := cfgs[*modelName]
+	kind, ok2 := kinds[*techName]
+	eng, ok3 := engines[*engName]
+	if !ok1 || !ok2 || !ok3 {
+		fmt.Fprintln(os.Stderr, "pac-sim: unknown model/technique/engine")
+		os.Exit(2)
+	}
+
+	spec := core.SimSpec{
+		Model: cfg, Kind: kind, Engine: eng,
+		Cluster: cluster.Nanos(*devices),
+		Batch:   *batch, EncSeq: 128, DecSeq: 2,
+		Samples: *samples, Epochs: *epochs, UseCache: *useCache,
+	}
+	res := core.Simulate(spec)
+	if res.OOM {
+		fmt.Println("result: OOM — no memory-feasible configuration")
+		os.Exit(1)
+	}
+
+	fmt.Printf("job:            %s + %s on %s, %d× Nano, batch %d, %d samples × %d epochs\n",
+		kind, eng, cfg.Name, *devices, *batch, *samples, *epochs)
+	fmt.Printf("plan:           %s\n", res.Plan)
+	fmt.Printf("total:          %.3f hours\n", res.Hours)
+	fmt.Printf("phase-1 step:   %.3f s/mini-batch (%.2f samples/s)\n", res.Phase1StepSec, res.Throughput)
+	if res.CachedStepSec > 0 {
+		fmt.Printf("cached step:    %.3f s/mini-batch\n", res.CachedStepSec)
+		fmt.Printf("redistribution: %.1f s (cache %.2f GB)\n", res.RedistributionSec, float64(res.CacheBytes)/1e9)
+	}
+	fmt.Printf("peak memory:    %.2f GiB/device (weights %.2f, act+opt %.2f, grads %.2f)\n",
+		costmodel.GiB(res.PeakMemory.Total()), costmodel.GiB(res.PeakMemory.Weights),
+		costmodel.GiB(res.PeakMemory.PaperActivations()), costmodel.GiB(res.PeakMemory.Gradients))
+
+	if *traceFile != "" {
+		costs := costmodel.Costs{Cfg: cfg, Kind: kind, EncSeq: 128, DecSeq: 2}
+		in := planner.Input{Blocks: costs.Blocks(), Cluster: spec.Cluster, MiniBatch: *batch}
+		tr := &sim.Trace{}
+		if _, ok := planner.EvaluateWithTrace(res.Plan, in, tr); !ok {
+			fmt.Fprintln(os.Stderr, "pac-sim: plan no longer feasible for tracing")
+			os.Exit(1)
+		}
+		blob, err := tr.ChromeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pac-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceFile, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pac-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:          %d events → %s (open in chrome://tracing)\n", len(tr.Events), *traceFile)
+	}
+}

@@ -1,0 +1,66 @@
+// Generation: fine-tune a personal LLM *generator* with Parallel
+// Adapters. The frozen pretrained backbone already knows how to copy
+// sequences; the side network adapts it to a user-specific
+// transformation (increment every token) — the personalization story of
+// the paper applied to sequence generation instead of classification.
+//
+//	go run ./examples/generation
+package main
+
+import (
+	"fmt"
+
+	"pac/internal/generate"
+	"pac/internal/model"
+	"pac/internal/nn"
+	"pac/internal/peft"
+	"pac/internal/train"
+)
+
+func main() {
+	const vocab, seqLen, targetLen = 24, 8, 2
+
+	cfg := model.Tiny()
+	cfg.Vocab, cfg.NumClasses, cfg.LM = vocab, vocab, true
+	cfg.MaxSeq = 32
+
+	// "Pretraining": the backbone learns the generic copy task end-to-end.
+	pretrain := generate.GenSeq2Seq(generate.Copy, 256, seqLen, targetLen, vocab, 1)
+	backbone := model.New(cfg)
+	full := peft.New(peft.Full, backbone, peft.Options{})
+	pre := &generate.Trainer{Tech: full, Opt: train.NewAdam(full.Trainable(), 4e-3), Clip: 1}
+	loader := generate.NewLoader(pretrain, 16, 1)
+	for ep := 0; ep < 12; ep++ {
+		pre.TrainEpoch(loader, ep)
+	}
+	preExact, preToken := generate.Eval(full, pretrain, 16)
+	fmt.Printf("pretrained backbone on copy task: exact %.0f%%, token %.0f%%\n",
+		preExact*100, preToken*100)
+
+	// Personalization: the user's task is increment-by-one. Attach
+	// Parallel Adapters to a frozen copy of the backbone and fine-tune
+	// only the side network.
+	personal := generate.GenSeq2Seq(generate.Increment, 192, seqLen, targetLen, vocab, 2)
+	trainDS, evalDS := personal.Split(0.2)
+
+	adapted := model.New(cfg)
+	nn.CopyParams(adapted, backbone)
+	pa := peft.New(peft.ParallelAdapters, adapted, peft.Options{Reduction: 2})
+	fmt.Printf("trainable parameters: %d (backbone frozen)\n", len(nn.FlattenParams(pa.Trainable())))
+
+	ft := &generate.Trainer{Tech: pa, Opt: train.NewAdam(pa.Trainable(), 5e-3), Clip: 1}
+	ftLoader := generate.NewLoader(trainDS, 16, 2)
+	for ep := 0; ep < 20; ep++ {
+		loss := ft.TrainEpoch(ftLoader, ep)
+		if ep%5 == 4 {
+			fmt.Printf("  epoch %2d: token loss %.4f\n", ep+1, loss)
+		}
+	}
+
+	exact, token := generate.Eval(pa, evalDS, 16)
+	fmt.Printf("personalized increment task: exact %.0f%%, token %.0f%%\n", exact*100, token*100)
+
+	ex := evalDS.Examples[0]
+	out := generate.Decode(pa, [][]int{ex.Enc}, []int{ex.Len}, generate.Options{MaxLen: targetLen + 1})
+	fmt.Printf("sample: input %v → generated %v (target %v)\n", ex.Enc[:targetLen], out[0], ex.Target)
+}

@@ -1,0 +1,53 @@
+// Heterogeneous pool planning: the paper's planner handles device pools
+// of unequal capability (its DP assigns contiguous device groups to
+// stages). This example plans T5-Base fine-tuning across a home's mixed
+// fleet — Jetson TX2s, Jetson Nanos, and Raspberry Pis — and shows how
+// the partition shifts work toward the stronger devices.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+
+	"pac"
+	"pac/internal/costmodel"
+	"pac/internal/planner"
+)
+
+func main() {
+	pools := map[string]pac.Cluster{
+		"4× Jetson Nano": pac.Nanos(4),
+		"2× TX2 + 2× Nano": {Devices: []pac.DeviceSpec{
+			pac.JetsonTX2(), pac.JetsonTX2(), pac.JetsonNano(), pac.JetsonNano(),
+		}},
+		"2× TX2 + 2× Nano + 2× RPi4": {Devices: []pac.DeviceSpec{
+			pac.JetsonTX2(), pac.JetsonTX2(),
+			pac.JetsonNano(), pac.JetsonNano(),
+			pac.RaspberryPi4(), pac.RaspberryPi4(),
+		}},
+	}
+
+	costs := costmodel.Costs{Cfg: pac.T5Base(), Kind: pac.ParallelAdapters, EncSeq: 128, DecSeq: 2}
+	for name, pool := range pools {
+		in := planner.Input{Blocks: costs.Blocks(), Cluster: pool, MiniBatch: 16}
+		fmt.Printf("pool: %s (%.0f GFLOPS total)\n", name, pool.TotalGFLOPS())
+		p, err := planner.New(in)
+		if err != nil {
+			fmt.Println("  no feasible plan (OOM)")
+			continue
+		}
+		fmt.Printf("  plan: %s\n", p)
+		for k, st := range p.Stages {
+			names := ""
+			for i, d := range st.Devices {
+				if i > 0 {
+					names += ", "
+				}
+				names += pool.Devices[d].Name
+			}
+			fmt.Printf("  stage %d: blocks [%d,%d) on {%s}\n", k, st.StartBlock, st.EndBlock, names)
+		}
+		fmt.Println()
+	}
+}

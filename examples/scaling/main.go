@@ -1,0 +1,39 @@
+// Scaling study: throughput of PAC's hybrid parallelism vs the Eco-FL
+// (pure pipeline) and EDDL (pure data parallel) baselines as the Jetson
+// Nano pool grows from 2 to 8 devices — the paper's Figure 9 experiment,
+// run through the virtual-time simulator.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+
+	"pac"
+)
+
+func main() {
+	for _, cfg := range []pac.ModelConfig{pac.T5Base(), pac.BARTLarge(), pac.T5Large()} {
+		fmt.Printf("%s (%dM parameters), Parallel Adapters, batch = #devices\n",
+			cfg.Name, cfg.ParamCount()/1e6)
+		fmt.Printf("%8s  %12s  %12s  %12s\n", "devices", "PAC", "Eco-FL", "EDDL")
+		for n := 2; n <= 8; n++ {
+			row := fmt.Sprintf("%8d", n)
+			for _, engine := range []pac.Engine{pac.PAC, pac.EcoFL, pac.EDDL} {
+				res := pac.Simulate(pac.SimSpec{
+					Model: cfg, Kind: pac.ParallelAdapters, Engine: engine,
+					Cluster: pac.Nanos(n),
+					Batch:   n, EncSeq: 128, DecSeq: 2,
+					Samples: 1000, Epochs: 1,
+				})
+				if res.OOM {
+					row += fmt.Sprintf("  %12s", "OOM")
+				} else {
+					row += fmt.Sprintf("  %9.2f/s", res.Throughput)
+				}
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+}

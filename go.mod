@@ -1,0 +1,3 @@
+module pac
+
+go 1.22

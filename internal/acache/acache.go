@@ -1,0 +1,193 @@
+// Package acache implements the PAC activation cache (paper §4.2): the
+// per-sample backbone tap activations recorded during the first
+// fine-tuning epoch and replayed in later epochs so the frozen LLM
+// backbone never runs again. It provides a concurrency-safe in-memory
+// store, a disk-backed store for edge devices whose DRAM cannot hold the
+// cache (the paper reloads per micro-batch from flash), and the
+// serialization used when PAC redistributes cache shards between devices
+// for the data-parallel phase (paper §5.2).
+package acache
+
+import (
+	"fmt"
+	"sync"
+
+	"pac/internal/tensor"
+)
+
+// Entry is one sample's cached taps: the backbone activation b_i at
+// every transformer layer, encoder layers first.
+type Entry []*tensor.Tensor
+
+// Bytes returns the storage footprint of the entry in bytes (float32
+// payload only; framing is negligible).
+func (e Entry) Bytes() int64 {
+	var n int64
+	for _, t := range e {
+		n += int64(t.Numel()) * 4
+	}
+	return n
+}
+
+// Clone deep-copies the entry.
+func (e Entry) Clone() Entry {
+	out := make(Entry, len(e))
+	for i, t := range e {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits, Misses, Puts int64
+}
+
+// Store is an activation cache backend.
+type Store interface {
+	// Put records the taps for a sample id, replacing any previous entry.
+	Put(id int, taps Entry) error
+	// Get returns the taps for a sample id.
+	Get(id int) (Entry, bool)
+	// Has reports whether the id is cached without counting a hit/miss.
+	Has(id int) bool
+	// IDs returns all cached sample ids (unordered).
+	IDs() []int
+	// Len returns the number of cached samples.
+	Len() int
+	// Bytes returns the total cached payload size.
+	Bytes() int64
+	// Stats returns traffic counters.
+	Stats() Stats
+	// Clear drops every entry (paper: the cache is deleted once
+	// fine-tuning finishes).
+	Clear() error
+}
+
+// MemoryStore keeps the cache in RAM.
+type MemoryStore struct {
+	mu      sync.RWMutex
+	entries map[int]Entry
+	bytes   int64
+	stats   Stats
+}
+
+// NewMemoryStore returns an empty in-memory cache.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{entries: map[int]Entry{}}
+}
+
+// Put implements Store.
+func (s *MemoryStore) Put(id int, taps Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[id]; ok {
+		s.bytes -= old.Bytes()
+	}
+	s.entries[id] = taps
+	s.bytes += taps.Bytes()
+	s.stats.Puts++
+	return nil
+}
+
+// Get implements Store.
+func (s *MemoryStore) Get(id int) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if ok {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	return e, ok
+}
+
+// Has implements Store.
+func (s *MemoryStore) Has(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.entries[id]
+	return ok
+}
+
+// IDs implements Store.
+func (s *MemoryStore) IDs() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.entries))
+	for id := range s.entries {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Len implements Store.
+func (s *MemoryStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Bytes implements Store.
+func (s *MemoryStore) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Stats implements Store.
+func (s *MemoryStore) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Clear implements Store.
+func (s *MemoryStore) Clear() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = map[int]Entry{}
+	s.bytes = 0
+	return nil
+}
+
+// ShardIDs assigns sample ids to devices round-robin, the distribution
+// PAC uses when redistributing the cache for data-parallel epochs. The
+// result is deterministic in the input order.
+func ShardIDs(ids []int, devices int) [][]int {
+	if devices <= 0 {
+		panic("acache: ShardIDs with no devices")
+	}
+	out := make([][]int, devices)
+	for i, id := range ids {
+		d := i % devices
+		out[d] = append(out[d], id)
+	}
+	return out
+}
+
+// CoverageError verifies that a store holds exactly the given ids,
+// returning a descriptive error otherwise. The core framework calls it
+// before entering cache-only epochs.
+func CoverageError(s Store, ids []int) error {
+	if s.Len() != len(ids) {
+		return fmt.Errorf("acache: store has %d entries, want %d", s.Len(), len(ids))
+	}
+	for _, id := range ids {
+		if !s.Has(id) {
+			return fmt.Errorf("acache: sample %d missing from cache", id)
+		}
+	}
+	return nil
+}
+
+// Delete removes one entry (no-op when absent).
+func (s *MemoryStore) Delete(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[id]; ok {
+		s.bytes -= old.Bytes()
+		delete(s.entries, id)
+	}
+}

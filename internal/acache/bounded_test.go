@@ -1,0 +1,231 @@
+package acache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pac/internal/tensor"
+)
+
+func fixedEntry(val float32) Entry {
+	return Entry{tensor.Full(val, 2, 8)} // 64 bytes
+}
+
+func TestBoundedEvictsLRU(t *testing.T) {
+	b := NewBounded(NewMemoryStore(), 3*64)
+	for id := 0; id < 3; id++ {
+		if err := b.Put(id, fixedEntry(float32(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 3 || b.Evicted() != 0 {
+		t.Fatalf("len %d evicted %d", b.Len(), b.Evicted())
+	}
+	// Touch 0 so 1 becomes LRU, then insert 3.
+	if _, ok := b.Get(0); !ok {
+		t.Fatal("entry 0 lost")
+	}
+	if err := b.Put(3, fixedEntry(3)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len %d after eviction", b.Len())
+	}
+	if b.Has(1) {
+		t.Fatal("LRU entry 1 survived")
+	}
+	for _, id := range []int{0, 2, 3} {
+		if !b.Has(id) {
+			t.Fatalf("entry %d evicted wrongly", id)
+		}
+	}
+	if b.Evicted() != 1 {
+		t.Fatalf("Evicted = %d", b.Evicted())
+	}
+}
+
+func TestBoundedRespectsByteBudget(t *testing.T) {
+	budget := int64(5 * 64)
+	b := NewBounded(NewMemoryStore(), budget)
+	for id := 0; id < 50; id++ {
+		if err := b.Put(id, fixedEntry(1)); err != nil {
+			t.Fatal(err)
+		}
+		if b.Bytes() > budget {
+			t.Fatalf("bytes %d exceed budget %d", b.Bytes(), budget)
+		}
+	}
+	if b.Len() != 5 {
+		t.Fatalf("len %d want 5", b.Len())
+	}
+}
+
+func TestBoundedOversizedEntryRejected(t *testing.T) {
+	b := NewBounded(NewMemoryStore(), 10)
+	if err := b.Put(1, fixedEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Has(1) {
+		t.Fatal("oversized entry stored")
+	}
+}
+
+func TestBoundedClear(t *testing.T) {
+	b := NewBounded(NewMemoryStore(), 1000)
+	_ = b.Put(1, fixedEntry(1))
+	if err := b.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 || b.Bytes() != 0 {
+		t.Fatal("clear incomplete")
+	}
+	// LRU bookkeeping reset: a fresh Put works.
+	_ = b.Put(2, fixedEntry(2))
+	if !b.Has(2) {
+		t.Fatal("put after clear failed")
+	}
+}
+
+func TestBoundedOverDisk(t *testing.T) {
+	inner, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBounded(inner, 3*entryDiskBytes(t, inner))
+	for id := 0; id < 6; id++ {
+		if err := b.Put(id, fixedEntry(float32(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() > 3 {
+		t.Fatalf("disk-bounded len %d", b.Len())
+	}
+	if b.Evicted() == 0 {
+		t.Fatal("no evictions on disk store")
+	}
+}
+
+// entryDiskBytes measures the on-disk size of one encoded entry.
+func entryDiskBytes(t *testing.T, s *DiskStore) int64 {
+	t.Helper()
+	if err := s.Put(9999, fixedEntry(0)); err != nil {
+		t.Fatal(err)
+	}
+	n := s.Bytes()
+	s.Delete(9999)
+	return n
+}
+
+func TestF16RoundTripPrecision(t *testing.T) {
+	g := tensor.NewRNG(1)
+	vals := g.Randn(1, 1000).Data
+	var maxRel float64
+	for _, v := range vals {
+		back := F16ToFloat32(Float32ToF16(v))
+		rel := math.Abs(float64(back-v)) / math.Max(1e-6, math.Abs(float64(v)))
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	// Half precision has ~3 decimal digits: relative error < 0.1%.
+	if maxRel > 1e-3 {
+		t.Fatalf("max relative error %v", maxRel)
+	}
+}
+
+func TestF16SpecialValues(t *testing.T) {
+	cases := []float32{0, -0, 1, -1, 0.5, 65504 /* max half */, 1e-8 /* subnormal half range */}
+	for _, v := range cases {
+		back := F16ToFloat32(Float32ToF16(v))
+		if math.Abs(float64(back-v)) > math.Abs(float64(v))*1e-3+1e-7 {
+			t.Fatalf("value %v roundtripped to %v", v, back)
+		}
+	}
+	// Overflow clamps to +Inf.
+	if !math.IsInf(float64(F16ToFloat32(Float32ToF16(1e10))), 1) {
+		t.Fatal("overflow should produce +Inf")
+	}
+	// NaN stays NaN.
+	if !math.IsNaN(float64(F16ToFloat32(Float32ToF16(float32(math.NaN()))))) {
+		t.Fatal("NaN lost")
+	}
+}
+
+func TestPropF16MonotoneOrder(t *testing.T) {
+	// Order preservation for representable finite values.
+	f := func(aRaw, bRaw int16) bool {
+		a := float32(aRaw) / 64
+		b := float32(bRaw) / 64
+		ha := F16ToFloat32(Float32ToF16(a))
+		hb := F16ToFloat32(Float32ToF16(b))
+		if a < b {
+			return ha <= hb
+		}
+		if a > b {
+			return ha >= hb
+		}
+		return ha == hb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF16StoreBasicsAndHalfFootprint(t *testing.T) {
+	// Lifecycle (exact-equality basics don't apply to a lossy store).
+	s := NewF16Store()
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatal("not empty")
+	}
+	_ = s.Put(7, sampleEntry(1))
+	if !s.Has(7) || s.Len() != 1 || len(s.IDs()) != 1 {
+		t.Fatal("put not visible")
+	}
+	_ = s.Put(7, sampleEntry(2))
+	if s.Len() != 1 {
+		t.Fatal("overwrite duplicated")
+	}
+	s.Delete(7)
+	if s.Has(7) || s.Bytes() != 0 {
+		t.Fatal("delete incomplete")
+	}
+	_ = s.Put(8, sampleEntry(3))
+	if err := s.Clear(); err != nil || s.Len() != 0 {
+		t.Fatal("clear incomplete")
+	}
+	if st := s.Stats(); st.Puts != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	s2 := NewF16Store()
+	m := NewMemoryStore()
+	e := sampleEntry(1)
+	_ = s2.Put(1, e)
+	_ = m.Put(1, e)
+	if s2.Bytes()*2 != m.Bytes() {
+		t.Fatalf("f16 bytes %d vs f32 %d", s2.Bytes(), m.Bytes())
+	}
+	got, ok := s2.Get(1)
+	if !ok {
+		t.Fatal("lost entry")
+	}
+	for i := range e {
+		for j := range e[i].Data {
+			if math.Abs(float64(got[i].Data[j]-e[i].Data[j])) > 1e-2 {
+				t.Fatalf("tap %d elem %d: %v vs %v", i, j, got[i].Data[j], e[i].Data[j])
+			}
+		}
+	}
+}
+
+func TestBoundedOverF16(t *testing.T) {
+	// Composition: half-precision + capacity bound.
+	b := NewBounded(NewF16Store(), 3*32) // f16 entries are 32 bytes
+	for id := 0; id < 6; id++ {
+		_ = b.Put(id, fixedEntry(float32(id)))
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len %d", b.Len())
+	}
+}

@@ -1,0 +1,197 @@
+// Package autograd implements reverse-mode automatic differentiation over
+// the tensor package. Operations build an implicit computation graph;
+// Backward walks it in reverse topological order accumulating gradients.
+//
+// Gradient tracking is lazy: an operation only records a backward closure
+// when at least one input requires gradients, so running a frozen model
+// (e.g. the PAC backbone) costs no tape memory — exactly the property the
+// Parallel Adapters technique exploits.
+package autograd
+
+import (
+	"fmt"
+
+	"pac/internal/tensor"
+)
+
+// Variable is a node in the computation graph: a value, an optional
+// gradient, and the backward closure that propagates its gradient to its
+// parents.
+type Variable struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	requiresGrad bool
+	backFn       func()
+	parents      []*Variable
+	name         string
+}
+
+// NewVar wraps a tensor as a graph leaf that does not require gradients
+// (an input or a frozen parameter).
+func NewVar(t *tensor.Tensor) *Variable { return &Variable{Value: t} }
+
+// NewParam wraps a tensor as a trainable leaf that accumulates gradients.
+func NewParam(t *tensor.Tensor) *Variable {
+	return &Variable{Value: t, requiresGrad: true}
+}
+
+// Named attaches a debug name and returns the variable.
+func (v *Variable) Named(name string) *Variable {
+	v.name = name
+	return v
+}
+
+// Name returns the debug name, or a placeholder.
+func (v *Variable) Name() string {
+	if v.name == "" {
+		return fmt.Sprintf("var%v", v.Value.Shape())
+	}
+	return v.name
+}
+
+// RequiresGrad reports whether gradients flow to this variable.
+func (v *Variable) RequiresGrad() bool { return v.requiresGrad }
+
+// SetRequiresGrad toggles gradient tracking for a leaf. Calling it on a
+// non-leaf panics: interior nodes derive the flag from their parents.
+func (v *Variable) SetRequiresGrad(on bool) {
+	if v.backFn != nil {
+		panic("autograd: SetRequiresGrad on non-leaf variable")
+	}
+	v.requiresGrad = on
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (v *Variable) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+// ensureGrad allocates the gradient buffer on first use.
+func (v *Variable) ensureGrad() *tensor.Tensor {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Value.Shape()...)
+	}
+	return v.Grad
+}
+
+// accumulate adds g into v's gradient buffer.
+func (v *Variable) accumulate(g *tensor.Tensor) {
+	tensor.AddInPlace(v.ensureGrad(), g)
+}
+
+// newOp constructs an interior node. backFn is only retained when a
+// parent requires gradients; otherwise the node is a dead end for
+// backward and the closure (and any tensors it captures) can be collected.
+func newOp(value *tensor.Tensor, backFn func(out *Variable), parents ...*Variable) *Variable {
+	out := &Variable{Value: value, parents: parents}
+	for _, p := range parents {
+		if p.requiresGrad {
+			out.requiresGrad = true
+			break
+		}
+	}
+	if out.requiresGrad && backFn != nil {
+		out.backFn = func() { backFn(out) }
+	}
+	return out
+}
+
+// Backward runs reverse-mode differentiation from v, which must be a
+// scalar (Numel == 1) unless seed is provided. Gradients accumulate into
+// every reachable leaf with requiresGrad.
+func Backward(v *Variable) {
+	if v.Value.Numel() != 1 {
+		panic("autograd: Backward on non-scalar without explicit seed; use BackwardWithSeed")
+	}
+	seed := tensor.Ones(v.Value.Shape()...)
+	BackwardWithSeed(v, seed)
+}
+
+// BackwardWithSeed runs backward from v with an explicit upstream
+// gradient (same shape as v.Value).
+func BackwardWithSeed(v *Variable, seed *tensor.Tensor) {
+	if !tensor.SameShape(v.Value, seed) {
+		panic("autograd: seed shape mismatch")
+	}
+	order := topoSort(v)
+	v.accumulate(seed)
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backFn != nil && n.Grad != nil {
+			n.backFn()
+		}
+	}
+}
+
+// topoSort returns nodes reachable from root in topological order
+// (parents before children). Iterative DFS keeps deep graphs (24-layer
+// transformers unroll to thousands of nodes) off the Go stack.
+func topoSort(root *Variable) []*Variable {
+	var order []*Variable
+	visited := map[*Variable]bool{}
+	type frame struct {
+		node *Variable
+		next int
+	}
+	stack := []frame{{root, 0}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.parents) {
+			p := f.node.parents[f.next]
+			f.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{p, 0})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// GraphSize returns the number of gradient-tracking nodes reachable from
+// v. Tests use it to assert that frozen backbones contribute nothing to
+// the tape.
+func GraphSize(v *Variable) int { return len(topoSort(v)) }
+
+// BackwardMulti runs one reverse pass from several output roots at once,
+// seeding each with the matching gradient. Pipeline stages use it: a
+// stage's boundary outputs (encoder state, decoder state, side state)
+// each receive an upstream gradient from the next stage, and the stage's
+// interior must be traversed exactly once.
+func BackwardMulti(outs []*Variable, seeds []*tensor.Tensor) {
+	if len(outs) != len(seeds) {
+		panic("autograd: BackwardMulti length mismatch")
+	}
+	root := &Variable{requiresGrad: true}
+	for i, o := range outs {
+		if o == nil || seeds[i] == nil {
+			continue
+		}
+		if !tensor.SameShape(o.Value, seeds[i]) {
+			panic("autograd: BackwardMulti seed shape mismatch")
+		}
+		root.parents = append(root.parents, o)
+	}
+	order := topoSort(root)
+	for i, o := range outs {
+		if o == nil || seeds[i] == nil {
+			continue
+		}
+		if o.requiresGrad {
+			o.accumulate(seeds[i])
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backFn != nil && n.Grad != nil {
+			n.backFn()
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package autograd
+
+import (
+	"math"
+
+	"pac/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between row-wise
+// softmax(logits) and integer labels. logits is viewed as [N, C] with C
+// the last dimension; len(labels) must equal N. The op is fused for
+// numerical stability: backward is (softmax - onehot)/N.
+func SoftmaxCrossEntropy(logits *Variable, labels []int) *Variable {
+	rows, cols := tensor.Rows(logits.Value)
+	if len(labels) != rows {
+		panic("autograd: SoftmaxCrossEntropy label count mismatch")
+	}
+	logp := tensor.LogSoftmax(logits.Value)
+	var loss float64
+	for r, y := range labels {
+		if y < 0 || y >= cols {
+			panic("autograd: label out of range")
+		}
+		loss -= float64(logp.Data[r*cols+y])
+	}
+	loss /= float64(rows)
+	val := tensor.FromSlice([]float32{float32(loss)}, 1)
+	labelsCopy := append([]int(nil), labels...)
+	return newOp(val, func(out *Variable) {
+		scale := out.Grad.Data[0] / float32(rows)
+		g := tensor.New(logits.Value.Shape()...)
+		for r, y := range labelsCopy {
+			base := r * cols
+			for c := 0; c < cols; c++ {
+				p := float32(math.Exp(float64(logp.Data[base+c])))
+				g.Data[base+c] = p * scale
+			}
+			g.Data[base+y] -= scale
+		}
+		logits.accumulate(g)
+	}, logits)
+}
+
+// MSE computes the mean squared error between pred and a constant target.
+func MSE(pred *Variable, target *tensor.Tensor) *Variable {
+	if !tensor.SameShape(pred.Value, target) {
+		panic("autograd: MSE shape mismatch")
+	}
+	n := float64(pred.Value.Numel())
+	var loss float64
+	for i := range pred.Value.Data {
+		d := float64(pred.Value.Data[i] - target.Data[i])
+		loss += d * d
+	}
+	loss /= n
+	val := tensor.FromSlice([]float32{float32(loss)}, 1)
+	return newOp(val, func(out *Variable) {
+		scale := out.Grad.Data[0] * 2 / float32(n)
+		g := tensor.New(pred.Value.Shape()...)
+		for i := range g.Data {
+			g.Data[i] = scale * (pred.Value.Data[i] - target.Data[i])
+		}
+		pred.accumulate(g)
+	}, pred)
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+// Pure metric; participates in no gradient flow.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	pred := tensor.ArgMaxRows(logits)
+	if len(pred) != len(labels) {
+		panic("autograd: Accuracy length mismatch")
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,418 @@
+package autograd
+
+import (
+	"math"
+
+	"pac/internal/tensor"
+)
+
+// Add returns a + b (elementwise, same shapes).
+func Add(a, b *Variable) *Variable {
+	val := tensor.Add(a.Value, b.Value)
+	return newOp(val, func(out *Variable) {
+		if a.requiresGrad {
+			a.accumulate(out.Grad)
+		}
+		if b.requiresGrad {
+			b.accumulate(out.Grad)
+		}
+	}, a, b)
+}
+
+// Sub returns a - b.
+func Sub(a, b *Variable) *Variable {
+	val := tensor.Sub(a.Value, b.Value)
+	return newOp(val, func(out *Variable) {
+		if a.requiresGrad {
+			a.accumulate(out.Grad)
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.Scale(out.Grad, -1))
+		}
+	}, a, b)
+}
+
+// Mul returns the elementwise product a * b.
+func Mul(a, b *Variable) *Variable {
+	val := tensor.Mul(a.Value, b.Value)
+	return newOp(val, func(out *Variable) {
+		if a.requiresGrad {
+			a.accumulate(tensor.Mul(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.Mul(out.Grad, a.Value))
+		}
+	}, a, b)
+}
+
+// Scale returns s * a for a compile-time constant s.
+func Scale(a *Variable, s float32) *Variable {
+	val := tensor.Scale(a.Value, s)
+	return newOp(val, func(out *Variable) {
+		a.accumulate(tensor.Scale(out.Grad, s))
+	}, a)
+}
+
+// AddBias returns m + bias where bias (a vector matching m's last
+// dimension) broadcasts across rows.
+func AddBias(m, bias *Variable) *Variable {
+	val := tensor.AddRowBroadcast(m.Value, bias.Value)
+	return newOp(val, func(out *Variable) {
+		if m.requiresGrad {
+			m.accumulate(out.Grad)
+		}
+		if bias.requiresGrad {
+			bias.accumulate(tensor.SumRows(out.Grad))
+		}
+	}, m, bias)
+}
+
+// MatMul returns a·b treating inputs as 2-D matrices [rows, lastDim].
+// The output shape is [a.rows, b.cols].
+func MatMul(a, b *Variable) *Variable {
+	val := tensor.MatMul(a.Value, b.Value)
+	return newOp(val, func(out *Variable) {
+		if a.requiresGrad {
+			a.accumulate(tensor.MatMulT(out.Grad, b.Value).Reshape(a.Value.Shape()...))
+		}
+		if b.requiresGrad {
+			b.accumulate(tensor.TMatMul(a.Value, out.Grad).Reshape(b.Value.Shape()...))
+		}
+	}, a, b)
+}
+
+// BatchMatMul returns per-batch a[b]·b[b] for 3-D inputs.
+func BatchMatMul(a, b *Variable) *Variable {
+	val := tensor.BatchMatMul(a.Value, b.Value)
+	return newOp(val, func(out *Variable) {
+		if a.requiresGrad {
+			// dA = dOut·Bᵀ: BatchMatMulT contracts the last dims of
+			// dOut [batch,m,n] and B [batch,k,n], yielding [batch,m,k].
+			a.accumulate(tensor.BatchMatMulT(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			// dB = Aᵀ·dOut ([batch,k,m]·[batch,m,n] → [batch,k,n]).
+			b.accumulate(tensor.BatchTMatMul(a.Value, out.Grad))
+		}
+	}, a, b)
+}
+
+// BatchMatMulT returns per-batch a[b]·b[b]ᵀ (attention scores Q·Kᵀ).
+func BatchMatMulT(a, b *Variable) *Variable {
+	val := tensor.BatchMatMulT(a.Value, b.Value)
+	return newOp(val, func(out *Variable) {
+		if a.requiresGrad {
+			// dA = dOut · B   ([batch,m,n]·[batch,n,k])
+			a.accumulate(tensor.BatchMatMul(out.Grad, b.Value))
+		}
+		if b.requiresGrad {
+			// dB = dOutᵀ · A  ([batch,n,m]·[batch,m,k])
+			b.accumulate(tensor.BatchTMatMul(out.Grad, a.Value))
+		}
+	}, a, b)
+}
+
+// Reshape returns a view of a with a new shape.
+func Reshape(a *Variable, shape ...int) *Variable {
+	val := a.Value.Reshape(shape...)
+	return newOp(val, func(out *Variable) {
+		a.accumulate(out.Grad.Reshape(a.Value.Shape()...))
+	}, a)
+}
+
+// SplitHeads rearranges [batch, seq, heads*dh] → [batch*heads, seq, dh].
+func SplitHeads(a *Variable, heads int) *Variable {
+	val := tensor.SplitHeads(a.Value, heads)
+	return newOp(val, func(out *Variable) {
+		a.accumulate(tensor.MergeHeads(out.Grad, heads))
+	}, a)
+}
+
+// MergeHeads rearranges [batch*heads, seq, dh] → [batch, seq, heads*dh].
+func MergeHeads(a *Variable, heads int) *Variable {
+	val := tensor.MergeHeads(a.Value, heads)
+	return newOp(val, func(out *Variable) {
+		a.accumulate(tensor.SplitHeads(out.Grad, heads))
+	}, a)
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Variable) *Variable {
+	val := tensor.Apply(a.Value, func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+	return newOp(val, func(out *Variable) {
+		g := tensor.New(a.Value.Shape()...)
+		for i, v := range a.Value.Data {
+			if v > 0 {
+				g.Data[i] = out.Grad.Data[i]
+			}
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit.
+func GELU(a *Variable) *Variable {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	val := tensor.Apply(a.Value, func(v float32) float32 {
+		x := float64(v)
+		return float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	})
+	return newOp(val, func(out *Variable) {
+		g := tensor.New(a.Value.Shape()...)
+		for i, v := range a.Value.Data {
+			x := float64(v)
+			u := c * (x + 0.044715*x*x*x)
+			t := math.Tanh(u)
+			du := c * (1 + 3*0.044715*x*x)
+			d := 0.5*(1+t) + 0.5*x*(1-t*t)*du
+			g.Data[i] = out.Grad.Data[i] * float32(d)
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Variable) *Variable {
+	val := tensor.Apply(a.Value, func(v float32) float32 {
+		return float32(math.Tanh(float64(v)))
+	})
+	return newOp(val, func(out *Variable) {
+		g := tensor.New(a.Value.Shape()...)
+		for i := range g.Data {
+			y := float64(val.Data[i])
+			g.Data[i] = out.Grad.Data[i] * float32(1-y*y)
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Variable) *Variable {
+	val := tensor.Apply(a.Value, func(v float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(v))))
+	})
+	return newOp(val, func(out *Variable) {
+		g := tensor.New(a.Value.Shape()...)
+		for i := range g.Data {
+			y := float64(val.Data[i])
+			g.Data[i] = out.Grad.Data[i] * float32(y*(1-y))
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// Softmax applies a row-wise softmax over the last dimension.
+func Softmax(a *Variable) *Variable {
+	val := tensor.Softmax(a.Value)
+	return newOp(val, func(out *Variable) {
+		rows, cols := tensor.Rows(val)
+		g := tensor.New(a.Value.Shape()...)
+		for r := 0; r < rows; r++ {
+			base := r * cols
+			var dot float64
+			for c := 0; c < cols; c++ {
+				dot += float64(out.Grad.Data[base+c]) * float64(val.Data[base+c])
+			}
+			for c := 0; c < cols; c++ {
+				g.Data[base+c] = val.Data[base+c] * (out.Grad.Data[base+c] - float32(dot))
+			}
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// AddConst adds a constant tensor (no gradient flows to it). Used for
+// additive attention masks.
+func AddConst(a *Variable, c *tensor.Tensor) *Variable {
+	val := tensor.Add(a.Value, c)
+	return newOp(val, func(out *Variable) {
+		a.accumulate(out.Grad)
+	}, a)
+}
+
+// LayerNorm normalizes rows of a over the last dimension and applies the
+// affine transform gamma*x + beta.
+func LayerNorm(a, gamma, beta *Variable, eps float32) *Variable {
+	val, stats := tensor.LayerNormForward(a.Value, gamma.Value, beta.Value, eps)
+	return newOp(val, func(out *Variable) {
+		dx, dGamma, dBeta := tensor.LayerNormBackward(a.Value, gamma.Value, out.Grad, stats)
+		if a.requiresGrad {
+			a.accumulate(dx)
+		}
+		if gamma.requiresGrad {
+			gamma.accumulate(dGamma)
+		}
+		if beta.requiresGrad {
+			beta.accumulate(dBeta)
+		}
+	}, a, gamma, beta)
+}
+
+// Embedding gathers rows of table (shape [vocab, dim]) for each id in
+// ids, producing [len(ids), dim]. The backward pass scatter-adds.
+func Embedding(table *Variable, ids []int) *Variable {
+	vocab, dim := table.Value.Dim(0), table.Value.Dim(1)
+	val := tensor.New(len(ids), dim)
+	for i, id := range ids {
+		if id < 0 || id >= vocab {
+			panic("autograd: embedding id out of range")
+		}
+		copy(val.Data[i*dim:(i+1)*dim], table.Value.Data[id*dim:(id+1)*dim])
+	}
+	idsCopy := append([]int(nil), ids...)
+	return newOp(val, func(out *Variable) {
+		g := table.ensureGrad()
+		for i, id := range idsCopy {
+			row := g.Data[id*dim : (id+1)*dim]
+			src := out.Grad.Data[i*dim : (i+1)*dim]
+			for j := range row {
+				row[j] += src[j]
+			}
+		}
+	}, table)
+}
+
+// Concat concatenates along dimension 0.
+func Concat(vs ...*Variable) *Variable {
+	vals := make([]*tensor.Tensor, len(vs))
+	for i, v := range vs {
+		vals[i] = v.Value
+	}
+	val := tensor.Concat(vals...)
+	return newOp(val, func(out *Variable) {
+		off := 0
+		for _, v := range vs {
+			n := v.Value.Dim(0)
+			if v.requiresGrad {
+				v.accumulate(tensor.SliceRows(out.Grad, off, off+n))
+			}
+			off += n
+		}
+	}, vs...)
+}
+
+// SliceRows takes rows [start, end) along dimension 0.
+func SliceRows(a *Variable, start, end int) *Variable {
+	val := tensor.SliceRows(a.Value, start, end)
+	return newOp(val, func(out *Variable) {
+		g := tensor.New(a.Value.Shape()...)
+		inner := a.Value.Numel() / a.Value.Dim(0)
+		copy(g.Data[start*inner:end*inner], out.Grad.Data)
+		a.accumulate(g)
+	}, a)
+}
+
+// Mean reduces to a scalar mean of all elements.
+func Mean(a *Variable) *Variable {
+	val := tensor.FromSlice([]float32{tensor.Mean(a.Value)}, 1)
+	n := float32(a.Value.Numel())
+	return newOp(val, func(out *Variable) {
+		a.accumulate(tensor.Full(out.Grad.Data[0]/n, a.Value.Shape()...))
+	}, a)
+}
+
+// Sum reduces to a scalar sum of all elements.
+func Sum(a *Variable) *Variable {
+	val := tensor.FromSlice([]float32{tensor.Sum(a.Value)}, 1)
+	return newOp(val, func(out *Variable) {
+		a.accumulate(tensor.Full(out.Grad.Data[0], a.Value.Shape()...))
+	}, a)
+}
+
+// MeanRows reduces [rows, cols] (rows = prod of leading dims) to [cols]
+// by averaging across rows. Used for mean pooling over sequence
+// positions.
+func MeanRows(a *Variable) *Variable {
+	rows, cols := tensor.Rows(a.Value)
+	val := tensor.Scale(tensor.SumRows(a.Value), 1/float32(rows))
+	_ = cols
+	return newOp(val, func(out *Variable) {
+		g := tensor.New(a.Value.Shape()...)
+		inv := 1 / float32(rows)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				g.Data[r*cols+c] = out.Grad.Data[c] * inv
+			}
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// Dropout zeroes each element with probability p during training and
+// rescales survivors by 1/(1-p). With train=false it is the identity.
+func Dropout(a *Variable, p float32, train bool, rng *tensor.RNG) *Variable {
+	if !train || p <= 0 {
+		return a
+	}
+	mask := tensor.New(a.Value.Shape()...)
+	scale := 1 / (1 - p)
+	for i := range mask.Data {
+		if rng.Float32() >= p {
+			mask.Data[i] = scale
+		}
+	}
+	val := tensor.Mul(a.Value, mask)
+	return newOp(val, func(out *Variable) {
+		a.accumulate(tensor.Mul(out.Grad, mask))
+	}, a)
+}
+
+// MeanSeq reduces [batch, seq, d] → [batch, d] by averaging over the
+// sequence dimension. The Parallel Adapters side network uses it to pool
+// encoder-side state before seeding the decoder-side chain.
+func MeanSeq(a *Variable) *Variable {
+	batch, seq, d := a.Value.Dim(0), a.Value.Dim(1), a.Value.Dim(2)
+	val := tensor.New(batch, d)
+	for b := 0; b < batch; b++ {
+		for s := 0; s < seq; s++ {
+			base := (b*seq + s) * d
+			for c := 0; c < d; c++ {
+				val.Data[b*d+c] += a.Value.Data[base+c]
+			}
+		}
+	}
+	tensor.ScaleInPlace(val, 1/float32(seq))
+	return newOp(val, func(out *Variable) {
+		g := tensor.New(a.Value.Shape()...)
+		inv := 1 / float32(seq)
+		for b := 0; b < batch; b++ {
+			for s := 0; s < seq; s++ {
+				base := (b*seq + s) * d
+				for c := 0; c < d; c++ {
+					g.Data[base+c] = out.Grad.Data[b*d+c] * inv
+				}
+			}
+		}
+		a.accumulate(g)
+	}, a)
+}
+
+// BroadcastSeq expands [batch, d] → [batch, seq, d] by repeating each
+// row seq times (inverse shape of MeanSeq).
+func BroadcastSeq(a *Variable, seq int) *Variable {
+	batch, d := a.Value.Dim(0), a.Value.Dim(1)
+	val := tensor.New(batch, seq, d)
+	for b := 0; b < batch; b++ {
+		src := a.Value.Data[b*d : (b+1)*d]
+		for s := 0; s < seq; s++ {
+			copy(val.Data[(b*seq+s)*d:(b*seq+s+1)*d], src)
+		}
+	}
+	return newOp(val, func(out *Variable) {
+		g := tensor.New(batch, d)
+		for b := 0; b < batch; b++ {
+			for s := 0; s < seq; s++ {
+				base := (b*seq + s) * d
+				for c := 0; c < d; c++ {
+					g.Data[b*d+c] += out.Grad.Data[base+c]
+				}
+			}
+		}
+		a.accumulate(g)
+	}, a)
+}

@@ -1,0 +1,237 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pac/internal/data"
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/train"
+)
+
+func trainedTechnique(t *testing.T, kind peft.Kind) (peft.Technique, model.Config) {
+	t.Helper()
+	cfg := model.Tiny()
+	m := model.New(cfg)
+	tech := peft.New(kind, m, peft.Options{Reduction: 4, LoRARank: 4})
+	ds := data.Generate(data.GenConfig{Task: data.SST2, Size: 16, SeqLen: 8, Vocab: 64, Seed: 1})
+	tr := &train.Trainer{Tech: tech, Opt: train.NewSGD(tech.Trainable(), 0.05, 0, 0)}
+	tr.TrainBatch(data.BatchOf(ds.Examples))
+	return tech, cfg
+}
+
+func logitsOf(tech peft.Technique) []float32 {
+	res := tech.Forward([][]int{{3, 4, 5, 6}}, [][]int{{0}}, []int{4}, false)
+	return append([]float32(nil), res.Logits.Value.Data...)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, kind := range peft.AllKinds() {
+		tech, cfg := trainedTechnique(t, kind)
+		want := logitsOf(tech)
+		path := filepath.Join(t.TempDir(), "adapter.pack")
+		if err := Save(path, "unit", tech, cfg, 7); err != nil {
+			t.Fatal(err)
+		}
+
+		// Fresh replica, different weights until loaded.
+		m2 := model.New(cfg)
+		tech2 := peft.New(kind, m2, peft.Options{Reduction: 4, LoRARank: 4, Seed: 123})
+		ck, err := Load(path, tech2, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if ck.Step != 7 || ck.Name != "unit" || ck.Kind != kind {
+			t.Fatalf("metadata %+v", ck)
+		}
+		got := logitsOf(tech2)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: logits diverge after load", kind)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsKindMismatch(t *testing.T) {
+	tech, cfg := trainedTechnique(t, peft.ParallelAdapters)
+	path := filepath.Join(t.TempDir(), "a.pack")
+	if err := Save(path, "x", tech, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	m := model.New(cfg)
+	other := peft.New(peft.LoRA, m, peft.Options{LoRARank: 4})
+	if _, err := Load(path, other, cfg); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+func TestLoadRejectsConfigMismatch(t *testing.T) {
+	tech, cfg := trainedTechnique(t, peft.ParallelAdapters)
+	path := filepath.Join(t.TempDir(), "a.pack")
+	if err := Save(path, "x", tech, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	otherCfg := model.Small()
+	m := model.New(otherCfg)
+	other := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4})
+	if _, err := Load(path, other, otherCfg); err == nil {
+		t.Fatal("config mismatch accepted")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	tech, cfg := trainedTechnique(t, peft.Adapters)
+	path := filepath.Join(t.TempDir(), "a.pack")
+	if err := Save(path, "x", tech, cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: CRC must catch it.
+	blob[len(blob)/2] ^= 0xff
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("corruption undetected")
+	}
+	// Truncation.
+	if _, err := Decode(blob[:10]); err == nil {
+		t.Fatal("truncation undetected")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty blob accepted")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := Fingerprint(model.Tiny())
+	if a != Fingerprint(model.Tiny()) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	variants := []func(model.Config) model.Config{
+		func(c model.Config) model.Config { c.Layers++; return c },
+		func(c model.Config) model.Config { c.Hidden *= 2; return c },
+		func(c model.Config) model.Config { c.Vocab++; return c },
+		func(c model.Config) model.Config { c.NumClasses++; return c },
+	}
+	for i, v := range variants {
+		if Fingerprint(v(model.Tiny())) == a {
+			t.Fatalf("variant %d collides", i)
+		}
+	}
+}
+
+func TestMultiTaskAdapterSwap(t *testing.T) {
+	// The PEFT deployment story: one backbone, one checkpoint per task,
+	// swapped at runtime.
+	cfg := model.Tiny()
+	dir := t.TempDir()
+
+	// Train two tasks' adapters on separate replicas and save both.
+	var wantA, wantB []float32
+	for i, seed := range []int64{11, 22} {
+		m := model.New(cfg)
+		tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4, Seed: seed})
+		ds := data.Generate(data.GenConfig{Task: data.SST2, Size: 16, SeqLen: 8, Vocab: 64, Seed: seed})
+		tr := &train.Trainer{Tech: tech, Opt: train.NewSGD(tech.Trainable(), 0.05, 0, 0)}
+		tr.TrainBatch(data.BatchOf(ds.Examples))
+		if err := Save(filepath.Join(dir, []string{"a.pack", "b.pack"}[i]), "task", tech, cfg, 1); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			wantA = logitsOf(tech)
+		} else {
+			wantB = logitsOf(tech)
+		}
+	}
+
+	// One serving replica hot-swaps both.
+	m := model.New(cfg)
+	serving := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4, Seed: 99})
+	if _, err := Load(filepath.Join(dir, "a.pack"), serving, cfg); err != nil {
+		t.Fatal(err)
+	}
+	gotA := logitsOf(serving)
+	if _, err := Load(filepath.Join(dir, "b.pack"), serving, cfg); err != nil {
+		t.Fatal(err)
+	}
+	gotB := logitsOf(serving)
+	for i := range wantA {
+		if wantA[i] != gotA[i] {
+			t.Fatal("task A adapters wrong after swap")
+		}
+		if wantB[i] != gotB[i] {
+			t.Fatal("task B adapters wrong after swap")
+		}
+	}
+}
+
+func TestQuantizedRoundTripClose(t *testing.T) {
+	tech, cfg := trainedTechnique(t, peft.ParallelAdapters)
+	want := logitsOf(tech)
+	full := filepath.Join(t.TempDir(), "full.pack")
+	quant := filepath.Join(t.TempDir(), "quant.pack")
+	if err := Save(full, "f", tech, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveQuantized(quant, "q", tech, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Size: quantized ≈ 1/4 of full (payload dominated).
+	fi, _ := os.Stat(full)
+	qi, _ := os.Stat(quant)
+	if float64(qi.Size()) > 0.45*float64(fi.Size()) {
+		t.Fatalf("quantized %d bytes not ≪ full %d", qi.Size(), fi.Size())
+	}
+	// Quality: logits after loading the quantized snapshot stay close.
+	m2 := model.New(cfg)
+	tech2 := peft.New(peft.ParallelAdapters, m2, peft.Options{Reduction: 4, Seed: 9})
+	ck, err := Load(quant, tech2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Quantized {
+		t.Fatal("quantized flag lost")
+	}
+	got := logitsOf(tech2)
+	for i := range want {
+		d := float64(want[i] - got[i])
+		if d > 0.05 || d < -0.05 {
+			t.Fatalf("logit %d drifted: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuantizedParamErrorBounded(t *testing.T) {
+	tech, cfg := trainedTechnique(t, peft.LoRA)
+	blob := Encode(&Checkpoint{Kind: peft.LoRA, Fingerprint: Fingerprint(cfg),
+		Params: values(tech.Trainable()), Quantized: true})
+	ck, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := values(tech.Trainable())
+	for ti := range orig {
+		maxAbs := float64(0)
+		for _, v := range orig[ti].Data {
+			if a := float64(v); a > maxAbs {
+				maxAbs = a
+			} else if -a > maxAbs {
+				maxAbs = -a
+			}
+		}
+		bound := maxAbs/127 + 1e-7 // half a quantization step, rounded up
+		for j := range orig[ti].Data {
+			d := float64(orig[ti].Data[j] - ck.Params[ti].Data[j])
+			if d < 0 {
+				d = -d
+			}
+			if d > bound {
+				t.Fatalf("tensor %d elem %d: error %v exceeds %v", ti, j, d, bound)
+			}
+		}
+	}
+}

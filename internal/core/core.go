@@ -1,0 +1,351 @@
+// Package core is the PAC framework itself: the orchestration layer
+// implementing the paper's workflow (Figure 4).
+//
+//	Step 0  attach Parallel Adapters to the target LLM
+//	Step 1  profile the runtime (here: the analytic cost model, validated
+//	        against the real engine by tests)
+//	Step 2  plan hybrid parallelism (stage partitioning + device groups)
+//	Step 3  freeze the backbone, mark adapters trainable
+//	Step 4  epoch 1: hybrid data+pipeline fine-tuning, filling the
+//	        activation cache
+//	Step 5  epochs ≥ 2: redistribute adapters + cache, train the adapters
+//	        alone with data parallelism
+//
+// Two entry points exist: Framework runs the workflow for real on
+// goroutine devices (used by tests, examples and small-scale jobs);
+// Simulate runs it in virtual time on a device cost model (used to
+// regenerate the paper's duration/memory tables at Jetson-Nano scale).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pac/internal/acache"
+	"pac/internal/autograd"
+	"pac/internal/data"
+	"pac/internal/model"
+	"pac/internal/nn"
+	"pac/internal/parallel"
+	"pac/internal/peft"
+	"pac/internal/tensor"
+	"pac/internal/train"
+)
+
+// Config configures a real PAC fine-tuning run.
+type Config struct {
+	Model model.Config
+	Opts  peft.Options
+	// Stages × Lanes devices run phase 1; Stages·Lanes devices run the
+	// data-parallel cached epochs.
+	Stages int
+	Lanes  int
+	Micro  int // micro-batches per mini-batch in phase 1
+	LR     float32
+	// Cache receives the tap activations; defaults to an in-memory store.
+	Cache acache.Store
+	// Regression selects MSE loss (STS-B).
+	Regression bool
+	// Adam switches the per-stage/per-replica optimizers from plain SGD
+	// to Adam (recommended for real training; SGD keeps the engines'
+	// gradient-equivalence tests exact).
+	Adam bool
+	// Backbone, when non-nil, seeds every internal model replica with
+	// this model's weights before freezing — the pretrained personal LLM
+	// that PAC adapts. It must have been built from the same Config.Model.
+	Backbone *model.Model
+}
+
+// Framework is a live PAC deployment.
+type Framework struct {
+	cfg         Config
+	hybrid      *parallel.HybridEngine
+	cache       acache.Store
+	newBackbone func() *model.Model
+
+	// reference holds a full replica used for evaluation and as the
+	// source of truth for adapter weights after training.
+	reference *peft.Parallel
+
+	// cacheMu-free: cache stores are concurrency-safe; partial entries
+	// are assembled via a builder keyed by sample id.
+	builder *cacheBuilder
+
+	phase1Done bool
+	epochsRun  int
+	recomputed int64
+	// RedistributedBytes records the payload of the phase-transition
+	// collective (adapter params + cache shards), for reporting.
+	RedistributedBytes int64
+	// CoverageMissing counts dataset samples absent from the cache at
+	// redistribution time (nonzero with capacity-bounded caches).
+	CoverageMissing int
+}
+
+// New builds a PAC framework: instantiates the model per lane, attaches
+// Parallel Adapters (Step 0), freezes the backbone (Step 3), and wires
+// the hybrid engine (Step 2's plan, expressed as Stages × Lanes).
+func New(cfg Config) *Framework {
+	if cfg.Stages < 1 || cfg.Lanes < 1 {
+		panic("core: need at least one stage and one lane")
+	}
+	if cfg.Micro < 1 {
+		cfg.Micro = 2 * cfg.Stages
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.01
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = acache.NewMemoryStore()
+	}
+	f := &Framework{cfg: cfg, cache: cfg.Cache}
+	f.builder = newCacheBuilder(2*cfg.Model.Layers, f.cache)
+
+	newBackbone := func() *model.Model {
+		m := model.New(cfg.Model)
+		if cfg.Backbone != nil {
+			nn.CopyParams(m, cfg.Backbone)
+		}
+		return m
+	}
+	f.newBackbone = newBackbone
+
+	f.hybrid = parallel.NewHybrid(cfg.Lanes, cfg.Stages, cfg.Micro, cfg.LR, func(lane int) *parallel.PipelineEngine {
+		m := newBackbone()
+		tech := peft.NewParallel(m, cfg.Opts)
+		e := parallel.NewPipeline(m, tech, cfg.Stages, nil, cfg.Micro, cfg.LR)
+		if cfg.Adam {
+			e.Opts = nil
+			for s := 0; s < e.Stages(); s++ {
+				e.Opts = append(e.Opts, train.NewAdam(e.StageParams(s), cfg.LR))
+			}
+		}
+		e.OnTap = f.builder.observe // the builder dedups by sample id
+		return e
+	})
+
+	f.reference = peft.NewParallel(newBackbone(), cfg.Opts)
+	return f
+}
+
+// cacheBuilder assembles per-sample cache entries from per-stage,
+// per-micro-batch tap observations.
+type cacheBuilder struct {
+	taps  int
+	store acache.Store
+	mu    chMutex
+	parts map[int]acache.Entry
+}
+
+// chMutex is a channel-based mutex (keeps the struct copy-safe in vet).
+type chMutex chan struct{}
+
+func (m chMutex) lock()   { m <- struct{}{} }
+func (m chMutex) unlock() { <-m }
+
+func newCacheBuilder(taps int, store acache.Store) *cacheBuilder {
+	return &cacheBuilder{taps: taps, store: store, mu: make(chMutex, 1), parts: map[int]acache.Entry{}}
+}
+
+// observe records tap tapIdx for every sample of a micro-batch; when a
+// sample's entry is complete it is committed to the store.
+func (b *cacheBuilder) observe(ids []int, tapIdx int, tap *tensor.Tensor) {
+	b.mu.lock()
+	defer b.mu.unlock()
+	for row, id := range ids {
+		if b.store.Has(id) {
+			continue // later epochs re-run phase-1 paths only if uncached
+		}
+		e := b.parts[id]
+		if e == nil {
+			e = make(acache.Entry, b.taps)
+			b.parts[id] = e
+		}
+		if e[tapIdx] == nil {
+			e[tapIdx] = tensor.SliceRows(tap, row, row+1)
+		}
+		complete := true
+		for _, t := range e {
+			if t == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			if err := b.store.Put(id, e); err == nil {
+				delete(b.parts, id)
+			}
+		}
+	}
+}
+
+// Phase1Epoch runs one hybrid data+pipeline epoch over the loader
+// (paper Step 4), filling the activation cache as a side effect.
+// Returns the mean loss.
+func (f *Framework) Phase1Epoch(loader *data.Loader, epoch int) float64 {
+	loss := f.hybrid.TrainEpoch(loader, epoch)
+	f.phase1Done = true
+	f.epochsRun++
+	return loss
+}
+
+// Redistribute performs the phase transition (paper §5.2): every device
+// receives the full adapter parameters and the complete activation
+// cache. With the in-process store the data is already shared; the
+// method verifies coverage, synchronizes the reference replica, and
+// accounts the bytes a LAN deployment would move.
+func (f *Framework) Redistribute(ds *data.Dataset) error {
+	if !f.phase1Done {
+		return fmt.Errorf("core: redistribute before phase 1")
+	}
+	ids := make([]int, ds.Len())
+	for i, ex := range ds.Examples {
+		ids[i] = ex.ID
+	}
+	if f.cache.Len() == 0 {
+		return fmt.Errorf("core: phase 1 produced an empty cache")
+	}
+	// Capacity-bounded caches may have evicted entries; those samples
+	// fall back to backbone recomputation during cached epochs. Record
+	// the shortfall for observability.
+	f.CoverageMissing = 0
+	for _, id := range ids {
+		if !f.cache.Has(id) {
+			f.CoverageMissing++
+		}
+	}
+	// Adapter parameters: lanes are in sync; adopt lane 0's weights.
+	flat := nn.FlattenParams(f.hybrid.Lanes[0].Tech.Trainable())
+	nn.UnflattenParams(f.reference.Trainable(), flat)
+	f.RedistributedBytes = int64(len(flat))*4 + f.cache.Bytes()
+	return nil
+}
+
+// CachedEpochs runs n data-parallel epochs of adapter-only training from
+// the cache (paper Step 5) across Stages×Lanes workers. Returns the
+// mean loss of the final epoch.
+func (f *Framework) CachedEpochs(loader *data.Loader, startEpoch, n int) (float64, error) {
+	if f.RedistributedBytes == 0 {
+		return 0, fmt.Errorf("core: run Redistribute before cached epochs")
+	}
+	workers := f.cfg.Stages * f.cfg.Lanes
+	flat := nn.FlattenParams(f.reference.Trainable())
+	g := parallel.NewDPGroup(workers, func(rank int) (peft.Technique, train.Optimizer) {
+		m := f.newBackbone()
+		tech := peft.NewParallel(m, f.cfg.Opts)
+		nn.UnflattenParams(tech.Trainable(), flat)
+		if f.cfg.Adam {
+			return tech, train.NewAdam(tech.Trainable(), f.cfg.LR)
+		}
+		return tech, train.NewSGD(tech.Trainable(), f.cfg.LR, 0, 0)
+	})
+	g.Regression = f.cfg.Regression
+	g.Forward = func(rank int, mb *data.Batch, trainMode bool) *autograd.Variable {
+		pa := g.Techs[rank].(*peft.Parallel)
+		return pa.ForwardFromTaps(f.gatherTaps(pa, mb))
+	}
+	var loss float64
+	for e := 0; e < n; e++ {
+		loss = g.TrainEpoch(loader, startEpoch+e)
+		f.epochsRun++
+	}
+	// Adopt the final weights into the reference replica and back into
+	// every hybrid lane, so a subsequent phase-1 pass (new data arriving,
+	// another FineTune call) continues from the trained adapters instead
+	// of discarding the cached-epoch progress.
+	final := nn.FlattenParams(g.Techs[0].Trainable())
+	nn.UnflattenParams(f.reference.Trainable(), final)
+	for _, lane := range f.hybrid.Lanes {
+		nn.UnflattenParams(lane.Tech.Trainable(), final)
+	}
+	return loss, nil
+}
+
+// gatherTaps assembles the batched tap tensors for a micro-batch from
+// per-sample cache entries. A miss (capacity-bounded caches evict) falls
+// back to recomputing the sample's taps through the replica's frozen
+// backbone — identical values, just slower — and repopulates the cache.
+func (f *Framework) gatherTaps(pa *peft.Parallel, mb *data.Batch) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, pa.NumTaps())
+	for i, id := range mb.IDs {
+		entry, ok := f.cache.Get(id)
+		if !ok {
+			one := mb.Slice(i, i+1)
+			res := pa.Forward(one.Enc, one.Dec, one.Lens, false)
+			entry = acache.Entry(res.Taps)
+			_ = f.cache.Put(id, entry)
+			atomic.AddInt64(&f.recomputed, 1)
+		}
+		for ti := range out {
+			if out[ti] == nil {
+				out[ti] = entry[ti].Clone()
+			} else {
+				out[ti] = tensor.Concat(out[ti], entry[ti])
+			}
+		}
+	}
+	return out
+}
+
+// Recomputed returns how many cache misses were served by re-running
+// the backbone during cached epochs (nonzero only with capacity-bounded
+// caches).
+func (f *Framework) Recomputed() int64 { return atomic.LoadInt64(&f.recomputed) }
+
+// FineTune runs the complete PAC workflow: one hybrid epoch with cache
+// fill, redistribution, then cache-only epochs. epochs is the total
+// count (≥1). Returns the final epoch's mean loss.
+func (f *Framework) FineTune(ds *data.Dataset, batch int, epochs int, seed int64) (float64, error) {
+	loader := data.NewLoader(ds, batch, seed)
+	loss := f.Phase1Epoch(loader, 0)
+	if epochs == 1 {
+		// Still sync the reference replica for evaluation.
+		flat := nn.FlattenParams(f.hybrid.Lanes[0].Tech.Trainable())
+		nn.UnflattenParams(f.reference.Trainable(), flat)
+		return loss, nil
+	}
+	if err := f.Redistribute(ds); err != nil {
+		return 0, err
+	}
+	return f.CachedEpochs(loader, 1, epochs-1)
+}
+
+// Evaluate scores the trained adapters on a dataset using the reference
+// replica.
+func (f *Framework) Evaluate(ds *data.Dataset, batch int) train.EvalResult {
+	return train.Evaluate(f.reference, ds, batch)
+}
+
+// Cache exposes the activation store (stats, size).
+func (f *Framework) Cache() acache.Store { return f.cache }
+
+// EpochsRun returns how many epochs have executed.
+func (f *Framework) EpochsRun() int { return f.epochsRun }
+
+// Reference returns the evaluation replica holding the trained adapters.
+func (f *Framework) Reference() *peft.Parallel { return f.reference }
+
+// PretrainBackbone trains a fresh model end-to-end on a corpus and
+// returns it — the stand-in for the pretrained personal LLM that PAC
+// adapts (the paper's Step 0 input). Pass the result as Config.Backbone.
+func PretrainBackbone(cfg model.Config, ds *data.Dataset, epochs int, lr float32, seed int64) *model.Model {
+	m := model.New(cfg)
+	tech := peft.New(peft.Full, m, peft.Options{Seed: seed})
+	tr := &train.Trainer{Tech: tech, Opt: train.NewAdam(tech.Trainable(), lr),
+		Regression: ds.Regression, ClipNorm: 1}
+	loader := data.NewLoader(ds, 16, seed)
+	for ep := 0; ep < epochs; ep++ {
+		tr.TrainEpoch(loader, ep)
+	}
+	return m
+}
+
+// AdoptReferenceWeights pushes the reference replica's adapter weights
+// into every hybrid lane — call after loading a checkpoint into
+// Reference() so subsequent training continues from those weights.
+func (f *Framework) AdoptReferenceWeights() {
+	flat := nn.FlattenParams(f.reference.Trainable())
+	for _, lane := range f.hybrid.Lanes {
+		nn.UnflattenParams(lane.Tech.Trainable(), flat)
+	}
+}

@@ -1,0 +1,280 @@
+// Package costmodel computes analytic per-block costs — FLOPs, parameter
+// bytes, retained-activation bytes, boundary-transfer bytes — for a
+// transformer config under each fine-tuning technique. It is the paper's
+// "profiler" output (Step 1 of the PAC workflow) in closed form: the
+// planner partitions over these block costs, and the simulator turns
+// them into virtual wall-clock time on a device spec.
+//
+// Conventions: all FLOPs and bytes are per sample unless noted. Backward
+// cost is split into a traversal part (input-gradient GEMMs, paid for
+// every block the tape crosses) and a training part (weight-gradient
+// GEMMs, paid only for trainable parameters) — the split behind the
+// paper's Figure 3, where PEFT backward shrinks but does not vanish,
+// and Parallel Adapters' backward skips the backbone entirely.
+package costmodel
+
+import (
+	"pac/internal/model"
+	"pac/internal/peft"
+)
+
+// BlockCost is the cost envelope of one model block.
+type BlockCost struct {
+	Kind model.BlockKind
+	// FwdFLOPs is the forward compute per sample.
+	FwdFLOPs float64
+	// BwdTraverseFLOPs is the input-gradient compute per sample when the
+	// backward pass crosses this block.
+	BwdTraverseFLOPs float64
+	// BwdTrainFLOPs is the weight-gradient compute per sample for the
+	// block's trainable parameters.
+	BwdTrainFLOPs float64
+	// ParamBytes is the resident parameter footprint.
+	ParamBytes int64
+	// TrainBytes is the trainable-parameter footprint (gradients and
+	// optimizer state scale with this).
+	TrainBytes int64
+	// ActBytes is the retained-activation footprint per sample, held
+	// from forward until the block's backward completes.
+	ActBytes int64
+	// OutBytes is the boundary activation payload per sample shipped to
+	// the next pipeline stage.
+	OutBytes int64
+}
+
+// Costs derives per-block costs for a model under a technique.
+type Costs struct {
+	Cfg    model.Config
+	Kind   peft.Kind
+	Opts   peft.Options
+	EncSeq int
+	DecSeq int
+	// Cached marks the activation-cache path (ParallelAdapters only):
+	// backbone blocks disappear from compute and memory.
+	Cached bool
+}
+
+const f32 = 4 // bytes per float32
+
+// Blocks returns the cost of every model block in pipeline order. Under
+// ParallelAdapters, each transformer layer's cost includes its side
+// adapter; with Cached set, only the side network remains.
+func (c Costs) Blocks() []BlockCost {
+	cfg := c.Cfg
+	h := float64(cfg.Hidden)
+	ff := float64(cfg.FFDim)
+	heads := float64(cfg.Heads)
+	n := float64(c.EncSeq)
+	d := float64(c.DecSeq)
+	L := cfg.Layers
+
+	isPA := c.Kind == peft.ParallelAdapters
+	r := float64(cfg.Hidden / c.Opts.EffectiveReduction())
+	if r < 1 {
+		r = 1
+	}
+
+	// Side-adapter per-tap cost (ParallelAdapters): LN + [tokens,h]·[h,r]
+	// + [tokens,r]·[r,r] + GELU.
+	sideFLOPs := func(tokens float64) float64 {
+		return tokens * (2*h*r + 2*r*r + 8*h)
+	}
+	sideAct := func(tokens float64) int64 {
+		return int64(tokens * (h + 3*r) * f32) // normalized input + three r-wide intermediates
+	}
+	sideParams := int64((2*h + h*r + r*r) * f32)
+
+	encTokens := n
+	decTokens := d
+
+	var out []BlockCost
+
+	encEmbed := BlockCost{
+		Kind:       model.KindEncEmbed,
+		FwdFLOPs:   encTokens * h * 2,
+		ParamBytes: int64(cfg.Vocab)*int64(cfg.Hidden)*f32 + int64(cfg.MaxSeq)*int64(cfg.Hidden)*f32,
+		ActBytes:   int64(encTokens * h * f32),
+		OutBytes:   int64(encTokens * h * f32),
+	}
+	encLayer := BlockCost{
+		Kind: model.KindEncLayer,
+		// QKVO projections + attention matmuls + FFN.
+		FwdFLOPs:   8*encTokens*h*h + 4*encTokens*n*h + 4*encTokens*h*ff,
+		ParamBytes: cfg.EncoderLayerParams() * f32,
+		// Retained: LN outs, QKV, attention probs (heads·n² ×2 for
+		// scores+probs), context, FF mid (ff wide), FF out, residuals.
+		ActBytes: int64((encTokens*(9*h+ff) + 2*heads*n*n) * f32),
+		OutBytes: int64(encTokens * h * f32),
+	}
+	decEmbed := BlockCost{
+		Kind:       model.KindDecEmbed,
+		FwdFLOPs:   decTokens * h * 2,
+		ParamBytes: int64(cfg.MaxSeq) * int64(cfg.Hidden) * f32,
+		ActBytes:   int64(decTokens * h * f32),
+		// Decoder-region boundaries carry decoder state plus the encoder
+		// output needed by cross-attention.
+		OutBytes: int64((decTokens + encTokens) * h * f32),
+	}
+	decLayer := BlockCost{
+		Kind: model.KindDecLayer,
+		// Self-attn (d tokens) + cross-attn (queries d, keys/values n) + FFN.
+		FwdFLOPs:   8*decTokens*h*h + 4*decTokens*d*h + 4*decTokens*h*h + 4*decTokens*n*h + 4*decTokens*h*ff,
+		ParamBytes: cfg.DecoderLayerParams() * f32,
+		ActBytes:   int64((decTokens*(13*h+ff) + heads*(d*d+d*n)*2) * f32),
+		OutBytes:   int64((decTokens + encTokens) * h * f32),
+	}
+	head := BlockCost{
+		Kind:       model.KindHead,
+		FwdFLOPs:   2 * h * float64(cfg.NumClasses),
+		ParamBytes: int64(cfg.Hidden+1) * int64(cfg.NumClasses) * f32,
+		ActBytes:   int64(h * f32),
+	}
+
+	// Backward traversal ≈ same GEMM volume as forward (dX); weight
+	// gradients ≈ another forward-equivalent over trainable blocks (dW).
+	setBwd := func(b *BlockCost, trainableFrac float64) {
+		b.BwdTraverseFLOPs = b.FwdFLOPs
+		b.BwdTrainFLOPs = b.FwdFLOPs * trainableFrac
+		b.TrainBytes = int64(float64(b.ParamBytes) * trainableFrac)
+	}
+
+	switch c.Kind {
+	case peft.Full:
+		setBwd(&encEmbed, 1)
+		setBwd(&encLayer, 1)
+		setBwd(&decEmbed, 1)
+		setBwd(&decLayer, 1)
+		setBwd(&head, 1)
+	case peft.Adapters, peft.LoRA:
+		// Frozen backbone: traversal still crosses every block, dW only
+		// for the small injected modules.
+		var addParams int64
+		var addFLOPs float64
+		var addAct int64
+		if c.Kind == peft.Adapters {
+			ra := h / float64(c.Opts.EffectiveReduction())
+			addParams = int64(2 * h * ra * f32)
+			addFLOPs = 4 * h * ra // per token, ×tokens below
+			addAct = int64((2*ra + h) * f32)
+		} else {
+			rank := float64(c.Opts.EffectiveLoRARank())
+			addParams = int64(4 * h * rank * f32) // Q and V bypasses
+			addFLOPs = 8 * h * rank
+			addAct = int64(4 * rank * f32)
+		}
+		mk := func(b *BlockCost, tokens float64, attns float64) {
+			b.BwdTraverseFLOPs = b.FwdFLOPs
+			extra := addParams
+			extraF := addFLOPs * tokens
+			actMul := 1.0
+			if c.Kind == peft.LoRA {
+				extra = int64(float64(addParams) * attns) // per attention
+				extraF = addFLOPs * tokens * attns
+				actMul = attns
+			}
+			b.ParamBytes += extra
+			b.TrainBytes = extra
+			b.FwdFLOPs += extraF
+			b.BwdTrainFLOPs = 2 * extraF
+			b.ActBytes += int64(float64(addAct) * tokens * actMul)
+		}
+		mk(&encLayer, encTokens, 1) // encoder: one attention block
+		mk(&decLayer, decTokens, 2) // decoder: self + cross attention
+		setBwd(&encEmbed, 0)
+		setBwd(&decEmbed, 0)
+		setBwd(&head, 1) // classifier head always trains
+	case peft.ParallelAdapters:
+		// Backbone blocks: forward only, nothing retained for backward
+		// (activations stream to the cache), no trainable bytes.
+		encLayer.ActBytes = encLayer.OutBytes // transient working buffer
+		decLayer.ActBytes = decLayer.OutBytes
+		encEmbed.ActBytes = encEmbed.OutBytes
+		decEmbed.ActBytes = decEmbed.OutBytes
+		// Fold each layer's side adapter into its block.
+		encLayer.FwdFLOPs += sideFLOPs(encTokens)
+		encLayer.BwdTraverseFLOPs = sideFLOPs(encTokens)
+		encLayer.BwdTrainFLOPs = sideFLOPs(encTokens)
+		encLayer.ParamBytes += sideParams
+		encLayer.TrainBytes = sideParams
+		encLayer.ActBytes += sideAct(encTokens)
+		decLayer.FwdFLOPs += sideFLOPs(decTokens)
+		decLayer.BwdTraverseFLOPs = sideFLOPs(decTokens)
+		decLayer.BwdTrainFLOPs = sideFLOPs(decTokens)
+		decLayer.ParamBytes += sideParams
+		decLayer.TrainBytes = sideParams
+		decLayer.ActBytes += sideAct(decTokens)
+		// Side head replaces the backbone head for gradient purposes.
+		head.FwdFLOPs += 2 * r * float64(cfg.NumClasses)
+		head.BwdTraverseFLOPs = 2 * r * float64(cfg.NumClasses)
+		head.BwdTrainFLOPs = head.BwdTraverseFLOPs
+		head.TrainBytes = int64((r + 1) * float64(cfg.NumClasses) * f32)
+	}
+
+	if isPA && c.Cached {
+		// Cache path: the backbone is gone. Only side adapters (one per
+		// layer), fed straight from cached taps, plus the side head.
+		for i := 0; i < L; i++ {
+			out = append(out, BlockCost{
+				Kind:             model.KindEncLayer,
+				FwdFLOPs:         sideFLOPs(encTokens),
+				BwdTraverseFLOPs: sideFLOPs(encTokens),
+				BwdTrainFLOPs:    sideFLOPs(encTokens),
+				ParamBytes:       sideParams,
+				TrainBytes:       sideParams,
+				// Retained: the cached tap for this layer (input) + side
+				// intermediates.
+				ActBytes: int64(encTokens*h*f32) + sideAct(encTokens),
+				OutBytes: int64(encTokens * r * f32), // only side state crosses
+			})
+		}
+		for i := 0; i < L; i++ {
+			out = append(out, BlockCost{
+				Kind:             model.KindDecLayer,
+				FwdFLOPs:         sideFLOPs(decTokens),
+				BwdTraverseFLOPs: sideFLOPs(decTokens),
+				BwdTrainFLOPs:    sideFLOPs(decTokens),
+				ParamBytes:       sideParams,
+				TrainBytes:       sideParams,
+				ActBytes:         int64(decTokens*h*f32) + sideAct(decTokens),
+				OutBytes:         int64(decTokens * r * f32),
+			})
+		}
+		sideHead := BlockCost{
+			Kind:             model.KindHead,
+			FwdFLOPs:         2 * r * float64(cfg.NumClasses),
+			BwdTraverseFLOPs: 2 * r * float64(cfg.NumClasses),
+			BwdTrainFLOPs:    2 * r * float64(cfg.NumClasses),
+			ParamBytes:       int64((r + 1) * float64(cfg.NumClasses) * f32),
+			TrainBytes:       int64((r + 1) * float64(cfg.NumClasses) * f32),
+			ActBytes:         int64(r * f32),
+		}
+		return append(out, sideHead)
+	}
+
+	out = append(out, encEmbed)
+	for i := 0; i < L; i++ {
+		out = append(out, encLayer)
+	}
+	out = append(out, decEmbed)
+	for i := 0; i < L; i++ {
+		out = append(out, decLayer)
+	}
+	return append(out, head)
+}
+
+// Totals sums a block range.
+func Totals(blocks []BlockCost) BlockCost {
+	var t BlockCost
+	for _, b := range blocks {
+		t.FwdFLOPs += b.FwdFLOPs
+		t.BwdTraverseFLOPs += b.BwdTraverseFLOPs
+		t.BwdTrainFLOPs += b.BwdTrainFLOPs
+		t.ParamBytes += b.ParamBytes
+		t.TrainBytes += b.TrainBytes
+		t.ActBytes += b.ActBytes
+	}
+	if n := len(blocks); n > 0 {
+		t.OutBytes = blocks[n-1].OutBytes
+	}
+	return t
+}

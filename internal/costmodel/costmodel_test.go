@@ -1,0 +1,206 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"pac/internal/cluster"
+	"pac/internal/model"
+	"pac/internal/peft"
+)
+
+func t5LargeCosts(kind peft.Kind) Costs {
+	return Costs{Cfg: model.T5Large(), Kind: kind, Opts: peft.Options{}, EncSeq: 128, DecSeq: 2}
+}
+
+func TestBlockCountMatchesModel(t *testing.T) {
+	for _, kind := range peft.AllKinds() {
+		c := t5LargeCosts(kind)
+		blocks := c.Blocks()
+		if len(blocks) != c.Cfg.TotalBlocks() {
+			t.Fatalf("%s: %d blocks want %d", kind, len(blocks), c.Cfg.TotalBlocks())
+		}
+	}
+	// Cached ParallelAdapters drops the backbone: 2L side adapters + head.
+	c := t5LargeCosts(peft.ParallelAdapters)
+	c.Cached = true
+	if got := len(c.Blocks()); got != 2*c.Cfg.Layers+1 {
+		t.Fatalf("cached blocks %d", got)
+	}
+}
+
+func TestWeightsMatchTable1(t *testing.T) {
+	// Paper Table 1: T5-Large weights 2.75 GB for Full fine-tuning.
+	c := t5LargeCosts(peft.Full)
+	mem := StageMemory(c.Blocks(), 16, 1)
+	if math.Abs(GiB(mem.Weights)-2.75) > 0.15 {
+		t.Fatalf("weights %.2f GiB want ≈2.75", GiB(mem.Weights))
+	}
+	if math.Abs(GiB(mem.Gradients)-2.75) > 0.15 {
+		t.Fatalf("gradients %.2f GiB want ≈2.75", GiB(mem.Gradients))
+	}
+}
+
+func TestTable1ActivationShape(t *testing.T) {
+	// Paper Table 1 (T5-Large, bs16, seq128): activations+optimizer are
+	// 5.33 GB (Full), 4.04 (Adapters), 4.31 (LoRA); totals 10.83 / 6.89 /
+	// 7.13. Our analytic model must land in the same regime: within 35%
+	// per cell and with the right ordering.
+	full := StageMemory(t5LargeCosts(peft.Full).Blocks(), 16, 1)
+	ad := StageMemory(t5LargeCosts(peft.Adapters).Blocks(), 16, 1)
+	lora := StageMemory(t5LargeCosts(peft.LoRA).Blocks(), 16, 1)
+
+	within := func(got, want, tol float64, name string) {
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s: %.2f GiB, paper %.2f (tol %.0f%%)", name, got, want, tol*100)
+		}
+	}
+	within(GiB(full.PaperActivations()), 5.33, 0.35, "full act+opt")
+	within(GiB(ad.PaperActivations()), 4.04, 0.35, "adapters act+opt")
+	within(GiB(lora.PaperActivations()), 4.31, 0.35, "lora act+opt")
+	within(GiB(full.Total()), 10.83, 0.35, "full total")
+	within(GiB(ad.Total()), 6.89, 0.35, "adapters total")
+	within(GiB(lora.Total()), 7.13, 0.35, "lora total")
+
+	// Orderings the paper reports.
+	if full.Total() <= ad.Total() || full.Total() <= lora.Total() {
+		t.Fatal("full fine-tuning must dominate PEFT memory")
+	}
+	if ad.Gradients >= full.Gradients/10 {
+		t.Fatal("adapter gradients should be tiny vs full")
+	}
+}
+
+func TestInferenceMemoryMatchesWeights(t *testing.T) {
+	// Paper Table 1: inference = 2.75 GB ≈ weights only.
+	c := t5LargeCosts(peft.Full)
+	mem := InferenceMemory(c.Blocks(), 16)
+	if GiB(mem.Total()) > 3.6 || mem.Weights <= 0 {
+		t.Fatalf("inference total %.2f GiB", GiB(mem.Total()))
+	}
+}
+
+func TestFigure3FLOPsShape(t *testing.T) {
+	// Paper Figure 3: with Adapters/LoRA, forward ≈ 54% of total FLOPs;
+	// full fine-tuning forward ≈ 1/3 of total.
+	fullFwd, fullBwd := FLOPsBreakdown(t5LargeCosts(peft.Full).Blocks())
+	fullFrac := fullFwd / (fullFwd + fullBwd)
+	if math.Abs(fullFrac-1.0/3) > 0.03 {
+		t.Fatalf("full forward fraction %.3f want ≈0.33", fullFrac)
+	}
+	for _, kind := range []peft.Kind{peft.Adapters, peft.LoRA} {
+		fwd, bwd := FLOPsBreakdown(t5LargeCosts(kind).Blocks())
+		frac := fwd / (fwd + bwd)
+		if math.Abs(frac-0.54) > 0.06 {
+			t.Fatalf("%s forward fraction %.3f want ≈0.54", kind, frac)
+		}
+	}
+	// Parallel Adapters: backward is a sliver of the total.
+	fwd, bwd := FLOPsBreakdown(t5LargeCosts(peft.ParallelAdapters).Blocks())
+	if bwd/(fwd+bwd) > 0.1 {
+		t.Fatalf("parallel adapters backward fraction %.3f should be <0.1", bwd/(fwd+bwd))
+	}
+}
+
+func TestCachedPathRemovesBackboneCompute(t *testing.T) {
+	c := t5LargeCosts(peft.ParallelAdapters)
+	fwdFull, _ := FLOPsBreakdown(c.Blocks())
+	c.Cached = true
+	fwdCached, _ := FLOPsBreakdown(c.Blocks())
+	if fwdCached >= fwdFull/10 {
+		t.Fatalf("cached forward %.2e not ≪ uncached %.2e", fwdCached, fwdFull)
+	}
+	// Memory: cached path drops the backbone weights entirely (paper:
+	// "release of the memory space occupied by the LLM parameters").
+	memFull := StageMemory(c.Blocks(), 16, 1)
+	c.Cached = false
+	memUncached := StageMemory(c.Blocks(), 16, 1)
+	if memFull.Weights >= memUncached.Weights/10 {
+		t.Fatal("cached path should shed backbone weights")
+	}
+}
+
+func TestParallelAdaptersMemoryBelowPEFT(t *testing.T) {
+	// Paper Figure 8b: P.A. cuts memory ≈25% vs in-backbone PEFT without
+	// cache, ≈75% with cache.
+	ad := StageMemory(t5LargeCosts(peft.Adapters).Blocks(), 16, 1).Total()
+	pa := StageMemory(t5LargeCosts(peft.ParallelAdapters).Blocks(), 16, 1).Total()
+	cached := t5LargeCosts(peft.ParallelAdapters)
+	cached.Cached = true
+	pac := StageMemory(cached.Blocks(), 16, 1).Total()
+	if pa >= ad {
+		t.Fatalf("P.A. (%.2f GiB) not below Adapters (%.2f GiB)", GiB(pa), GiB(ad))
+	}
+	reduction := 1 - float64(pac)/float64(ad)
+	if reduction < 0.5 {
+		t.Fatalf("cached P.A. reduction %.0f%% vs Adapters, want >50%%", reduction*100)
+	}
+}
+
+func TestStageMemoryScalesWithInflight(t *testing.T) {
+	blocks := t5LargeCosts(peft.Full).Blocks()[:5]
+	m1 := StageMemory(blocks, 2, 1)
+	m4 := StageMemory(blocks, 2, 4)
+	if m4.Activations != 4*m1.Activations {
+		t.Fatal("activations must scale with in-flight micro-batches")
+	}
+	if m4.Weights != m1.Weights {
+		t.Fatal("weights must not scale with in-flight")
+	}
+}
+
+func TestFwdBwdSecPositiveAndProportional(t *testing.T) {
+	dev := cluster.JetsonNano()
+	blocks := t5LargeCosts(peft.Full).Blocks()
+	f1 := FwdSec(blocks, 1, dev)
+	f2 := FwdSec(blocks, 2, dev)
+	if f1 <= 0 || math.Abs(f2-2*f1) > 1e-12 {
+		t.Fatalf("FwdSec scaling: %v vs %v", f1, f2)
+	}
+	b := BwdSec(blocks, 1, dev)
+	if b <= f1 {
+		t.Fatal("full backward should exceed forward")
+	}
+	// Sanity: one sample of T5-Large fwd on a Nano takes O(seconds).
+	if f1 < 0.05 || f1 > 10 {
+		t.Fatalf("T5-Large per-sample fwd %.3fs implausible", f1)
+	}
+}
+
+func TestTapBytesMatchesStorageAnalysis(t *testing.T) {
+	// Paper §5.2: cache storage per sample = s × h × l. For T5-Large
+	// seq 128 (+2 decoder positions), hidden 1024, 24 layers:
+	c := t5LargeCosts(peft.ParallelAdapters)
+	want := int64(24) * (128 + 2) * 1024 * 4
+	if c.TapBytesPerSample() != want {
+		t.Fatalf("TapBytes %d want %d", c.TapBytesPerSample(), want)
+	}
+	// MRPC-sized dataset cache must fit in tens of GB (paper: well under
+	// a modern device's hundreds of GB of flash).
+	totalGB := float64(c.TapBytesPerSample()) * 3668 / 1e9
+	if totalGB > 100 {
+		t.Fatalf("cache for MRPC %.1f GB implausibly large", totalGB)
+	}
+}
+
+func TestTrainableBytesOrdering(t *testing.T) {
+	full := t5LargeCosts(peft.Full).TrainableBytes()
+	for _, kind := range []peft.Kind{peft.Adapters, peft.LoRA, peft.ParallelAdapters} {
+		tb := t5LargeCosts(kind).TrainableBytes()
+		if tb <= 0 || tb > full/20 {
+			t.Fatalf("%s trainable bytes %d out of range (full %d)", kind, tb, full)
+		}
+	}
+}
+
+func TestTotalsBoundary(t *testing.T) {
+	blocks := t5LargeCosts(peft.Full).Blocks()
+	tot := Totals(blocks[:3])
+	if tot.OutBytes != blocks[2].OutBytes {
+		t.Fatal("Totals must take the boundary payload of the last block")
+	}
+	empty := Totals(nil)
+	if empty.FwdFLOPs != 0 || empty.OutBytes != 0 {
+		t.Fatal("empty Totals not zero")
+	}
+}

@@ -1,0 +1,90 @@
+package costmodel
+
+import (
+	"pac/internal/cluster"
+)
+
+// Memory is a per-device memory footprint breakdown (bytes). The paper's
+// Table 1 folds Optimizer into its "Activations" column; PaperActivations
+// reproduces that convention.
+type Memory struct {
+	Weights     int64
+	Gradients   int64
+	Optimizer   int64
+	Activations int64
+}
+
+// Total returns the summed footprint.
+func (m Memory) Total() int64 {
+	return m.Weights + m.Gradients + m.Optimizer + m.Activations
+}
+
+// PaperActivations returns activations + optimizer state, matching the
+// paper's Table 1 "Activations" column ("intermediate results and
+// optimizer states").
+func (m Memory) PaperActivations() int64 { return m.Activations + m.Optimizer }
+
+// GiB converts bytes to GiB.
+func GiB(b int64) float64 { return float64(b) / (1 << 30) }
+
+// StageMemory returns the footprint of hosting blocks on one device:
+// parameters, gradients and optimizer state (momentum, 1× trainable),
+// and retained activations for microBatch samples × inflight concurrent
+// micro-batches (the 1F1B bound).
+func StageMemory(blocks []BlockCost, microBatch, inflight int) Memory {
+	t := Totals(blocks)
+	return Memory{
+		Weights:     t.ParamBytes,
+		Gradients:   t.TrainBytes,
+		Optimizer:   t.TrainBytes,
+		Activations: t.ActBytes * int64(microBatch) * int64(inflight),
+	}
+}
+
+// InferenceMemory returns the footprint of forward-only serving: weights
+// plus a one-layer transient working set.
+func InferenceMemory(blocks []BlockCost, batch int) Memory {
+	t := Totals(blocks)
+	var maxAct int64
+	for _, b := range blocks {
+		if b.ActBytes > maxAct {
+			maxAct = b.ActBytes
+		}
+	}
+	return Memory{Weights: t.ParamBytes, Activations: maxAct * int64(batch) * 2}
+}
+
+// FwdSec returns the forward time for batch samples of the block range
+// on a device.
+func FwdSec(blocks []BlockCost, batch int, dev cluster.DeviceSpec) float64 {
+	t := Totals(blocks)
+	return t.FwdFLOPs * float64(batch) / dev.FLOPSPerSec()
+}
+
+// BwdSec returns the backward time (traversal + weight gradients) for
+// batch samples of the block range on a device.
+func BwdSec(blocks []BlockCost, batch int, dev cluster.DeviceSpec) float64 {
+	t := Totals(blocks)
+	return (t.BwdTraverseFLOPs + t.BwdTrainFLOPs) * float64(batch) / dev.FLOPSPerSec()
+}
+
+// FLOPsBreakdown returns (forward, backward) FLOPs per sample for the
+// whole block list — the quantities behind the paper's Figure 3.
+func FLOPsBreakdown(blocks []BlockCost) (fwd, bwd float64) {
+	t := Totals(blocks)
+	return t.FwdFLOPs, t.BwdTraverseFLOPs + t.BwdTrainFLOPs
+}
+
+// TapBytesPerSample returns the activation-cache payload of one sample:
+// every transformer-layer tap at full hidden width (paper §5.2's storage
+// cost s×h×l; encoder taps are seq-long, decoder taps decSeq-long).
+func (c Costs) TapBytesPerSample() int64 {
+	h := int64(c.Cfg.Hidden)
+	return int64(c.Cfg.Layers) * (int64(c.EncSeq) + int64(c.DecSeq)) * h * f32
+}
+
+// TrainableBytes returns the trainable-parameter payload (the AllReduce
+// and redistribution unit for the technique).
+func (c Costs) TrainableBytes() int64 {
+	return Totals(c.Blocks()).TrainBytes
+}

@@ -1,0 +1,216 @@
+// Package data provides the synthetic workloads standing in for the
+// paper's GLUE tasks (MRPC, STS-B, SST-2, QNLI — offline substitutes
+// with matching cardinalities and task types), plus batching and
+// micro-batching utilities shared by every training engine.
+//
+// Labels are generated from recoverable token patterns so the quality
+// comparison between fine-tuning techniques (paper Table 3) runs on a
+// genuinely learnable problem rather than noise.
+package data
+
+import (
+	"fmt"
+
+	"pac/internal/tensor"
+)
+
+// Task identifies one of the paper's four evaluation tasks.
+type Task int
+
+// The four GLUE tasks from the paper's evaluation.
+const (
+	MRPC Task = iota // paraphrase classification, 3 epochs
+	STSB             // similarity regression, 3 epochs
+	SST2             // sentiment classification, 1 epoch
+	QNLI             // NL inference classification, 1 epoch
+)
+
+func (t Task) String() string {
+	switch t {
+	case MRPC:
+		return "MRPC"
+	case STSB:
+		return "STS-B"
+	case SST2:
+		return "SST-2"
+	case QNLI:
+		return "QNLI"
+	}
+	return "unknown"
+}
+
+// AllTasks lists the tasks in paper order.
+func AllTasks() []Task { return []Task{MRPC, STSB, SST2, QNLI} }
+
+// Spec describes a task's workload shape as used in the paper.
+type Spec struct {
+	Task       Task
+	TrainSize  int // GLUE train-split cardinality
+	Epochs     int // epochs the paper fine-tunes for (Table 2)
+	NumClasses int // 1 = regression
+	Regression bool
+}
+
+// SpecFor returns the paper workload parameters for a task.
+func SpecFor(t Task) Spec {
+	switch t {
+	case MRPC:
+		return Spec{Task: t, TrainSize: 3668, Epochs: 3, NumClasses: 2}
+	case STSB:
+		return Spec{Task: t, TrainSize: 5749, Epochs: 3, NumClasses: 1, Regression: true}
+	case SST2:
+		return Spec{Task: t, TrainSize: 67349, Epochs: 1, NumClasses: 2}
+	case QNLI:
+		return Spec{Task: t, TrainSize: 104743, Epochs: 1, NumClasses: 2}
+	}
+	panic(fmt.Sprintf("data: unknown task %d", t))
+}
+
+// Example is one training sample.
+type Example struct {
+	ID     int
+	Enc    []int   // encoder token ids, padded to the dataset's SeqLen
+	Len    int     // valid (unpadded) length
+	Label  int     // class label (classification tasks)
+	Target float32 // regression target (STS-B)
+}
+
+// Dataset is a fully materialized synthetic dataset.
+type Dataset struct {
+	Task       Task
+	Name       string
+	Examples   []Example
+	NumClasses int
+	Regression bool
+	SeqLen     int
+	Vocab      int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// Split partitions the dataset into train/eval subsets (eval gets
+// evalFrac of the examples, at least 1 if the dataset is non-empty).
+func (d *Dataset) Split(evalFrac float64) (train, eval *Dataset) {
+	n := len(d.Examples)
+	ne := int(float64(n) * evalFrac)
+	if ne < 1 && n > 1 {
+		ne = 1
+	}
+	cut := n - ne
+	train = &Dataset{Task: d.Task, Name: d.Name + "-train", Examples: d.Examples[:cut],
+		NumClasses: d.NumClasses, Regression: d.Regression, SeqLen: d.SeqLen, Vocab: d.Vocab}
+	eval = &Dataset{Task: d.Task, Name: d.Name + "-eval", Examples: d.Examples[cut:],
+		NumClasses: d.NumClasses, Regression: d.Regression, SeqLen: d.SeqLen, Vocab: d.Vocab}
+	return train, eval
+}
+
+// GenConfig controls synthetic dataset generation.
+type GenConfig struct {
+	Task   Task
+	Size   int // number of examples; 0 = the paper's train-split size
+	SeqLen int // sequence length; 0 = 128 (paper's setting)
+	Vocab  int // vocabulary size; must exceed 16
+	Seed   int64
+	MinLen int // minimum valid length; 0 = SeqLen/2
+}
+
+// Generate builds a synthetic dataset whose labels are recoverable from
+// token statistics:
+//
+//   - classification tasks: two disjoint "signal" token groups; the label
+//     is which group appears more often in the valid prefix.
+//   - STS-B: the target is the fraction of group-A signal tokens among
+//     all signal tokens, a continuous value in [0,1].
+func Generate(cfg GenConfig) *Dataset {
+	spec := SpecFor(cfg.Task)
+	if cfg.Size == 0 {
+		cfg.Size = spec.TrainSize
+	}
+	if cfg.SeqLen == 0 {
+		cfg.SeqLen = 128
+	}
+	if cfg.Vocab <= 16 {
+		panic("data: vocab too small for signal groups")
+	}
+	if cfg.MinLen == 0 {
+		cfg.MinLen = cfg.SeqLen / 2
+	}
+	if cfg.MinLen < 2 {
+		cfg.MinLen = 2
+	}
+	rng := tensor.NewRNG(cfg.Seed + int64(cfg.Task)*1000)
+
+	// Signal groups: tokens [1..8] = group A, [9..16] = group B. Token 0
+	// is reserved for BOS/padding; noise tokens start at 17.
+	const groupA, groupB = 1, 9
+	noiseBase := 17
+
+	ds := &Dataset{Task: cfg.Task, Name: cfg.Task.String(), NumClasses: spec.NumClasses,
+		Regression: spec.Regression, SeqLen: cfg.SeqLen, Vocab: cfg.Vocab}
+	for i := 0; i < cfg.Size; i++ {
+		length := cfg.MinLen
+		if cfg.SeqLen > cfg.MinLen {
+			length += rng.Intn(cfg.SeqLen - cfg.MinLen + 1)
+		}
+		enc := make([]int, cfg.SeqLen)
+		countA, countB := 0, 0
+		// Bias each example toward one group so labels are balanced and
+		// separable.
+		bias := rng.Intn(2)
+		for p := 0; p < length; p++ {
+			r := rng.Float32()
+			switch {
+			case r < 0.15: // group decided by bias
+				if bias == 0 {
+					enc[p] = groupA + rng.Intn(8)
+					countA++
+				} else {
+					enc[p] = groupB + rng.Intn(8)
+					countB++
+				}
+			case r < 0.22: // opposite group (noise overlap)
+				if bias == 0 {
+					enc[p] = groupB + rng.Intn(8)
+					countB++
+				} else {
+					enc[p] = groupA + rng.Intn(8)
+					countA++
+				}
+			default:
+				enc[p] = noiseBase + rng.Intn(cfg.Vocab-noiseBase)
+			}
+		}
+		ex := Example{ID: i, Enc: enc, Len: length}
+		total := countA + countB
+		switch {
+		case spec.Regression:
+			if total == 0 {
+				ex.Target = 0.5
+			} else {
+				ex.Target = float32(countA) / float32(total)
+			}
+		default:
+			if countA >= countB {
+				ex.Label = 0
+			} else {
+				ex.Label = 1
+			}
+		}
+		ds.Examples = append(ds.Examples, ex)
+	}
+	return ds
+}
+
+// Shuffle returns a copy of the dataset with examples in a
+// deterministic random order (useful before Split when examples were
+// appended class-by-class).
+func Shuffle(d *Dataset, seed int64) *Dataset {
+	rng := tensor.NewRNG(seed)
+	out := *d
+	out.Examples = make([]Example, len(d.Examples))
+	for i, j := range rng.Perm(len(d.Examples)) {
+		out.Examples[i] = d.Examples[j]
+	}
+	return &out
+}

@@ -1,0 +1,114 @@
+// Package federated composes PAC with cross-home federated averaging.
+// The paper positions itself against FL systems (AdaFL, FwdLLM): those
+// dissolve data silos *between* users, while PAC pools resources
+// *within* one user's LAN. The two are orthogonal — and this package
+// demonstrates the composition the paper implies: every home runs the
+// full PAC workflow (hybrid parallel epoch + activation cache) on its
+// private data, and only the lightweight adapter weights are averaged
+// across homes, FedAvg-style. Raw data and cached activations never
+// leave a home.
+package federated
+
+import (
+	"fmt"
+
+	"pac/internal/core"
+	"pac/internal/data"
+	"pac/internal/nn"
+)
+
+// Home is one federated participant: a PAC framework over that
+// household's device pool plus its private dataset.
+type Home struct {
+	Name  string
+	F     *core.Framework
+	Data  *data.Dataset
+	Batch int
+}
+
+// Coalition federates several homes' adapters.
+type Coalition struct {
+	Homes []*Home
+	// rounds completed.
+	rounds int
+	// BytesExchanged accounts the federated traffic (adapter uploads +
+	// broadcast downloads), for reporting.
+	BytesExchanged int64
+}
+
+// NewCoalition validates that every home trains the same adapter shape.
+func NewCoalition(homes []*Home) (*Coalition, error) {
+	if len(homes) == 0 {
+		return nil, fmt.Errorf("federated: empty coalition")
+	}
+	want := len(nn.FlattenParams(homes[0].F.Reference().Trainable()))
+	for _, h := range homes[1:] {
+		if got := len(nn.FlattenParams(h.F.Reference().Trainable())); got != want {
+			return nil, fmt.Errorf("federated: home %q has %d adapter params, want %d", h.Name, got, want)
+		}
+	}
+	return &Coalition{Homes: homes}, nil
+}
+
+// Round runs one federated round: every home fine-tunes locally with the
+// full PAC workflow (localEpochs total, the first filling/refreshing its
+// activation cache), then the coalition averages adapter weights
+// (weighted by local dataset size) and every home adopts the average.
+// Returns the mean of the homes' final local losses.
+func (c *Coalition) Round(localEpochs int) (float64, error) {
+	var lossSum float64
+	for _, h := range c.Homes {
+		loss, err := h.F.FineTune(h.Data, h.Batch, localEpochs, int64(c.rounds))
+		if err != nil {
+			return 0, fmt.Errorf("federated: home %q: %w", h.Name, err)
+		}
+		lossSum += loss
+	}
+	c.aggregate()
+	c.rounds++
+	return lossSum / float64(len(c.Homes)), nil
+}
+
+// aggregate computes the sample-weighted average of adapter weights and
+// installs it everywhere.
+func (c *Coalition) aggregate() {
+	var total float64
+	for _, h := range c.Homes {
+		total += float64(h.Data.Len())
+	}
+	var avg []float32
+	for _, h := range c.Homes {
+		w := float32(float64(h.Data.Len()) / total)
+		flat := nn.FlattenParams(h.F.Reference().Trainable())
+		c.BytesExchanged += int64(len(flat)) * 4 // upload
+		if avg == nil {
+			avg = make([]float32, len(flat))
+		}
+		for i, v := range flat {
+			avg[i] += w * v
+		}
+	}
+	for _, h := range c.Homes {
+		nn.UnflattenParams(h.F.Reference().Trainable(), avg)
+		h.F.AdoptReferenceWeights()
+		c.BytesExchanged += int64(len(avg)) * 4 // download
+	}
+}
+
+// Rounds returns the number of completed federated rounds.
+func (c *Coalition) Rounds() int { return c.rounds }
+
+// InSync reports whether all homes currently hold identical adapters
+// (true immediately after a round).
+func (c *Coalition) InSync() bool {
+	ref := nn.FlattenParams(c.Homes[0].F.Reference().Trainable())
+	for _, h := range c.Homes[1:] {
+		other := nn.FlattenParams(h.F.Reference().Trainable())
+		for i := range ref {
+			if ref[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

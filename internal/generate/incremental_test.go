@@ -1,0 +1,83 @@
+package generate
+
+import (
+	"testing"
+
+	"pac/internal/model"
+	"pac/internal/peft"
+)
+
+func TestIncrementalMatchesNaiveDecode(t *testing.T) {
+	cfg := lmConfig(24)
+	m := model.New(cfg)
+	tech := peft.New(peft.Full, m, peft.Options{})
+	enc := [][]int{{2, 3, 4, 5, 6, 7}, {8, 9, 10, 11, 12, 13}}
+	lens := []int{6, 5} // include a padded row to exercise the cross mask
+	naive := Decode(tech, enc, lens, Options{MaxLen: 6})
+	inc, err := DecodeIncremental(m, enc, lens, Options{MaxLen: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range naive {
+		if !equalSeq(naive[i], inc[i]) {
+			t.Fatalf("row %d: naive %v incremental %v", i, naive[i], inc[i])
+		}
+	}
+}
+
+func TestIncrementalStepLogitsMatchFullForward(t *testing.T) {
+	cfg := lmConfig(16)
+	m := model.New(cfg)
+	enc := [][]int{{2, 3, 4, 5}}
+	lens := []int{4}
+	d, err := NewIncrementalDecoder(m, enc, lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed BOS, then token 7; compare each step's logits with the full
+	// forward over the same prefix.
+	prefixes := [][]int{{BOS}, {BOS, 7}}
+	feed := []int{BOS, 7}
+	for step, tok := range feed {
+		got := d.Step([]int{tok})
+		want := m.Forward(enc, [][]int{prefixes[step]}, lens, false).Logits.Value
+		vocab := got.Dim(1)
+		// Full forward returns logits for every prefix position; the last
+		// row corresponds to the newest token.
+		base := (len(prefixes[step]) - 1) * vocab
+		for i := 0; i < vocab; i++ {
+			diff := float64(got.Data[i] - want.Data[base+i])
+			if diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("step %d logit %d: incremental %v full %v", step, i, got.Data[i], want.Data[base+i])
+			}
+		}
+	}
+}
+
+func TestIncrementalRejectsUnsupportedModels(t *testing.T) {
+	// Non-LM model.
+	m := model.New(model.Tiny())
+	if _, err := NewIncrementalDecoder(m, [][]int{{2, 3}}, []int{2}); err == nil {
+		t.Fatal("non-LM model accepted")
+	}
+	// In-backbone adapters alter the decoder math the fast path inlines.
+	cfg := lmConfig(16)
+	m2 := model.New(cfg)
+	peft.New(peft.Adapters, m2, peft.Options{Reduction: 4})
+	if _, err := NewIncrementalDecoder(m2, [][]int{{2, 3}}, []int{2}); err == nil {
+		t.Fatal("adapter-augmented decoder accepted")
+	}
+}
+
+func BenchmarkDecodeIncremental(b *testing.B) {
+	cfg := lmConfig(24)
+	m := model.New(cfg)
+	enc := [][]int{{2, 3, 4, 5, 6, 7, 8, 9}}
+	lens := []int{8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeIncremental(m, enc, lens, Options{MaxLen: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

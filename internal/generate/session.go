@@ -1,0 +1,94 @@
+package generate
+
+import (
+	"pac/internal/autograd"
+	"pac/internal/model"
+	"pac/internal/tensor"
+)
+
+// Session caches the encoder's output across autoregressive decode
+// steps — the same insight as PAC's activation cache applied to
+// inference: the encoder input never changes during generation, so its
+// (frozen) activations are computed once and replayed. Naive decoding
+// re-runs the encoder every step, costing O(steps × encoder).
+type Session struct {
+	m       *model.Model
+	encIDs  [][]int
+	lens    []int
+	encOut  *tensor.Tensor
+	decFrom int // first decoder-region block index
+}
+
+// NewSession runs the encoder region once for a batch of inputs.
+func NewSession(m *model.Model, encIDs [][]int, lens []int) *Session {
+	s := &model.State{EncIDs: encIDs, EncLens: lens}
+	decFrom := m.Cfg.Layers + 1 // [EncEmbed, EncLayer×L | DecEmbed, ...]
+	m.ForwardRange(s, 0, decFrom)
+	return &Session{m: m, encIDs: encIDs, lens: lens, encOut: s.Enc.Value, decFrom: decFrom}
+}
+
+// Logits runs only the decoder region for the given decoder prefixes,
+// reusing the cached encoder output. Returns [batch·decSeq, vocab].
+func (sess *Session) Logits(decIDs [][]int) *tensor.Tensor {
+	s := &model.State{
+		EncIDs:  sess.encIDs,
+		DecIDs:  decIDs,
+		EncLens: sess.lens,
+		Enc:     autograd.NewVar(sess.encOut),
+	}
+	sess.m.ForwardRange(s, sess.decFrom, len(sess.m.Blocks))
+	return s.Logits.Value
+}
+
+// DecodeCached generates like Decode but through a Session, running the
+// encoder exactly once per batch. It requires direct model access (the
+// full-model / frozen-backbone path used by the serving layer); the
+// model must be LM-configured.
+func DecodeCached(m *model.Model, enc [][]int, lens []int, opts Options) [][]int {
+	if opts.MaxLen <= 0 {
+		opts.MaxLen = 16
+	}
+	rng := tensor.NewRNG(opts.Seed)
+	sess := NewSession(m, enc, lens)
+	batch := len(enc)
+	dec := make([][]int, batch)
+	done := make([]bool, batch)
+	for i := range dec {
+		dec[i] = []int{BOS}
+	}
+	for step := 0; step < opts.MaxLen; step++ {
+		logits := sess.Logits(dec)
+		decSeq := len(dec[0])
+		vocab := logits.Dim(1)
+		allDone := true
+		for i := 0; i < batch; i++ {
+			if done[i] {
+				dec[i] = append(dec[i], EOS)
+				continue
+			}
+			row := logits.Data[((i+1)*decSeq-1)*vocab : ((i+1)*decSeq)*vocab]
+			next := pick(row, opts.Temperature, rng)
+			dec[i] = append(dec[i], next)
+			if next == EOS {
+				done[i] = true
+			} else {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	out := make([][]int, batch)
+	for i := range dec {
+		seq := dec[i][1:]
+		for j, tok := range seq {
+			if tok == EOS {
+				seq = seq[:j]
+				break
+			}
+		}
+		out[i] = seq
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package generate
+
+import (
+	"testing"
+
+	"pac/internal/model"
+	"pac/internal/peft"
+)
+
+func TestDecodeCachedMatchesNaive(t *testing.T) {
+	cfg := lmConfig(24)
+	m := model.New(cfg)
+	tech := peft.New(peft.Full, m, peft.Options{})
+	enc := [][]int{{2, 3, 4, 5, 6, 7}, {8, 9, 10, 11, 12, 13}}
+	lens := []int{6, 6}
+	naive := Decode(tech, enc, lens, Options{MaxLen: 5})
+	cached := DecodeCached(m, enc, lens, Options{MaxLen: 5})
+	for i := range naive {
+		if !equalSeq(naive[i], cached[i]) {
+			t.Fatalf("row %d: naive %v cached %v", i, naive[i], cached[i])
+		}
+	}
+}
+
+func TestSessionLogitsMatchFullForward(t *testing.T) {
+	cfg := lmConfig(16)
+	m := model.New(cfg)
+	enc := [][]int{{2, 3, 4, 5}}
+	lens := []int{4}
+	dec := [][]int{{BOS, 7, 8}}
+	sess := NewSession(m, enc, lens)
+	got := sess.Logits(dec)
+	want := m.Forward(enc, dec, lens, false).Logits.Value
+	if got.Numel() != want.Numel() {
+		t.Fatalf("shape mismatch: %v vs %v", got.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatal("cached-encoder logits diverge from full forward")
+		}
+	}
+}
+
+func TestSessionReusableAcrossSteps(t *testing.T) {
+	cfg := lmConfig(16)
+	m := model.New(cfg)
+	sess := NewSession(m, [][]int{{2, 3, 4, 5}}, []int{4})
+	// Growing prefixes through one session.
+	l1 := sess.Logits([][]int{{BOS}})
+	l2 := sess.Logits([][]int{{BOS, 5}})
+	if l1.Dim(0) != 1 || l2.Dim(0) != 2 {
+		t.Fatalf("logit rows %d, %d", l1.Dim(0), l2.Dim(0))
+	}
+	// Position 0 logits must be identical regardless of suffix (causal).
+	for i := 0; i < l1.Dim(1); i++ {
+		if l1.Data[i] != l2.Data[i] {
+			t.Fatal("causality violated across session steps")
+		}
+	}
+}
+
+func BenchmarkDecodeNaive(b *testing.B) {
+	cfg := lmConfig(24)
+	m := model.New(cfg)
+	tech := peft.New(peft.Full, m, peft.Options{})
+	enc := [][]int{{2, 3, 4, 5, 6, 7, 8, 9}}
+	lens := []int{8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(tech, enc, lens, Options{MaxLen: 8})
+	}
+}
+
+func BenchmarkDecodeCached(b *testing.B) {
+	cfg := lmConfig(24)
+	m := model.New(cfg)
+	enc := [][]int{{2, 3, 4, 5, 6, 7, 8, 9}}
+	lens := []int{8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecodeCached(m, enc, lens, Options{MaxLen: 8})
+	}
+}

@@ -1,0 +1,100 @@
+// Package model implements the encoder-decoder transformer LLM used as
+// the PAC backbone. The model is decomposed into an ordered list of
+// blocks (embeddings, encoder layers, decoder layers, head) so that the
+// pipeline-parallel engine can map contiguous block ranges onto devices,
+// and every transformer layer exports its output activation as a "tap" —
+// the b_i activations consumed by Parallel Adapters and the activation
+// cache.
+package model
+
+// Config describes a transformer LLM's shape.
+type Config struct {
+	Name       string
+	Vocab      int
+	Layers     int // encoder layers; the decoder has the same count
+	Heads      int
+	Hidden     int
+	FFDim      int
+	MaxSeq     int
+	NumClasses int     // classifier head width; 1 = regression
+	Dropout    float32 // dropout probability during training
+	Seed       int64   // weight-init seed
+	// LM switches the head from sequence classification to language
+	// modeling: logits over NumClasses (= vocabulary) at every decoder
+	// position, enabling autoregressive generation.
+	LM bool
+}
+
+// The three evaluation models from paper Table 4. These configs are used
+// analytically (parameter counts, FLOPs, memory); instantiating them for
+// real training is out of scope for a CPU test run.
+
+// T5Base returns the T5-Base shape: 12 layers, 12 heads, hidden 768,
+// ≈0.25 B parameters.
+func T5Base() Config {
+	return Config{Name: "T5-Base", Vocab: 32128, Layers: 12, Heads: 12, Hidden: 768,
+		FFDim: 3072, MaxSeq: 512, NumClasses: 2, Seed: 1}
+}
+
+// BARTLarge returns the BART-Large shape: 12 layers, 16 heads, hidden
+// 1024, ≈0.41 B parameters.
+func BARTLarge() Config {
+	return Config{Name: "BART-Large", Vocab: 50265, Layers: 12, Heads: 16, Hidden: 1024,
+		FFDim: 4096, MaxSeq: 1024, NumClasses: 2, Seed: 1}
+}
+
+// T5Large returns the T5-Large shape: 24 layers, 16 heads, hidden 1024,
+// ≈0.74 B parameters.
+func T5Large() Config {
+	return Config{Name: "T5-Large", Vocab: 32128, Layers: 24, Heads: 16, Hidden: 1024,
+		FFDim: 4096, MaxSeq: 512, NumClasses: 2, Seed: 1}
+}
+
+// Tiny returns a trainable model small enough for unit tests and for the
+// convergence experiments (paper Table 3's quality comparison).
+func Tiny() Config {
+	return Config{Name: "Tiny", Vocab: 64, Layers: 2, Heads: 2, Hidden: 16,
+		FFDim: 32, MaxSeq: 32, NumClasses: 2, Seed: 1}
+}
+
+// Small returns a slightly larger trainable model for integration tests
+// and example programs.
+func Small() Config {
+	return Config{Name: "Small", Vocab: 256, Layers: 4, Heads: 4, Hidden: 32,
+		FFDim: 64, MaxSeq: 64, NumClasses: 2, Seed: 1}
+}
+
+// PaperConfigs returns the three evaluation models in paper order.
+func PaperConfigs() []Config { return []Config{T5Base(), BARTLarge(), T5Large()} }
+
+// ParamCount returns the analytic parameter count of the full model.
+// With the paper's shapes it reproduces the published sizes (T5-Large:
+// 737 M, matching paper Table 1).
+func (c Config) ParamCount() int64 {
+	h := int64(c.Hidden)
+	ff := int64(c.FFDim)
+	l := int64(c.Layers)
+	embed := int64(c.Vocab)*h + 2*int64(c.MaxSeq)*h // shared token table + enc/dec positions
+	encLayer := 4*h*h + 2*h*ff                      // self-attention + FFN
+	decLayer := 8*h*h + 2*h*ff                      // self + cross attention + FFN
+	norms := l*(2+3)*2*h + 2*2*h                    // per-layer LNs + final LNs
+	head := h*int64(c.NumClasses) + int64(c.NumClasses)
+	return embed + l*encLayer + l*decLayer + norms + head
+}
+
+// EncoderLayerParams returns the parameter count of one encoder layer
+// (attention + FFN + its layer norms).
+func (c Config) EncoderLayerParams() int64 {
+	h, ff := int64(c.Hidden), int64(c.FFDim)
+	return 4*h*h + 2*h*ff + 4*h + ff + h + 2*2*h
+}
+
+// DecoderLayerParams returns the parameter count of one decoder layer.
+func (c Config) DecoderLayerParams() int64 {
+	h, ff := int64(c.Hidden), int64(c.FFDim)
+	return 8*h*h + 2*h*ff + 8*h + ff + h + 3*2*h
+}
+
+// TotalBlocks returns the number of pipeline-partitionable blocks:
+// encoder embed, L encoder layers, decoder embed, L decoder layers, head.
+func (c Config) TotalBlocks() int { return 2*c.Layers + 3 }

@@ -1,0 +1,120 @@
+package parallel
+
+import "fmt"
+
+// RingAllReduce sums data across all ranks in t's group in place, using
+// the bandwidth-optimal ring algorithm: n−1 reduce-scatter steps followed
+// by n−1 all-gather steps, each moving 1/n of the payload. Every rank
+// must call it with an equal-length buffer. The group is the transport's
+// full rank set.
+func RingAllReduce(t Transport, data []float32) {
+	n := t.Size()
+	if n == 1 {
+		return
+	}
+	rank := t.Rank()
+	next := (rank + 1) % n
+	prev := (rank - 1 + n) % n
+
+	// Chunk boundaries (chunk c = [bounds[c], bounds[c+1])).
+	bounds := make([]int, n+1)
+	for c := 0; c <= n; c++ {
+		bounds[c] = c * len(data) / n
+	}
+	chunk := func(c int) []float32 { return data[bounds[c%n]:bounds[c%n+1]] }
+
+	// Reduce-scatter: after step s, rank r holds the partial sum of chunk
+	// (r - s + n) % n.
+	for s := 0; s < n-1; s++ {
+		sendC := (rank - s + n) % n
+		recvC := (rank - s - 1 + n) % n
+		tag := fmt.Sprintf("rs%d", s)
+		t.Send(next, tag, chunk(sendC))
+		incoming := t.Recv(prev, tag)
+		dst := chunk(recvC)
+		if len(incoming) != len(dst) {
+			panic("parallel: allreduce chunk mismatch")
+		}
+		for i := range dst {
+			dst[i] += incoming[i]
+		}
+	}
+	// All-gather: circulate the fully reduced chunks.
+	for s := 0; s < n-1; s++ {
+		sendC := (rank + 1 - s + n) % n
+		recvC := (rank - s + n) % n
+		tag := fmt.Sprintf("ag%d", s)
+		t.Send(next, tag, chunk(sendC))
+		incoming := t.Recv(prev, tag)
+		copy(chunk(recvC), incoming)
+	}
+}
+
+// AllReduceMean performs RingAllReduce then divides by the group size,
+// producing the mean — the gradient-averaging collective.
+func AllReduceMean(t Transport, data []float32) {
+	RingAllReduce(t, data)
+	inv := 1 / float32(t.Size())
+	for i := range data {
+		data[i] *= inv
+	}
+}
+
+// Broadcast copies root's data to every rank (in place on non-roots).
+func Broadcast(t Transport, root int, data []float32) {
+	if t.Size() == 1 {
+		return
+	}
+	if t.Rank() == root {
+		for r := 0; r < t.Size(); r++ {
+			if r != root {
+				t.Send(r, "bcast", data)
+			}
+		}
+		return
+	}
+	incoming := t.Recv(root, "bcast")
+	copy(data, incoming)
+}
+
+// AllGatherBytes collects every rank's blob on every rank, indexed by
+// rank. Used for the PAC cache/parameter redistribution (paper §5.2).
+func AllGatherBytes(t Transport, own []byte) [][]byte {
+	n := t.Size()
+	out := make([][]byte, n)
+	out[t.Rank()] = own
+	if n == 1 {
+		return out
+	}
+	// Ring circulation: n−1 steps, each forwarding the previously
+	// received blob.
+	next := (t.Rank() + 1) % n
+	prev := (t.Rank() - 1 + n) % n
+	forward := own
+	src := t.Rank()
+	for s := 0; s < n-1; s++ {
+		tag := fmt.Sprintf("gather%d", s)
+		t.SendBytes(next, tag, forward)
+		incoming := t.RecvBytes(prev, tag)
+		src = (src - 1 + n) % n
+		out[src] = incoming
+		forward = incoming
+	}
+	return out
+}
+
+// Barrier blocks until every rank reaches it (ring token pass, two
+// rounds).
+func Barrier(t Transport) {
+	n := t.Size()
+	if n == 1 {
+		return
+	}
+	next := (t.Rank() + 1) % n
+	prev := (t.Rank() - 1 + n) % n
+	for round := 0; round < 2; round++ {
+		tag := fmt.Sprintf("barrier%d", round)
+		t.Send(next, tag, []float32{1})
+		t.Recv(prev, tag)
+	}
+}

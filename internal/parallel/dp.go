@@ -1,0 +1,162 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"pac/internal/autograd"
+	"pac/internal/data"
+	"pac/internal/nn"
+	"pac/internal/peft"
+	"pac/internal/tensor"
+	"pac/internal/train"
+)
+
+// DPGroup trains identical technique replicas with synchronous data
+// parallelism: each device runs forward/backward on its batch shard,
+// gradients are summed with a ring AllReduce (weighted so the result
+// equals the single-device gradient of the full batch), and every
+// replica applies the same optimizer step, keeping weights in lockstep
+// without ever shipping them.
+//
+// With PAC this is the engine of cache-enabled epochs (paper §5.2):
+// replicas are Parallel Adapters fed from local cache shards, so a step
+// touches no backbone weights at all.
+type DPGroup struct {
+	Techs      []peft.Technique
+	Opts       []train.Optimizer
+	Endpoints  []Transport
+	Regression bool
+
+	// Forward overrides the per-replica forward pass; nil uses
+	// Techs[r].Forward. Cache-enabled training injects the
+	// ForwardFromTaps path here.
+	Forward func(rank int, b *data.Batch, trainMode bool) *autograd.Variable
+}
+
+// NewDPGroup builds a group over n fresh replicas created by factory
+// (called once per rank; must produce identically initialized
+// replicas) and a chan-based fabric.
+func NewDPGroup(n int, factory func(rank int) (peft.Technique, train.Optimizer)) *DPGroup {
+	g := &DPGroup{Endpoints: NewChanNetwork(n).Endpoints()}
+	for r := 0; r < n; r++ {
+		tech, opt := factory(r)
+		g.Techs = append(g.Techs, tech)
+		g.Opts = append(g.Opts, opt)
+	}
+	return g
+}
+
+// Size returns the replica count.
+func (g *DPGroup) Size() int { return len(g.Techs) }
+
+// Step trains one mini-batch: shards it across replicas, runs them
+// concurrently, synchronizes gradients, and steps every optimizer.
+// Returns the global mean loss.
+func (g *DPGroup) Step(b *data.Batch) float64 {
+	n := g.Size()
+	shards := b.Split(n)
+	// Replicas beyond the shard count (tiny batches) contribute zero
+	// gradients but must still join the collective.
+	losses := make([]float64, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			params := g.Techs[r].Trainable()
+			var flat []float32
+			if r < len(shards) && shards[r].Size() > 0 {
+				shard := shards[r]
+				logits := g.forward(r, shard, true)
+				loss := train.Loss(logits, shard, g.Regression)
+				// Weight the shard gradient by its share of the batch so
+				// the AllReduce sum equals the full-batch mean-loss
+				// gradient.
+				w := float32(shard.Size()) / float32(b.Size())
+				autograd.BackwardWithSeed(loss, tensor.FromSlice([]float32{w}, 1))
+				losses[r] = float64(loss.Value.Data[0]) * float64(w)
+			}
+			flat = nn.FlattenGrads(params)
+			RingAllReduce(g.Endpoints[r], flat)
+			nn.UnflattenGrads(params, flat)
+			g.Opts[r].Step()
+		}(r)
+	}
+	wg.Wait()
+	var total float64
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}
+
+func (g *DPGroup) forward(r int, b *data.Batch, trainMode bool) *autograd.Variable {
+	if g.Forward != nil {
+		return g.Forward(r, b, trainMode)
+	}
+	return g.Techs[r].Forward(b.Enc, b.Dec, b.Lens, trainMode).Logits
+}
+
+// TrainEpoch runs every batch of the loader's epoch and returns the mean
+// loss.
+func (g *DPGroup) TrainEpoch(loader *data.Loader, epoch int) float64 {
+	batches := loader.Epoch(epoch)
+	var total float64
+	for _, b := range batches {
+		total += g.Step(b)
+	}
+	if len(batches) == 0 {
+		return 0
+	}
+	return total / float64(len(batches))
+}
+
+// InSync reports whether all replicas hold bitwise-identical trainable
+// parameters — the data-parallel invariant.
+func (g *DPGroup) InSync() bool {
+	ref := nn.FlattenParams(g.Techs[0].Trainable())
+	for r := 1; r < g.Size(); r++ {
+		other := nn.FlattenParams(g.Techs[r].Trainable())
+		if len(other) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if ref[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Shrink removes the replica at rank — a device leaving the pool (edge
+// devices drop off LANs routinely). The collective fabric is rebuilt
+// over the survivors; their weights are already in sync, so training
+// continues without any state transfer.
+func (g *DPGroup) Shrink(rank int) error {
+	if g.Size() <= 1 {
+		return fmt.Errorf("parallel: cannot shrink a single-replica group")
+	}
+	if rank < 0 || rank >= g.Size() {
+		return fmt.Errorf("parallel: shrink rank %d out of range", rank)
+	}
+	g.Techs = append(g.Techs[:rank], g.Techs[rank+1:]...)
+	g.Opts = append(g.Opts[:rank], g.Opts[rank+1:]...)
+	g.Endpoints = NewChanNetwork(g.Size()).Endpoints()
+	return nil
+}
+
+// Grow adds a replica — a device joining the pool. factory builds the
+// replica (model + technique + optimizer); its trainable parameters are
+// overwritten with the group's current weights before it participates,
+// so the data-parallel invariant holds immediately. The new member's
+// optimizer state starts fresh (momentum/Adam moments cannot be
+// recovered for a newcomer).
+func (g *DPGroup) Grow(factory func() (peft.Technique, train.Optimizer)) {
+	tech, opt := factory()
+	nn.UnflattenParams(tech.Trainable(), nn.FlattenParams(g.Techs[0].Trainable()))
+	g.Techs = append(g.Techs, tech)
+	g.Opts = append(g.Opts, opt)
+	g.Endpoints = NewChanNetwork(g.Size()).Endpoints()
+}

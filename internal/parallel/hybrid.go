@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"sync"
+
+	"pac/internal/autograd"
+	"pac/internal/data"
+	"pac/internal/nn"
+)
+
+// HybridEngine is PAC's hybrid data+pipeline parallelism (paper §5.1,
+// Figure 6): the device pool forms `lanes` identical pipelines (the
+// intra-stage data-parallel replicas), a mini-batch is sharded across
+// lanes, each lane runs the 1F1B schedule on its shard, and the
+// trainable gradients of each stage are AllReduced across lanes before
+// the per-stage optimizer step — exactly the "AR" boxes in the paper's
+// Figure 6(b). Because the backbone is frozen under Parallel Adapters,
+// that AllReduce only ships the lightweight side modules.
+type HybridEngine struct {
+	Lanes []*PipelineEngine
+	// crossNets[stage] is the lane-to-lane fabric synchronizing that
+	// stage's gradients.
+	crossNets []*ChanNetwork
+}
+
+// NewHybrid assembles a hybrid engine. factory must build identically
+// initialized (model, technique) replicas per lane; per-stage SGD
+// optimizers with the given lr are attached. stages × lanes is the
+// device count the engine emulates.
+func NewHybrid(lanes, stages, micro int, lr float32, factory func(lane int) *PipelineEngine) *HybridEngine {
+	h := &HybridEngine{}
+	for s := 0; s < stages; s++ {
+		h.crossNets = append(h.crossNets, NewChanNetwork(lanes))
+	}
+	for l := 0; l < lanes; l++ {
+		e := factory(l)
+		lane := l
+		e.SyncGrads = func(stage int, params []*autograd.Variable) {
+			flat := nn.FlattenGrads(params)
+			RingAllReduce(h.crossNets[stage].Endpoint(lane), flat)
+			nn.UnflattenGrads(params, flat)
+		}
+		h.Lanes = append(h.Lanes, e)
+	}
+	return h
+}
+
+// Step trains one global mini-batch and returns its mean loss.
+func (h *HybridEngine) Step(b *data.Batch) float64 {
+	shards := b.Split(len(h.Lanes))
+	losses := make([]float64, len(h.Lanes))
+	var wg sync.WaitGroup
+	for l := range h.Lanes {
+		if l >= len(shards) || shards[l].Size() == 0 {
+			panic("parallel: hybrid step needs at least one sample per lane")
+		}
+		h.Lanes[l].LossDenom = b.Size()
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			losses[l] = h.Lanes[l].Step(shards[l])
+		}(l)
+	}
+	wg.Wait()
+	var total float64
+	for _, v := range losses {
+		total += v
+	}
+	return total
+}
+
+// TrainEpoch runs every batch of a loader epoch; returns mean loss.
+func (h *HybridEngine) TrainEpoch(loader *data.Loader, epoch int) float64 {
+	batches := loader.Epoch(epoch)
+	var total float64
+	for _, b := range batches {
+		total += h.Step(b)
+	}
+	if len(batches) == 0 {
+		return 0
+	}
+	return total / float64(len(batches))
+}
+
+// InSync reports whether all lanes hold identical trainable parameters.
+func (h *HybridEngine) InSync() bool {
+	ref := nn.FlattenParams(h.Lanes[0].AllStageParams())
+	for _, lane := range h.Lanes[1:] {
+		other := nn.FlattenParams(lane.AllStageParams())
+		if len(other) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if ref[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,392 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"pac/internal/autograd"
+	"pac/internal/data"
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/tensor"
+	"pac/internal/train"
+)
+
+// bundle is the activation (or gradient) payload crossing a stage
+// boundary: encoder state, decoder state (once the decoder region has
+// started), and the Parallel Adapters side state. Absent tensors are
+// nil.
+type bundle struct {
+	Enc, Dec, Side *tensor.Tensor
+}
+
+func encodeBundle(b bundle) []byte {
+	var out []byte
+	appendTensor := func(t *tensor.Tensor) {
+		if t == nil {
+			out = append(out, 0)
+			return
+		}
+		shape := t.Shape()
+		out = append(out, byte(len(shape)))
+		for _, d := range shape {
+			out = append(out, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+		}
+		out = append(out, encodeF32(t.Data)...)
+	}
+	appendTensor(b.Enc)
+	appendTensor(b.Dec)
+	appendTensor(b.Side)
+	return out
+}
+
+func decodeBundle(data []byte) bundle {
+	var b bundle
+	pos := 0
+	readTensor := func() *tensor.Tensor {
+		nd := int(data[pos])
+		pos++
+		if nd == 0 {
+			return nil
+		}
+		shape := make([]int, nd)
+		numel := 1
+		for i := range shape {
+			shape[i] = int(uint32(data[pos]) | uint32(data[pos+1])<<8 | uint32(data[pos+2])<<16 | uint32(data[pos+3])<<24)
+			pos += 4
+			numel *= shape[i]
+		}
+		vals := decodeF32(data[pos : pos+numel*4])
+		pos += numel * 4
+		return tensor.FromSlice(vals, shape...)
+	}
+	b.Enc = readTensor()
+	b.Dec = readTensor()
+	b.Side = readTensor()
+	return b
+}
+
+// PipelineEngine executes 1F1B pipeline-parallel fine-tuning over one
+// model partitioned into stages (paper §5.1 / Eco-FL baseline). Each
+// stage runs in its own goroutine and exchanges boundary bundles over a
+// Transport.
+//
+// With an in-backbone technique (Full/Adapters/LoRA), boundary
+// activations carry gradients back through every stage. With Parallel
+// Adapters only the r-wide side state carries gradients — the
+// paper's gradient highway — and backbone boundary traffic is
+// forward-only.
+type PipelineEngine struct {
+	Model      *model.Model
+	Tech       peft.Technique
+	Boundaries []int // stage block ranges: stage s = [Boundaries[s], Boundaries[s+1])
+	Endpoints  []Transport
+	Opts       []train.Optimizer // per-stage optimizers over stage-local params
+	Regression bool
+	Micro      int // micro-batches per mini-batch
+
+	// LossDenom overrides the loss-weight denominator (the hybrid engine
+	// sets it to the global batch size so lane gradients sum correctly);
+	// 0 uses the local mini-batch size.
+	LossDenom int
+	// SyncGrads, when non-nil, is invoked per stage after a mini-batch's
+	// gradients are complete and before the optimizer step (hybrid
+	// cross-lane AllReduce hook).
+	SyncGrads func(stage int, params []*autograd.Variable)
+	// OnTap, when non-nil, observes every tap activation computed during
+	// forward (PAC phase-1 cache collection). ids are the sample ids of
+	// the micro-batch.
+	OnTap func(ids []int, tapIdx int, tap *tensor.Tensor)
+}
+
+// Stages returns the stage count.
+func (e *PipelineEngine) Stages() int { return len(e.Boundaries) - 1 }
+
+// parallelTech returns the technique as *peft.Parallel when applicable.
+func (e *PipelineEngine) parallelTech() *peft.Parallel {
+	p, _ := e.Tech.(*peft.Parallel)
+	return p
+}
+
+// StageParams returns the trainable parameters owned by stage s: the
+// requires-grad parameters of its blocks plus, under Parallel Adapters,
+// the side modules of its taps (and the side head on the last stage).
+func (e *PipelineEngine) StageParams(s int) []*autograd.Variable {
+	var out []*autograd.Variable
+	for _, p := range e.Model.BlockParams(e.Boundaries[s], e.Boundaries[s+1]) {
+		if p.RequiresGrad() {
+			out = append(out, p)
+		}
+	}
+	if pa := e.parallelTech(); pa != nil {
+		lo, hi := e.stageTapRange(s)
+		out = append(out, pa.SideParams(lo, hi)...)
+		if s == e.Stages()-1 {
+			out = append(out, pa.HeadParams()...)
+		}
+	}
+	return out
+}
+
+// stageTapRange returns the [lo, hi) tap indices produced by stage s.
+func (e *PipelineEngine) stageTapRange(s int) (int, int) {
+	lo, hi := -1, -1
+	for bi := e.Boundaries[s]; bi < e.Boundaries[s+1]; bi++ {
+		ti := e.Model.TapIndex(bi)
+		if ti < 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = ti
+		}
+		hi = ti + 1
+	}
+	if lo < 0 {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// microCtx is the retained forward context of one micro-batch on one
+// stage, consumed by its backward.
+type microCtx struct {
+	encIn, decIn, sideIn    *autograd.Variable
+	encOut, decOut, sideOut *autograd.Variable
+	logits                  *autograd.Variable
+	mb                      *data.Batch
+}
+
+// Step trains one mini-batch with the 1F1B schedule and returns the
+// global mean loss.
+func (e *PipelineEngine) Step(b *data.Batch) float64 {
+	S := e.Stages()
+	micros := b.Split(e.Micro)
+	M := len(micros)
+	denom := b.Size()
+	if e.LossDenom > 0 {
+		denom = e.LossDenom
+	}
+	var lossTotal float64
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ctxs := make([]*microCtx, M)
+			warmup := S - 1 - s
+			if warmup > M {
+				warmup = M
+			}
+			fwd, bwd := 0, 0
+			runFwd := func() {
+				ctxs[fwd] = e.stageForward(s, fwd, micros[fwd])
+				fwd++
+			}
+			runBwd := func() {
+				l := e.stageBackward(s, bwd, ctxs[bwd], denom)
+				ctxs[bwd] = nil
+				if s == S-1 {
+					lossTotal += l
+				}
+				bwd++
+			}
+			for i := 0; i < warmup; i++ {
+				runFwd()
+			}
+			for fwd < M {
+				runFwd()
+				runBwd()
+			}
+			for bwd < M {
+				runBwd()
+			}
+			params := e.StageParams(s)
+			if e.SyncGrads != nil {
+				e.SyncGrads(s, params)
+			}
+			e.Opts[s].Step()
+		}(s)
+	}
+	wg.Wait()
+	return lossTotal
+}
+
+// stageForward runs stage s's blocks for micro-batch m.
+func (e *PipelineEngine) stageForward(s, m int, mb *data.Batch) *microCtx {
+	S := e.Stages()
+	pa := e.parallelTech()
+	needBackboneGrads := e.Tech.BackboneBackward()
+
+	ctx := &microCtx{mb: mb}
+	st := &model.State{EncIDs: mb.Enc, DecIDs: mb.Dec, EncLens: mb.Lens}
+
+	var sideState *autograd.Variable
+	if s > 0 {
+		in := decodeBundle(e.Endpoints[s].RecvBytes(s-1, fmt.Sprintf("f%d", m)))
+		if in.Enc != nil {
+			ctx.encIn = autograd.NewVar(in.Enc)
+			ctx.encIn.SetRequiresGrad(needBackboneGrads)
+			st.Enc = ctx.encIn
+		}
+		if in.Dec != nil {
+			ctx.decIn = autograd.NewVar(in.Dec)
+			ctx.decIn.SetRequiresGrad(needBackboneGrads)
+			st.Dec = ctx.decIn
+		}
+		if in.Side != nil {
+			ctx.sideIn = autograd.NewParam(in.Side) // side state always carries grads
+			sideState = ctx.sideIn
+		}
+	} else if pa != nil {
+		sideState = pa.SideInit(len(mb.Enc), len(mb.Enc[0]))
+	}
+
+	e.Model.ForwardRange(st, e.Boundaries[s], e.Boundaries[s+1])
+
+	// Parallel Adapters: consume this stage's taps through the side chain.
+	if pa != nil {
+		tapPos := 0
+		for bi := e.Boundaries[s]; bi < e.Boundaries[s+1]; bi++ {
+			ti := e.Model.TapIndex(bi)
+			if ti < 0 {
+				continue
+			}
+			tap := st.Taps[tapPos].Value
+			tapPos++
+			if e.OnTap != nil {
+				e.OnTap(mb.IDs, ti, tap)
+			}
+			// Crossing from encoder taps to decoder taps: re-seed the side
+			// state from the pooled encoder-side state.
+			if sideState.Value.Dim(1) != tap.Dim(1) {
+				sideState = pa.CrossOver(sideState, tap.Dim(1))
+			}
+			sideState = pa.SideStep(ti, tap, sideState)
+		}
+		ctx.sideOut = sideState
+	}
+
+	last := s == S-1
+	if last {
+		if pa != nil {
+			ctx.logits = pa.Head(sideState)
+		} else {
+			ctx.logits = st.Logits
+		}
+		return ctx
+	}
+
+	out := bundle{}
+	if st.Enc != nil {
+		ctx.encOut = st.Enc
+		out.Enc = st.Enc.Value
+	}
+	if st.Dec != nil {
+		ctx.decOut = st.Dec
+		out.Dec = st.Dec.Value
+	}
+	if pa != nil && sideState != nil {
+		out.Side = sideState.Value
+	}
+	e.Endpoints[s].SendBytes(s+1, fmt.Sprintf("f%d", m), encodeBundle(out))
+	return ctx
+}
+
+// stageBackward runs stage s's backward for micro-batch m and returns
+// the micro-batch's weighted loss (last stage only).
+func (e *PipelineEngine) stageBackward(s, m int, ctx *microCtx, denom int) float64 {
+	S := e.Stages()
+	pa := e.parallelTech()
+	needBackboneGrads := e.Tech.BackboneBackward()
+	var lossVal float64
+
+	if s == S-1 {
+		loss := train.Loss(ctx.logits, ctx.mb, e.Regression)
+		w := float32(ctx.mb.Size()) / float32(denom)
+		autograd.BackwardWithSeed(loss, tensor.FromSlice([]float32{w}, 1))
+		lossVal = float64(loss.Value.Data[0]) * float64(w)
+	} else {
+		in := decodeBundle(e.Endpoints[s].RecvBytes(s+1, fmt.Sprintf("b%d", m)))
+		var outs []*autograd.Variable
+		var seeds []*tensor.Tensor
+		if in.Enc != nil && ctx.encOut != nil {
+			outs = append(outs, ctx.encOut)
+			seeds = append(seeds, in.Enc)
+		}
+		if in.Dec != nil && ctx.decOut != nil {
+			outs = append(outs, ctx.decOut)
+			seeds = append(seeds, in.Dec)
+		}
+		if in.Side != nil && ctx.sideOut != nil {
+			outs = append(outs, ctx.sideOut)
+			seeds = append(seeds, in.Side)
+		}
+		autograd.BackwardMulti(outs, seeds)
+	}
+
+	if s > 0 {
+		out := bundle{}
+		if needBackboneGrads {
+			if ctx.encIn != nil {
+				out.Enc = gradOrZero(ctx.encIn)
+			}
+			if ctx.decIn != nil {
+				out.Dec = gradOrZero(ctx.decIn)
+			}
+		}
+		if pa != nil && ctx.sideIn != nil {
+			out.Side = gradOrZero(ctx.sideIn)
+		}
+		e.Endpoints[s].SendBytes(s-1, fmt.Sprintf("b%d", m), encodeBundle(out))
+	}
+	return lossVal
+}
+
+func gradOrZero(v *autograd.Variable) *tensor.Tensor {
+	if v.Grad != nil {
+		return v.Grad
+	}
+	return tensor.New(v.Value.Shape()...)
+}
+
+// NewPipeline builds a pipeline engine with per-stage SGD optimizers
+// (lr) over a chan fabric, partitioning blocks evenly when boundaries is
+// nil.
+func NewPipeline(m *model.Model, tech peft.Technique, stages int, boundaries []int, micro int, lr float32) *PipelineEngine {
+	if boundaries == nil {
+		boundaries = EvenBoundaries(len(m.Blocks), stages)
+	}
+	e := &PipelineEngine{
+		Model:      m,
+		Tech:       tech,
+		Boundaries: boundaries,
+		Endpoints:  NewChanNetwork(len(boundaries) - 1).Endpoints(),
+		Micro:      micro,
+	}
+	for s := 0; s < e.Stages(); s++ {
+		e.Opts = append(e.Opts, train.NewSGD(e.StageParams(s), lr, 0, 0))
+	}
+	return e
+}
+
+// EvenBoundaries splits n blocks into k near-equal contiguous ranges.
+func EvenBoundaries(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	out := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		out[i] = i * n / k
+	}
+	return out
+}
+
+// AllStageParams concatenates every stage's trainable parameters in
+// stage order — the full trainable set as the engine sees it.
+func (e *PipelineEngine) AllStageParams() []*autograd.Variable {
+	var out []*autograd.Variable
+	for s := 0; s < e.Stages(); s++ {
+		out = append(out, e.StageParams(s)...)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+// Package parallel implements the executable distributed-training
+// engines PAC and its baselines run on: a message transport (in-process
+// channels for tests, TCP for realistic deployments), ring collectives,
+// data-parallel training (EDDL), 1F1B pipeline-parallel training
+// (Eco-FL), and PAC's hybrid of both. Engines operate on real models
+// from the model/peft packages and are validated for gradient
+// equivalence against the single-device trainer.
+package parallel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// Transport moves tagged byte payloads between ranks. Sends are
+// non-blocking (buffered); Recv blocks until the next message from the
+// given peer arrives and verifies its tag. Per-pair ordering is FIFO —
+// the engines' communication patterns are deterministic, so tag
+// verification suffices to catch protocol bugs.
+type Transport interface {
+	Rank() int
+	Size() int
+	Send(to int, tag string, payload []float32)
+	Recv(from int, tag string) []float32
+	SendBytes(to int, tag string, payload []byte)
+	RecvBytes(from int, tag string) []byte
+}
+
+type message struct {
+	tag  string
+	data []byte
+}
+
+// ChanNetwork is an in-process transport fabric: rank×rank buffered
+// channels.
+type ChanNetwork struct {
+	n     int
+	pipes [][]chan message // pipes[from][to]
+}
+
+// NewChanNetwork builds a fabric for n ranks.
+func NewChanNetwork(n int) *ChanNetwork {
+	cn := &ChanNetwork{n: n, pipes: make([][]chan message, n)}
+	for i := range cn.pipes {
+		cn.pipes[i] = make([]chan message, n)
+		for j := range cn.pipes[i] {
+			cn.pipes[i][j] = make(chan message, 1024)
+		}
+	}
+	return cn
+}
+
+// Endpoint returns rank r's transport handle.
+func (cn *ChanNetwork) Endpoint(r int) Transport { return &chanEndpoint{net: cn, rank: r} }
+
+// Endpoints returns all handles in rank order.
+func (cn *ChanNetwork) Endpoints() []Transport {
+	out := make([]Transport, cn.n)
+	for i := range out {
+		out[i] = cn.Endpoint(i)
+	}
+	return out
+}
+
+type chanEndpoint struct {
+	net  *ChanNetwork
+	rank int
+}
+
+func (e *chanEndpoint) Rank() int { return e.rank }
+func (e *chanEndpoint) Size() int { return e.net.n }
+
+func (e *chanEndpoint) SendBytes(to int, tag string, payload []byte) {
+	e.net.pipes[e.rank][to] <- message{tag: tag, data: payload}
+}
+
+func (e *chanEndpoint) RecvBytes(from int, tag string) []byte {
+	m := <-e.net.pipes[from][e.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("parallel: rank %d expected tag %q from %d, got %q", e.rank, tag, from, m.tag))
+	}
+	return m.data
+}
+
+func (e *chanEndpoint) Send(to int, tag string, payload []float32) {
+	e.SendBytes(to, tag, encodeF32(payload))
+}
+
+func (e *chanEndpoint) Recv(from int, tag string) []float32 {
+	return decodeF32(e.RecvBytes(from, tag))
+}
+
+func encodeF32(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(f))
+	}
+	return out
+}
+
+func decodeF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// TCPNetwork is a transport fabric over real sockets (loopback or LAN):
+// a full mesh of TCP connections, one per ordered rank pair, carrying
+// length-prefixed tagged frames. It exists to demonstrate the engines
+// run over genuine networking, not shared memory.
+type TCPNetwork struct {
+	n     int
+	conns [][]net.Conn // conns[from][to], nil on diagonal
+	mu    []sync.Mutex // per-receiver read lock (unused: reads are single-threaded per pair)
+}
+
+// NewTCPNetwork wires a loopback mesh for n ranks.
+func NewTCPNetwork(n int) (*TCPNetwork, error) {
+	tn := &TCPNetwork{n: n, conns: make([][]net.Conn, n), mu: make([]sync.Mutex, n)}
+	for i := range tn.conns {
+		tn.conns[i] = make([]net.Conn, n)
+	}
+	// For each ordered pair (i < j) create one connection used for both
+	// directions.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("parallel: listen: %w", err)
+			}
+			type res struct {
+				c   net.Conn
+				err error
+			}
+			ch := make(chan res, 1)
+			go func() {
+				c, err := l.Accept()
+				ch <- res{c, err}
+			}()
+			dial, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				l.Close()
+				return nil, fmt.Errorf("parallel: dial: %w", err)
+			}
+			acc := <-ch
+			l.Close()
+			if acc.err != nil {
+				return nil, fmt.Errorf("parallel: accept: %w", acc.err)
+			}
+			tn.conns[i][j] = dial
+			tn.conns[j][i] = acc.c
+		}
+	}
+	return tn, nil
+}
+
+// Close tears down every connection.
+func (tn *TCPNetwork) Close() {
+	for i := range tn.conns {
+		for j := range tn.conns[i] {
+			if tn.conns[i][j] != nil {
+				tn.conns[i][j].Close()
+			}
+		}
+	}
+}
+
+// Endpoint returns rank r's transport handle.
+func (tn *TCPNetwork) Endpoint(r int) Transport { return &tcpEndpoint{net: tn, rank: r} }
+
+// Endpoints returns all handles in rank order.
+func (tn *TCPNetwork) Endpoints() []Transport {
+	out := make([]Transport, tn.n)
+	for i := range out {
+		out[i] = tn.Endpoint(i)
+	}
+	return out
+}
+
+type tcpEndpoint struct {
+	net  *TCPNetwork
+	rank int
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) Size() int { return e.net.n }
+
+// Frame format: u32 tag length, tag bytes, u32 payload length, payload.
+func (e *tcpEndpoint) SendBytes(to int, tag string, payload []byte) {
+	conn := e.net.conns[e.rank][to]
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(tag)))
+	buf := append(hdr[:], tag...)
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	if _, err := conn.Write(buf); err != nil {
+		panic(fmt.Sprintf("parallel: tcp send %d→%d: %v", e.rank, to, err))
+	}
+}
+
+func (e *tcpEndpoint) RecvBytes(from int, tag string) []byte {
+	// conns[rank][peer] is this rank's end of the pair's connection; the
+	// peer writes into its own end conns[peer][rank].
+	conn := e.net.conns[e.rank][from]
+	readU32 := func() uint32 {
+		var b [4]byte
+		if _, err := io.ReadFull(conn, b[:]); err != nil {
+			panic(fmt.Sprintf("parallel: tcp recv %d←%d: %v", e.rank, from, err))
+		}
+		return binary.LittleEndian.Uint32(b[:])
+	}
+	tagLen := readU32()
+	tagBuf := make([]byte, tagLen)
+	if _, err := io.ReadFull(conn, tagBuf); err != nil {
+		panic(fmt.Sprintf("parallel: tcp recv tag: %v", err))
+	}
+	if string(tagBuf) != tag {
+		panic(fmt.Sprintf("parallel: rank %d expected tag %q from %d, got %q", e.rank, tag, from, tagBuf))
+	}
+	payloadLen := readU32()
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		panic(fmt.Sprintf("parallel: tcp recv payload: %v", err))
+	}
+	return payload
+}
+
+func (e *tcpEndpoint) Send(to int, tag string, payload []float32) {
+	e.SendBytes(to, tag, encodeF32(payload))
+}
+
+func (e *tcpEndpoint) Recv(from int, tag string) []float32 {
+	return decodeF32(e.RecvBytes(from, tag))
+}

@@ -1,0 +1,521 @@
+// Package planner implements PAC's hybrid-parallelism planning algorithm
+// (paper §5.1, Eq. 2–6): a dynamic program that partitions the model's
+// blocks into balanced pipeline stages and assigns each stage a device
+// group for intra-stage data parallelism, under per-device memory
+// constraints (an infeasible assignment costs +∞). The plan minimizing
+// the simulated mini-batch latency across all stage counts wins.
+//
+// The same machinery expresses the two baselines: EDDL (pure data
+// parallelism — one stage, every device) and Eco-FL (pure pipeline
+// parallelism — one device per stage).
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"pac/internal/cluster"
+	"pac/internal/costmodel"
+	"pac/internal/sim"
+)
+
+// Stage is one pipeline stage: a contiguous block range replicated over
+// a device group.
+type Stage struct {
+	StartBlock, EndBlock int   // block range [start, end)
+	Devices              []int // indices into the cluster's device list
+}
+
+// Plan is a complete hybrid-parallel configuration.
+type Plan struct {
+	Stages    []Stage
+	MiniBatch int
+	Micro     int // micro-batches per mini-batch
+	// StepSec is the simulated time of one mini-batch under this plan.
+	StepSec float64
+	// GPipe marks plans executed without 1F1B scheduling (the Eco-FL
+	// baseline, paper §6.3): every micro-batch's activations stay live
+	// until the backward phase.
+	GPipe bool
+	// PureDP marks the EDDL baseline: one full replica per device, the
+	// mini-batch split across devices, no micro-batching.
+	PureDP bool
+}
+
+// SamplesPerStep returns how many samples one simulated step trains.
+func (p Plan) SamplesPerStep() int { return p.MiniBatch }
+
+// Throughput returns trained samples per second.
+func (p Plan) Throughput() float64 {
+	if math.IsInf(p.StepSec, 1) || p.StepSec <= 0 {
+		return 0
+	}
+	return float64(p.SamplesPerStep()) / p.StepSec
+}
+
+// GroupSizes returns the device-group size per stage (the compact form
+// the paper's Figure 10 tabulates).
+func (p Plan) GroupSizes() []int {
+	out := make([]int, len(p.Stages))
+	for i, s := range p.Stages {
+		out[i] = len(s.Devices)
+	}
+	return out
+}
+
+// String renders the plan in Figure-10 style, e.g. "[8] = 4+4 over 2 stages".
+func (p Plan) String() string {
+	parts := make([]string, len(p.Stages))
+	for i, s := range p.Stages {
+		parts[i] = fmt.Sprintf("%d", len(s.Devices))
+	}
+	return fmt.Sprintf("%d stages (devices %s), %d micro-batches, step %.3fs",
+		len(p.Stages), strings.Join(parts, "+"), p.Micro, p.StepSec)
+}
+
+// Input bundles everything the planner needs.
+type Input struct {
+	Blocks    []costmodel.BlockCost
+	Cluster   cluster.Cluster
+	MiniBatch int
+	// Micro overrides the number of micro-batches; 0 picks
+	// min(MiniBatch, max(2·stages, 4)) per candidate stage count.
+	Micro int
+	// SwitchedLAN gives every stage boundary a dedicated link. The
+	// default (false) models the paper's single shared 128 Mbps medium,
+	// on which all inter-stage transfers contend.
+	SwitchedLAN bool
+}
+
+// ErrNoFeasiblePlan is returned when every configuration exceeds some
+// device's memory.
+var ErrNoFeasiblePlan = errors.New("planner: no memory-feasible configuration")
+
+// New runs the dynamic program over every stage count and returns the
+// fastest feasible plan.
+func New(in Input) (Plan, error) {
+	if len(in.Blocks) == 0 || in.Cluster.Size() == 0 || in.MiniBatch <= 0 {
+		return Plan{}, errors.New("planner: invalid input")
+	}
+	best := Plan{StepSec: math.Inf(1)}
+	maxStages := in.Cluster.Size()
+	if maxStages > len(in.Blocks) {
+		maxStages = len(in.Blocks)
+	}
+	for s := 1; s <= maxStages; s++ {
+		p, ok := planForStageCount(in, s)
+		if !ok {
+			continue
+		}
+		if p.StepSec < best.StepSec {
+			best = p
+		}
+	}
+	// The DP balances per-stage bottleneck time; the greedy FLOP-balanced
+	// pure-pipeline split occasionally simulates faster once communication
+	// and bubbles are counted, so keep it in the candidate set (it lies in
+	// the same search space).
+	if pp := PipelineOnly(in); pp.StepSec < best.StepSec {
+		best = pp
+	}
+	if math.IsInf(best.StepSec, 1) {
+		return Plan{}, ErrNoFeasiblePlan
+	}
+	return best, nil
+}
+
+// microFor picks the micro-batch count for a stage count: enough
+// micro-batches to fill the pipeline and to keep per-micro-batch
+// activations small (edge devices rely on gradient accumulation).
+func microFor(in Input, stages int) int {
+	if in.Micro > 0 {
+		return in.Micro
+	}
+	m := 2 * stages
+	if m < 4 {
+		m = 4
+	}
+	if m > in.MiniBatch {
+		m = in.MiniBatch
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// planForStageCount solves the paper's W(0→y, D_n, s) recursion for a
+// fixed total stage count, then simulates the resulting pipeline.
+func planForStageCount(in Input, stages int) (Plan, bool) {
+	nBlocks := len(in.Blocks)
+	nDev := in.Cluster.Size()
+	micro := microFor(in, stages)
+	microSize := float64(in.MiniBatch) / float64(micro)
+
+	pre := newPrefix(in.Blocks)
+
+	// stageCost returns the per-micro-batch compute time of hosting
+	// blocks [a,b) as stage k (0-based) on the device group formed by the
+	// devices [devEnd-m, devEnd), or +∞ when it would not fit in memory.
+	// Slowest-link parameters for the communication terms of the DP
+	// objective.
+	bwMin, latMax := math.Inf(1), 0.0
+	for _, d := range in.Cluster.Devices {
+		if d.BytesPerSec() < bwMin {
+			bwMin = d.BytesPerSec()
+		}
+		if d.LinkLatencySec > latMax {
+			latMax = d.LinkLatencySec
+		}
+	}
+
+	// Within a group the micro-batch is split proportionally to each
+	// member's throughput (heterogeneity-aware sharding), so the group
+	// finishes together: t = samples × FLOPs / ΣFLOPS. The objective also
+	// charges the stage's boundary traffic (forward activations + backward
+	// gradients per micro-batch) and its amortized intra-group AllReduce,
+	// aligning the DP's bottleneck metric with the simulated schedule.
+	stageCost := func(a, b, k, devEnd, m int) float64 {
+		inflight := stages - k
+		group := groupDevices(devEnd, m)
+		var sumRate float64
+		for _, di := range group {
+			sumRate += in.Cluster.Devices[di].FLOPSPerSec()
+		}
+		flopsPerSample := pre.fwd(a, b) + pre.bwd(a, b)
+		for _, di := range group {
+			dev := in.Cluster.Devices[di]
+			share := microSize * dev.FLOPSPerSec() / sumRate
+			memTotal := pre.memTotal(a, b, int(math.Ceil(share)), inflight)
+			if memTotal > dev.MemoryBytes {
+				return math.Inf(1)
+			}
+		}
+		t := flopsPerSample * microSize / sumRate
+		if k < stages-1 {
+			txBytes := float64(in.Blocks[b-1].OutBytes) * microSize
+			t += 2 * sim.TransferTime(int64(txBytes), bwMin, latMax) // fwd act + bwd grad
+		}
+		if m > 1 {
+			trainBytes := pre.train[b] - pre.train[a]
+			t += sim.RingAllReduceTime(trainBytes, m, bwMin, latMax) / float64(micro)
+		}
+		return t
+	}
+
+	// dp[y][n][s] = best bottleneck time covering blocks [0,y) with the
+	// first n devices in s stages; choice[...] records (q, m).
+	type key struct{ y, n, s int }
+	dp := map[key]float64{}
+	type qm struct{ q, m int }
+	choice := map[key]qm{}
+	var solve func(y, n, s int) float64
+	solve = func(y, n, s int) float64 {
+		if s == 0 {
+			if y == 0 && n == 0 {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		if y < s || n < s { // each stage needs ≥1 block and ≥1 device
+			return math.Inf(1)
+		}
+		k := key{y, n, s}
+		if v, ok := dp[k]; ok {
+			return v
+		}
+		best := math.Inf(1)
+		var bestQM qm
+		for m := 1; m <= n-(s-1); m++ { // devices for the last stage
+			for q := s - 1; q < y; q++ { // blocks [q, y) form the last stage
+				t := stageCost(q, y, s-1, n, m)
+				if math.IsInf(t, 1) {
+					continue
+				}
+				sub := solve(q, n-m, s-1)
+				cand := math.Max(sub, t)
+				if cand < best {
+					best = cand
+					bestQM = qm{q, m}
+				}
+			}
+		}
+		dp[k] = best
+		choice[k] = bestQM
+		return best
+	}
+	if math.IsInf(solve(nBlocks, nDev, stages), 1) {
+		return Plan{}, false
+	}
+
+	// Reconstruct stages from the choice table.
+	plan := Plan{MiniBatch: in.MiniBatch, Micro: micro}
+	y, n := nBlocks, nDev
+	rev := make([]Stage, 0, stages)
+	for s := stages; s >= 1; s-- {
+		c := choice[key{y, n, s}]
+		rev = append(rev, Stage{StartBlock: c.q, EndBlock: y, Devices: groupDevices(n, c.m)})
+		y, n = c.q, n-c.m
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		plan.Stages = append(plan.Stages, rev[i])
+	}
+	res, feasible := Evaluate(plan, in)
+	if !feasible {
+		return Plan{}, false
+	}
+	plan.StepSec = res.StepSec
+	return plan, true
+}
+
+// groupDevices returns the device indices [devEnd-m, devEnd).
+func groupDevices(devEnd, m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = devEnd - m + i
+	}
+	return out
+}
+
+// prefix holds cumulative block costs for O(1) range queries inside the
+// dynamic program.
+type prefix struct {
+	fwdF, bwdF           []float64
+	param, train, actPer []int64
+}
+
+func newPrefix(blocks []costmodel.BlockCost) *prefix {
+	n := len(blocks)
+	p := &prefix{
+		fwdF:   make([]float64, n+1),
+		bwdF:   make([]float64, n+1),
+		param:  make([]int64, n+1),
+		train:  make([]int64, n+1),
+		actPer: make([]int64, n+1),
+	}
+	for i, b := range blocks {
+		p.fwdF[i+1] = p.fwdF[i] + b.FwdFLOPs
+		p.bwdF[i+1] = p.bwdF[i] + b.BwdTraverseFLOPs + b.BwdTrainFLOPs
+		p.param[i+1] = p.param[i] + b.ParamBytes
+		p.train[i+1] = p.train[i] + b.TrainBytes
+		p.actPer[i+1] = p.actPer[i] + b.ActBytes
+	}
+	return p
+}
+
+func (p *prefix) fwd(a, b int) float64 { return p.fwdF[b] - p.fwdF[a] }
+func (p *prefix) bwd(a, b int) float64 { return p.bwdF[b] - p.bwdF[a] }
+
+// memTotal mirrors costmodel.StageMemory over a block range.
+func (p *prefix) memTotal(a, b, microBatch, inflight int) int64 {
+	weights := p.param[b] - p.param[a]
+	train := p.train[b] - p.train[a]
+	act := (p.actPer[b] - p.actPer[a]) * int64(microBatch) * int64(inflight)
+	return weights + 2*train + act
+}
+
+// DataParallel returns the EDDL baseline (Hao & Zhang): conventional
+// data-parallel training where every device hosts a complete model
+// replica, the mini-batch is split across devices, and trainable
+// gradients are ring-AllReduced over the LAN each step. StepSec is +∞
+// when a replica does not fit — the paper's EDDL OOM cells on
+// BART-Large and T5-Large, whose full weights exceed a Nano's budget.
+func DataParallel(in Input) Plan {
+	all := make([]int, in.Cluster.Size())
+	for i := range all {
+		all[i] = i
+	}
+	p := Plan{
+		Stages:    []Stage{{StartBlock: 0, EndBlock: len(in.Blocks), Devices: all}},
+		MiniBatch: in.MiniBatch,
+		Micro:     1,
+		PureDP:    true,
+	}
+	n := in.Cluster.Size()
+	perDev := float64(in.MiniBatch) / float64(n)
+	t := costmodel.Totals(in.Blocks)
+	mem := costmodel.StageMemory(in.Blocks, int(math.Ceil(perDev)), 1)
+	var worst float64
+	bw, lat := math.Inf(1), 0.0
+	for _, dev := range in.Cluster.Devices {
+		if mem.Total() > dev.MemoryBytes {
+			p.StepSec = math.Inf(1)
+			return p
+		}
+		c := (costmodel.FwdSec(in.Blocks, 1, dev) + costmodel.BwdSec(in.Blocks, 1, dev)) * perDev
+		if c > worst {
+			worst = c
+		}
+		if dev.BytesPerSec() < bw {
+			bw = dev.BytesPerSec()
+		}
+		if dev.LinkLatencySec > lat {
+			lat = dev.LinkLatencySec
+		}
+	}
+	p.StepSec = worst + sim.RingAllReduceTime(t.TrainBytes, n, bw, lat)
+	return p
+}
+
+// PipelineOnly returns the Eco-FL baseline: one device per stage with
+// block ranges balanced by compute (no device grouping). The returned
+// plan may be memory-infeasible; check with Evaluate.
+func PipelineOnly(in Input) Plan {
+	nDev := in.Cluster.Size()
+	stages := nDev
+	if stages > len(in.Blocks) {
+		stages = len(in.Blocks)
+	}
+	// Balance cumulative fwd+bwd FLOPs across stages subject to the
+	// hosting device's memory: a stage stops growing when the next block
+	// would overflow (encoder layers are compute-heavy, decoder layers
+	// parameter-heavy, so pure FLOP balance would overload the decoder
+	// stages of deep models).
+	work := func(i int) float64 {
+		b := in.Blocks[i]
+		return b.FwdFLOPs + b.BwdTraverseFLOPs + b.BwdTrainFLOPs
+	}
+	total := 0.0
+	for i := range in.Blocks {
+		total += work(i)
+	}
+	per := total / float64(stages)
+	micro := microFor(in, stages)
+	microSize := int(math.Ceil(float64(in.MiniBatch) / float64(micro)))
+	p := Plan{MiniBatch: in.MiniBatch, Micro: micro, GPipe: true}
+	fits := func(devIdx, start, end int) bool {
+		mem := costmodel.StageMemory(in.Blocks[start:end], microSize, micro)
+		return mem.Total() <= in.Cluster.Devices[devIdx].MemoryBytes
+	}
+	start := 0
+	for s := 0; s < stages; s++ {
+		remaining := stages - s - 1
+		end := start + 1
+		acc := work(start)
+		for end < len(in.Blocks)-remaining {
+			if remaining == 0 {
+				if !fits(s, start, end+1) {
+					break
+				}
+				end++
+				continue
+			}
+			if acc >= per || !fits(s, start, end+1) {
+				break
+			}
+			acc += work(end)
+			end++
+		}
+		p.Stages = append(p.Stages, Stage{StartBlock: start, EndBlock: end, Devices: []int{s}})
+		start = end
+	}
+	if start < len(in.Blocks) {
+		// The final stage could not absorb the remainder within memory.
+		last := &p.Stages[len(p.Stages)-1]
+		last.EndBlock = len(in.Blocks)
+	}
+	p.GPipe = true // Eco-FL runs without 1F1B scheduling (paper §6.3)
+	if res, ok := Evaluate(p, in); ok {
+		p.StepSec = res.StepSec
+	} else {
+		p.StepSec = math.Inf(1)
+	}
+	return p
+}
+
+// Eval is the outcome of simulating a plan.
+type Eval struct {
+	StepSec float64
+	// PeakMemory is the per-stage worst-device footprint.
+	PeakMemory []costmodel.Memory
+	// PeakInflight is the simulated per-stage in-flight micro-batches.
+	PeakInflight []int
+}
+
+// Evaluate simulates one mini-batch of the plan with the 1F1B pipeline
+// simulator and reports timing and memory. ok is false when some device
+// would OOM.
+func Evaluate(p Plan, in Input) (Eval, bool) { return EvaluateWithTrace(p, in, nil) }
+
+// EvaluateWithTrace is Evaluate with an optional event trace attached to
+// the pipeline simulation (nil disables tracing).
+func EvaluateWithTrace(p Plan, in Input, tr *sim.Trace) (Eval, bool) {
+	if p.PureDP {
+		// EDDL semantics: full replica per device, batch split, no
+		// micro-batching.
+		perDev := int(math.Ceil(float64(p.MiniBatch) / float64(in.Cluster.Size())))
+		mem := costmodel.StageMemory(in.Blocks, perDev, 1)
+		for _, dev := range in.Cluster.Devices {
+			if mem.Total() > dev.MemoryBytes {
+				return Eval{}, false
+			}
+		}
+		dp := DataParallel(in)
+		return Eval{StepSec: dp.StepSec, PeakMemory: []costmodel.Memory{mem}, PeakInflight: []int{1}}, true
+	}
+	S := len(p.Stages)
+	microSize := float64(p.MiniBatch) / float64(p.Micro)
+	cfg := sim.PipelineConfig{Micro: p.Micro, GPipe: p.GPipe, SharedLAN: !in.SwitchedLAN, Trace: tr}
+	// Use the slowest link among devices as the pipeline fabric (shared LAN).
+	var bw, lat float64 = math.Inf(1), 0
+	for _, d := range in.Cluster.Devices {
+		if d.BytesPerSec() < bw {
+			bw = d.BytesPerSec()
+		}
+		if d.LinkLatencySec > lat {
+			lat = d.LinkLatencySec
+		}
+	}
+	cfg.BytesPerSec, cfg.LatencySec = bw, lat
+
+	out := Eval{PeakMemory: make([]costmodel.Memory, S)}
+	for k, st := range p.Stages {
+		blocks := in.Blocks[st.StartBlock:st.EndBlock]
+		inflight := S - k // 1F1B bound
+		if p.GPipe {
+			inflight = p.Micro // GPipe holds every micro-batch
+		}
+		// Heterogeneity-aware intra-group sharding: each member takes a
+		// micro-batch share proportional to its throughput.
+		var sumRate float64
+		for _, di := range st.Devices {
+			sumRate += in.Cluster.Devices[di].FLOPSPerSec()
+		}
+		var worstFwd, worstBwd float64
+		for _, di := range st.Devices {
+			dev := in.Cluster.Devices[di]
+			share := microSize * dev.FLOPSPerSec() / sumRate
+			mem := costmodel.StageMemory(blocks, int(math.Ceil(share)), inflight)
+			if mem.Total() > out.PeakMemory[k].Total() {
+				out.PeakMemory[k] = mem
+			}
+			if mem.Total() > dev.MemoryBytes {
+				return Eval{}, false
+			}
+			f := costmodel.FwdSec(blocks, 1, dev) * share
+			b := costmodel.BwdSec(blocks, 1, dev) * share
+			if f > worstFwd {
+				worstFwd = f
+			}
+			if b > worstBwd {
+				worstBwd = b
+			}
+		}
+		t := costmodel.Totals(blocks)
+		sc := sim.StageCost{
+			Fwd:     worstFwd,
+			Bwd:     worstBwd,
+			TxBytes: t.OutBytes * int64(math.Ceil(microSize)),
+		}
+		if g := len(st.Devices); g > 1 && t.TrainBytes > 0 {
+			sc.AllReduce = sim.RingAllReduceTime(t.TrainBytes, g, bw, lat)
+		}
+		cfg.Stages = append(cfg.Stages, sc)
+	}
+	res := sim.Pipeline(cfg)
+	out.StepSec = res.MiniBatchTime
+	out.PeakInflight = res.PeakInflight
+	return out, true
+}

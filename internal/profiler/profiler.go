@@ -1,0 +1,153 @@
+// Package profiler implements PAC's runtime profiling step (paper
+// Figure 4, Step 1): it fine-tunes the target model on a calibration
+// batch while timing every block's forward pass and the full backward
+// pass, then derives the effective device throughput that links the
+// analytic cost model to the machine actually running the code.
+//
+// The planner normally consumes analytic block costs; ToBlockCosts
+// substitutes measured times so plans reflect this host's real kernel
+// performance (the paper's profiler feeds its planner the same way).
+package profiler
+
+import (
+	"fmt"
+	"time"
+
+	"pac/internal/autograd"
+	"pac/internal/cluster"
+	"pac/internal/costmodel"
+	"pac/internal/data"
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/train"
+)
+
+// Profile holds measured per-block runtimes for one model on this host.
+type Profile struct {
+	Cfg model.Config
+	// BlockFwdSec is the measured forward time per block for the
+	// calibration batch (seconds, whole batch).
+	BlockFwdSec []float64
+	// FwdSec and BwdSec are the full forward and backward times for the
+	// calibration batch under the profiled technique.
+	FwdSec, BwdSec float64
+	// Batch is the calibration batch size.
+	Batch int
+	// EffectiveGFLOPS is the throughput implied by the analytic forward
+	// FLOPs divided by the measured forward time.
+	EffectiveGFLOPS float64
+}
+
+// Measure profiles a model with a technique attached. The calibration
+// batch plays the paper's calibration dataset; iters > 1 averages out
+// scheduler noise (the minimum across iterations is kept, the standard
+// micro-benchmark practice).
+func Measure(m *model.Model, tech peft.Technique, b *data.Batch, iters int) *Profile {
+	if iters < 1 {
+		iters = 1
+	}
+	p := &Profile{Cfg: m.Cfg, Batch: b.Size(), BlockFwdSec: make([]float64, len(m.Blocks))}
+	for i := range p.BlockFwdSec {
+		p.BlockFwdSec[i] = -1
+	}
+	p.FwdSec, p.BwdSec = -1, -1
+
+	for it := 0; it < iters; it++ {
+		// Per-block forward timing.
+		s := &model.State{EncIDs: b.Enc, DecIDs: b.Dec, EncLens: b.Lens}
+		var fwdTotal float64
+		for bi := range m.Blocks {
+			start := time.Now()
+			m.ForwardRange(s, bi, bi+1)
+			d := time.Since(start).Seconds()
+			fwdTotal += d
+			if p.BlockFwdSec[bi] < 0 || d < p.BlockFwdSec[bi] {
+				p.BlockFwdSec[bi] = d
+			}
+		}
+		if p.FwdSec < 0 || fwdTotal < p.FwdSec {
+			p.FwdSec = fwdTotal
+		}
+		// Full forward+backward under the technique (the gradient path
+		// depends on the technique, not just the backbone).
+		start := time.Now()
+		res := tech.Forward(b.Enc, b.Dec, b.Lens, true)
+		loss := train.Loss(res.Logits, b, false)
+		mid := time.Since(start).Seconds()
+		autograd.Backward(loss)
+		bwd := time.Since(start).Seconds() - mid
+		for _, pr := range tech.Trainable() {
+			pr.ZeroGrad()
+		}
+		if p.BwdSec < 0 || bwd < p.BwdSec {
+			p.BwdSec = bwd
+		}
+	}
+
+	// Effective throughput from the analytic FLOP count of the backbone
+	// forward.
+	costs := costmodel.Costs{Cfg: m.Cfg, Kind: peft.Full,
+		EncSeq: len(b.Enc[0]), DecSeq: len(b.Dec[0])}
+	t := costmodel.Totals(costs.Blocks())
+	if p.FwdSec > 0 {
+		p.EffectiveGFLOPS = t.FwdFLOPs * float64(b.Size()) / p.FwdSec / 1e9
+	}
+	return p
+}
+
+// CalibrateDevice returns a DeviceSpec describing this host, suitable
+// for planning runs that will execute here: measured throughput, plus
+// caller-supplied memory and link parameters.
+func (p *Profile) CalibrateDevice(name string, memoryBytes int64, linkMbps float64) cluster.DeviceSpec {
+	return cluster.DeviceSpec{
+		Name:           name,
+		GFLOPS:         p.EffectiveGFLOPS,
+		MemoryBytes:    memoryBytes,
+		LinkMbps:       linkMbps,
+		LinkLatencySec: 1e-3,
+	}
+}
+
+// ToBlockCosts overlays measured forward times onto analytic block
+// costs: each block's FLOPs are rescaled so that FLOPs/deviceGFLOPS
+// equals the measured time, preserving the analytic memory and traffic
+// fields. The result feeds the planner directly.
+func (p *Profile) ToBlockCosts(analytic []costmodel.BlockCost, dev cluster.DeviceSpec) ([]costmodel.BlockCost, error) {
+	if len(analytic) != len(p.BlockFwdSec) {
+		return nil, fmt.Errorf("profiler: %d measured blocks vs %d analytic", len(p.BlockFwdSec), len(analytic))
+	}
+	out := make([]costmodel.BlockCost, len(analytic))
+	var bwdScale float64 = 1
+	if p.FwdSec > 0 {
+		// Distribute the measured backward over blocks proportionally to
+		// their analytic backward share.
+		var aBwd float64
+		for _, b := range analytic {
+			aBwd += b.BwdTraverseFLOPs + b.BwdTrainFLOPs
+		}
+		if aBwd > 0 {
+			bwdScale = (p.BwdSec / p.FwdSec) * sumFwd(analytic) / aBwd
+		}
+	}
+	for i, b := range analytic {
+		out[i] = b
+		measured := p.BlockFwdSec[i] / float64(p.Batch) // per sample
+		out[i].FwdFLOPs = measured * dev.FLOPSPerSec()
+		total := b.BwdTraverseFLOPs + b.BwdTrainFLOPs
+		if total > 0 {
+			scaled := total * bwdScale
+			frac := b.BwdTrainFLOPs / total
+			out[i].BwdTrainFLOPs = scaled * frac
+			out[i].BwdTraverseFLOPs = scaled * (1 - frac)
+		}
+	}
+	return out, nil
+}
+
+func sumFwd(blocks []costmodel.BlockCost) float64 {
+	var s float64
+	for _, b := range blocks {
+		s += b.FwdFLOPs
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package profiler
+
+import (
+	"testing"
+
+	"pac/internal/cluster"
+	"pac/internal/costmodel"
+	"pac/internal/data"
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/planner"
+)
+
+func calibration() (*model.Model, peft.Technique, *data.Batch) {
+	m := model.New(model.Small())
+	tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4})
+	ds := data.Generate(data.GenConfig{Task: data.MRPC, Size: 8, SeqLen: 16, Vocab: 128, Seed: 1})
+	return m, tech, data.BatchOf(ds.Examples)
+}
+
+func TestMeasureProducesPositiveTimes(t *testing.T) {
+	m, tech, b := calibration()
+	p := Measure(m, tech, b, 2)
+	if len(p.BlockFwdSec) != len(m.Blocks) {
+		t.Fatalf("block count %d", len(p.BlockFwdSec))
+	}
+	for i, s := range p.BlockFwdSec {
+		if s < 0 {
+			t.Fatalf("block %d unmeasured", i)
+		}
+	}
+	if p.FwdSec <= 0 || p.BwdSec <= 0 {
+		t.Fatalf("fwd %v bwd %v", p.FwdSec, p.BwdSec)
+	}
+	if p.EffectiveGFLOPS <= 0 {
+		t.Fatal("no throughput estimate")
+	}
+}
+
+func TestMeasureLayerOrdering(t *testing.T) {
+	// Encoder layers process 16 tokens, decoder layers 1: measured
+	// forward time of the encoder-layer blocks must exceed the
+	// decoder-layer blocks on aggregate.
+	m, tech, b := calibration()
+	p := Measure(m, tech, b, 3)
+	var enc, dec float64
+	for bi, blk := range m.Blocks {
+		switch blk.Kind() {
+		case model.KindEncLayer:
+			enc += p.BlockFwdSec[bi]
+		case model.KindDecLayer:
+			dec += p.BlockFwdSec[bi]
+		}
+	}
+	if enc <= dec {
+		t.Fatalf("encoder layers (%.2gs) not slower than decoder layers (%.2gs)", enc, dec)
+	}
+}
+
+func TestParallelAdaptersBackwardCheaperThanFull(t *testing.T) {
+	// The measured backward under Parallel Adapters must be a small
+	// fraction of the Full-technique backward — the paper's core claim,
+	// observed on real hardware rather than the analytic model.
+	mPA := model.New(model.Small())
+	techPA := peft.New(peft.ParallelAdapters, mPA, peft.Options{Reduction: 4})
+	mFull := model.New(model.Small())
+	techFull := peft.New(peft.Full, mFull, peft.Options{})
+	ds := data.Generate(data.GenConfig{Task: data.MRPC, Size: 8, SeqLen: 16, Vocab: 128, Seed: 2})
+	b := data.BatchOf(ds.Examples)
+
+	pPA := Measure(mPA, techPA, b, 3)
+	pFull := Measure(mFull, techFull, b, 3)
+	if pPA.BwdSec >= pFull.BwdSec {
+		t.Fatalf("P.A. backward %.4fs not cheaper than Full %.4fs", pPA.BwdSec, pFull.BwdSec)
+	}
+}
+
+func TestCalibrateDevice(t *testing.T) {
+	m, tech, b := calibration()
+	p := Measure(m, tech, b, 1)
+	dev := p.CalibrateDevice("this-host", 1<<30, 1000)
+	if dev.GFLOPS != p.EffectiveGFLOPS || dev.MemoryBytes != 1<<30 {
+		t.Fatalf("calibrated spec %+v", dev)
+	}
+}
+
+func TestToBlockCostsFeedsPlanner(t *testing.T) {
+	m, tech, b := calibration()
+	p := Measure(m, tech, b, 2)
+	analytic := costmodel.Costs{Cfg: m.Cfg, Kind: peft.ParallelAdapters,
+		EncSeq: 16, DecSeq: 1}.Blocks()
+	dev := p.CalibrateDevice("host", 8<<30, 1000)
+	measured, err := p.ToBlockCosts(analytic, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(measured) != len(analytic) {
+		t.Fatal("length mismatch")
+	}
+	// Round trip: measured FLOPs / device speed ≈ measured seconds.
+	for i := range measured {
+		want := p.BlockFwdSec[i] / float64(p.Batch)
+		got := measured[i].FwdFLOPs / dev.FLOPSPerSec()
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("block %d: %.3g vs %.3g", i, got, want)
+		}
+		// Memory fields untouched.
+		if measured[i].ParamBytes != analytic[i].ParamBytes || measured[i].ActBytes != analytic[i].ActBytes {
+			t.Fatal("memory fields must be preserved")
+		}
+	}
+	// The measured costs drive the planner to a valid plan.
+	in := planner.Input{Blocks: measured, Cluster: cluster.Homogeneous(dev, 4), MiniBatch: 8}
+	plan, err := planner.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) < 1 {
+		t.Fatal("empty plan")
+	}
+}
+
+func TestToBlockCostsLengthMismatch(t *testing.T) {
+	m, tech, b := calibration()
+	p := Measure(m, tech, b, 1)
+	if _, err := p.ToBlockCosts(nil, cluster.JetsonNano()); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

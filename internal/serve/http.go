@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"pac/internal/generate"
+)
+
+// Handler exposes a Server over HTTP with a small JSON API:
+//
+//	POST /classify {"tokens": [[...]], "lens": [...]}        → {"classes": [...]}
+//	POST /generate {"tokens": [[...]], "lens": [...], "max_len": N, "temperature": T}
+//	                                                          → {"outputs": [[...]]}
+//	POST /swap     {"path": "adapters.pack"}                  → {"ok": true}
+//	GET  /stats                                               → {"served": N, "swaps": N}
+//
+// It is the network face of the Figure-1 agent: LAN clients (other
+// household devices) query the personal LLM that PAC keeps fine-tuning.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+
+	type seqReq struct {
+		Tokens      [][]int `json:"tokens"`
+		Lens        []int   `json:"lens"`
+		MaxLen      int     `json:"max_len"`
+		Temperature float64 `json:"temperature"`
+	}
+	decode := func(w http.ResponseWriter, r *http.Request) (*seqReq, bool) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return nil, false
+		}
+		var req seqReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+			return nil, false
+		}
+		if len(req.Tokens) == 0 {
+			http.Error(w, "no tokens", http.StatusBadRequest)
+			return nil, false
+		}
+		if len(req.Lens) == 0 {
+			req.Lens = make([]int, len(req.Tokens))
+			for i, row := range req.Tokens {
+				req.Lens[i] = len(row)
+			}
+		}
+		if len(req.Lens) != len(req.Tokens) {
+			http.Error(w, "lens/tokens mismatch", http.StatusBadRequest)
+			return nil, false
+		}
+		// All rows must share one width (the model consumes rectangular
+		// batches).
+		for _, row := range req.Tokens[1:] {
+			if len(row) != len(req.Tokens[0]) {
+				http.Error(w, "ragged token rows", http.StatusBadRequest)
+				return nil, false
+			}
+		}
+		return &req, true
+	}
+	writeJSON := func(w http.ResponseWriter, v interface{}) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(v)
+	}
+
+	mux.HandleFunc("/classify", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decode(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, map[string]interface{}{"classes": s.Classify(req.Tokens, req.Lens)})
+	})
+
+	mux.HandleFunc("/generate", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decode(w, r)
+		if !ok {
+			return
+		}
+		out, err := s.Generate(req.Tokens, req.Lens,
+			generate.Options{MaxLen: req.MaxLen, Temperature: req.Temperature})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]interface{}{"outputs": out})
+	})
+
+	mux.HandleFunc("/swap", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req struct {
+			Path string `json:"path"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if err := s.SwapCheckpoint(req.Path); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]int64{"served": s.Served(), "swaps": s.Swaps()})
+	})
+
+	return mux
+}

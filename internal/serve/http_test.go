@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"pac/internal/checkpoint"
+	"pac/internal/model"
+	"pac/internal/peft"
+)
+
+func httpServer(t *testing.T, lm bool) (*httptest.Server, *Server, model.Config) {
+	t.Helper()
+	cfg := model.Tiny()
+	if lm {
+		cfg.Vocab, cfg.NumClasses, cfg.LM = 16, 16, true
+	}
+	m := model.New(cfg)
+	tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4})
+	s := NewServer(tech, cfg)
+	ts := httptest.NewServer(Handler(s))
+	t.Cleanup(ts.Close)
+	return ts, s, cfg
+}
+
+func post(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	blob, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPClassify(t *testing.T) {
+	ts, srv, _ := httpServer(t, false)
+	resp := post(t, ts.URL+"/classify", map[string]interface{}{
+		"tokens": [][]int{{2, 3, 4, 5}, {6, 7, 8, 9}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Classes []int `json:"classes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Classes) != 2 {
+		t.Fatalf("classes %v", out.Classes)
+	}
+	if srv.Served() != 2 {
+		t.Fatalf("served %d", srv.Served())
+	}
+}
+
+func TestHTTPGenerate(t *testing.T) {
+	ts, _, _ := httpServer(t, true)
+	resp := post(t, ts.URL+"/generate", map[string]interface{}{
+		"tokens": [][]int{{2, 3, 4, 5}}, "max_len": 3,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Outputs [][]int `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Outputs) != 1 || len(out.Outputs[0]) > 3 {
+		t.Fatalf("outputs %v", out.Outputs)
+	}
+}
+
+func TestHTTPGenerateOnClassifierRejected(t *testing.T) {
+	ts, _, _ := httpServer(t, false)
+	resp := post(t, ts.URL+"/generate", map[string]interface{}{
+		"tokens": [][]int{{2, 3}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	ts, _, _ := httpServer(t, false)
+	cases := []struct {
+		body interface{}
+		want int
+	}{
+		{map[string]interface{}{}, http.StatusBadRequest},                                               // no tokens
+		{map[string]interface{}{"tokens": [][]int{{1, 2}, {3}}}, http.StatusBadRequest},                 // ragged
+		{map[string]interface{}{"tokens": [][]int{{1, 2}}, "lens": []int{1, 2}}, http.StatusBadRequest}, // mismatch
+	}
+	for i, c := range cases {
+		resp := post(t, ts.URL+"/classify", c.body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Fatalf("case %d: status %d want %d", i, resp.StatusCode, c.want)
+		}
+	}
+	// GET on a POST route.
+	resp, err := http.Get(ts.URL + "/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPSwapAndStats(t *testing.T) {
+	ts, srv, cfg := httpServer(t, false)
+
+	// Prepare a checkpoint from a differently-seeded replica.
+	m2 := model.New(cfg)
+	tech2 := peft.New(peft.ParallelAdapters, m2, peft.Options{Reduction: 4, Seed: 42})
+	path := filepath.Join(t.TempDir(), "a.pack")
+	if err := checkpoint.Save(path, "t", tech2, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, ts.URL+"/swap", map[string]string{"path": path})
+	resp.Body.Close()
+	if resp.StatusCode != 200 || srv.Swaps() != 1 {
+		t.Fatalf("swap status %d swaps %d", resp.StatusCode, srv.Swaps())
+	}
+	// Bad path → 422.
+	resp = post(t, ts.URL+"/swap", map[string]string{"path": path + ".missing"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad swap status %d", resp.StatusCode)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]int64
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["swaps"] != 1 {
+		t.Fatalf("stats %v", stats)
+	}
+}

@@ -1,0 +1,182 @@
+// Package serve hosts a personal LLM for inference while PAC fine-tunes
+// it — the two halves of the paper's Figure 1 agent. The server answers
+// classification and generation requests from the current adapter
+// weights, batches concurrent requests for throughput, and hot-swaps
+// adapters (from a live Framework or a checkpoint file) without
+// dropping requests.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pac/internal/checkpoint"
+	"pac/internal/generate"
+	"pac/internal/model"
+	"pac/internal/nn"
+	"pac/internal/peft"
+	"pac/internal/tensor"
+)
+
+// Server hosts one technique replica behind a read-write lock: requests
+// take the read side, weight swaps the write side.
+type Server struct {
+	mu   sync.RWMutex
+	tech peft.Technique
+	cfg  model.Config
+
+	served  int64
+	swapped int64
+}
+
+// NewServer wraps a technique for serving. The technique's model must
+// match cfg.
+func NewServer(tech peft.Technique, cfg model.Config) *Server {
+	return &Server{tech: tech, cfg: cfg}
+}
+
+// Classify returns the argmax class per input sequence.
+func (s *Server) Classify(enc [][]int, lens []int) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	dec := make([][]int, len(enc))
+	for i := range dec {
+		dec[i] = []int{0}
+	}
+	res := s.tech.Forward(enc, dec, lens, false)
+	atomic.AddInt64(&s.served, int64(len(enc)))
+	return tensor.ArgMaxRows(res.Logits.Value)
+}
+
+// Generate decodes responses for the inputs (LM-configured models only).
+func (s *Server) Generate(enc [][]int, lens []int, opts generate.Options) ([][]int, error) {
+	if !s.cfg.LM {
+		return nil, fmt.Errorf("serve: model is not LM-configured")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := generate.Decode(s.tech, enc, lens, opts)
+	atomic.AddInt64(&s.served, int64(len(enc)))
+	return out, nil
+}
+
+// UpdateWeights installs new trainable parameters (e.g. pushed from a
+// PAC framework after a fine-tuning round). The flat layout must match
+// the technique's Trainable() enumeration.
+func (s *Server) UpdateWeights(flat []float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nn.UnflattenParams(s.tech.Trainable(), flat)
+	atomic.AddInt64(&s.swapped, 1)
+}
+
+// SwapCheckpoint hot-loads adapters from a checkpoint file.
+func (s *Server) SwapCheckpoint(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := checkpoint.Load(path, s.tech, s.cfg); err != nil {
+		return err
+	}
+	atomic.AddInt64(&s.swapped, 1)
+	return nil
+}
+
+// Served returns the number of sequences answered.
+func (s *Server) Served() int64 { return atomic.LoadInt64(&s.served) }
+
+// Swaps returns the number of weight swaps performed.
+func (s *Server) Swaps() int64 { return atomic.LoadInt64(&s.swapped) }
+
+// request is one queued classification request.
+type request struct {
+	enc  []int
+	lens int
+	resp chan int
+}
+
+// Batcher aggregates concurrent classification requests into batches of
+// up to MaxBatch, flushing after MaxWait — the standard edge-serving
+// latency/throughput knob.
+type Batcher struct {
+	srv      *Server
+	maxBatch int
+	maxWait  time.Duration
+
+	queue   chan request
+	done    chan struct{}
+	stopped sync.Once
+
+	batches int64
+}
+
+// NewBatcher starts the batching loop.
+func NewBatcher(srv *Server, maxBatch int, maxWait time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &Batcher{
+		srv:      srv,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		queue:    make(chan request, 16*maxBatch),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+func (b *Batcher) loop() {
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			close(b.done)
+			return
+		}
+		batch := []request{first}
+		timer := time.NewTimer(b.maxWait)
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case r, ok := <-b.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		enc := make([][]int, len(batch))
+		lens := make([]int, len(batch))
+		for i, r := range batch {
+			enc[i] = r.enc
+			lens[i] = r.lens
+		}
+		preds := b.srv.Classify(enc, lens)
+		for i, r := range batch {
+			r.resp <- preds[i]
+		}
+		atomic.AddInt64(&b.batches, 1)
+	}
+}
+
+// Classify enqueues one sequence and blocks for its prediction.
+func (b *Batcher) Classify(enc []int, length int) int {
+	resp := make(chan int, 1)
+	b.queue <- request{enc: enc, lens: length, resp: resp}
+	return <-resp
+}
+
+// Batches returns how many model invocations served all requests so far.
+func (b *Batcher) Batches() int64 { return atomic.LoadInt64(&b.batches) }
+
+// Close drains and stops the batching loop.
+func (b *Batcher) Close() {
+	b.stopped.Do(func() {
+		close(b.queue)
+		<-b.done
+	})
+}

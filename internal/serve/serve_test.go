@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pac/internal/checkpoint"
+	"pac/internal/core"
+	"pac/internal/data"
+	"pac/internal/generate"
+	"pac/internal/model"
+	"pac/internal/nn"
+	"pac/internal/peft"
+	"pac/internal/train"
+)
+
+func server(t *testing.T) (*Server, model.Config) {
+	t.Helper()
+	cfg := model.Tiny()
+	m := model.New(cfg)
+	tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4})
+	return NewServer(tech, cfg), cfg
+}
+
+func TestClassifyCountsAndShapes(t *testing.T) {
+	s, _ := server(t)
+	preds := s.Classify([][]int{{2, 3, 4, 5}, {6, 7, 8, 9}}, []int{4, 4})
+	if len(preds) != 2 {
+		t.Fatalf("preds %v", preds)
+	}
+	for _, p := range preds {
+		if p < 0 || p > 1 {
+			t.Fatalf("class %d out of range", p)
+		}
+	}
+	if s.Served() != 2 {
+		t.Fatalf("served %d", s.Served())
+	}
+}
+
+func TestGenerateRequiresLMConfig(t *testing.T) {
+	s, _ := server(t)
+	if _, err := s.Generate([][]int{{2, 3}}, []int{2}, generate.Options{}); err == nil {
+		t.Fatal("non-LM server generated")
+	}
+
+	cfg := model.Tiny()
+	cfg.Vocab, cfg.NumClasses, cfg.LM = 16, 16, true
+	m := model.New(cfg)
+	tech := peft.New(peft.Full, m, peft.Options{})
+	lm := NewServer(tech, cfg)
+	out, err := lm.Generate([][]int{{2, 3, 4, 5}}, []int{4}, generate.Options{MaxLen: 3})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("generate: %v %v", out, err)
+	}
+}
+
+func TestUpdateWeightsChangesAnswers(t *testing.T) {
+	s, _ := server(t)
+	enc := [][]int{{2, 3, 4, 5}}
+	lens := []int{4}
+	s.Classify(enc, lens) // warm
+
+	// Push deliberately skewed weights: bias the head hard toward class 1.
+	params := s.tech.Trainable()
+	flat := nn.FlattenParams(params)
+	// The head bias is the last two entries (Linear [r,2] + bias [2]).
+	flat[len(flat)-2] = -100
+	flat[len(flat)-1] = +100
+	s.UpdateWeights(flat)
+	if got := s.Classify(enc, lens); got[0] != 1 {
+		t.Fatalf("skewed head still predicts %d", got[0])
+	}
+	if s.Swaps() != 1 {
+		t.Fatalf("swaps %d", s.Swaps())
+	}
+}
+
+func TestSwapCheckpointHotReload(t *testing.T) {
+	s, cfg := server(t)
+	// Train a second replica briefly, checkpoint it, and hot-swap.
+	m2 := model.New(cfg)
+	tech2 := peft.New(peft.ParallelAdapters, m2, peft.Options{Reduction: 4})
+	ds := data.Generate(data.GenConfig{Task: data.SST2, Size: 16, SeqLen: 8, Vocab: 64, Seed: 1})
+	tr := &train.Trainer{Tech: tech2, Opt: train.NewSGD(tech2.Trainable(), 0.05, 0, 0)}
+	tr.TrainBatch(data.BatchOf(ds.Examples))
+	path := filepath.Join(t.TempDir(), "hot.pack")
+	if err := checkpoint.Save(path, "hot", tech2, cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	// Server now computes exactly what the trained replica computes.
+	enc, lens := [][]int{{3, 4, 5, 6}}, []int{4}
+	want := tech2.Forward(enc, [][]int{{0}}, lens, false).Logits.Value.Data
+	got := s.tech.Forward(enc, [][]int{{0}}, lens, false).Logits.Value.Data
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("swap did not install trained weights")
+		}
+	}
+	if err := s.SwapCheckpoint(filepath.Join(t.TempDir(), "missing.pack")); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+func TestServeWhileFineTuning(t *testing.T) {
+	// The Figure-1 loop: the agent answers queries from the reference
+	// replica while PAC fine-tunes in the background, then adopts the new
+	// adapters.
+	cfg := model.Tiny()
+	f := core.New(core.Config{Model: cfg, Opts: peft.Options{Reduction: 4},
+		Stages: 2, Lanes: 1, LR: 0.05})
+	// The server owns its own replica; training state flows to it only
+	// through UpdateWeights (never by aliasing the framework's replica,
+	// which the fine-tuning loop mutates concurrently).
+	serveModel := model.New(cfg)
+	s := NewServer(peft.New(peft.ParallelAdapters, serveModel, peft.Options{Reduction: 4}), cfg)
+
+	stop := make(chan struct{})
+	var served int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Classify([][]int{{2, 3, 4, 5}}, []int{4})
+				served++
+			}
+		}
+	}()
+
+	ds := data.Generate(data.GenConfig{Task: data.SST2, Size: 16, SeqLen: 8, Vocab: 64, Seed: 2})
+	if _, err := f.FineTune(ds, 8, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Push the fine-tuned adapters to the live server.
+	s.UpdateWeights(nn.FlattenParams(f.Reference().Trainable()))
+	close(stop)
+	wg.Wait()
+	if served == 0 {
+		t.Fatal("server answered nothing during fine-tuning")
+	}
+	if s.Swaps() != 1 {
+		t.Fatalf("swaps %d", s.Swaps())
+	}
+}
+
+func TestBatcherAggregates(t *testing.T) {
+	s, _ := server(t)
+	b := NewBatcher(s, 8, 20*time.Millisecond)
+	defer b.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = b.Classify([]int{2, 3, 4, 5}, 4)
+		}(i)
+	}
+	wg.Wait()
+	// Identical inputs ⇒ identical predictions.
+	for _, r := range results {
+		if r != results[0] {
+			t.Fatal("batched predictions inconsistent")
+		}
+	}
+	// Aggregation actually happened: far fewer model calls than requests.
+	if b.Batches() >= n {
+		t.Fatalf("no batching: %d batches for %d requests", b.Batches(), n)
+	}
+	if s.Served() != n {
+		t.Fatalf("served %d want %d", s.Served(), n)
+	}
+}
+
+func TestBatcherFlushOnTimeout(t *testing.T) {
+	s, _ := server(t)
+	b := NewBatcher(s, 1000, 10*time.Millisecond)
+	defer b.Close()
+	start := time.Now()
+	b.Classify([]int{2, 3, 4, 5}, 4) // alone in the queue → must flush on timer
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("lone request waited %v", elapsed)
+	}
+}
+
+func TestBatcherCloseIdempotent(t *testing.T) {
+	s, _ := server(t)
+	b := NewBatcher(s, 4, time.Millisecond)
+	b.Close()
+	b.Close() // second close must not panic
+}

@@ -1,0 +1,250 @@
+package sim
+
+// StageCost describes one pipeline stage's per-micro-batch costs.
+type StageCost struct {
+	Fwd float64 // forward seconds per micro-batch
+	Bwd float64 // backward seconds per micro-batch
+	// TxBytes is the activation payload shipped to the next stage per
+	// micro-batch (and, symmetric, the gradient payload shipped back).
+	TxBytes int64
+	// AllReduce is the gradient-synchronization time charged once per
+	// mini-batch after the stage's last backward (0 when the stage's
+	// device group has a single member or nothing trainable).
+	AllReduce float64
+}
+
+// PipelineConfig describes one mini-batch of 1F1B pipeline execution.
+type PipelineConfig struct {
+	Stages      []StageCost
+	Micro       int     // micro-batches per mini-batch
+	BytesPerSec float64 // inter-stage link bandwidth
+	LatencySec  float64 // inter-stage link latency
+	// NoBackward models cache-path or inference-like runs: only forward
+	// tasks are scheduled.
+	NoBackward bool
+	// GPipe disables the 1F1B in-flight bound and schedules all forwards
+	// before backwards (Eco-FL's schedule, paper §6.3): activation
+	// memory then grows with the micro-batch count.
+	GPipe bool
+	// SharedLAN serializes every inter-stage transfer on one medium (the
+	// paper's single 128 Mbps wireless LAN). Without it each boundary
+	// gets a dedicated link (switched fabric).
+	SharedLAN bool
+	// Trace, when non-nil, records every compute task and transfer for
+	// timeline export (sim.Trace.ChromeJSON).
+	Trace *Trace
+}
+
+// PipelineResult reports the simulated schedule.
+type PipelineResult struct {
+	// MiniBatchTime is the virtual time from first dispatch to the last
+	// backward (plus AllReduce) finishing anywhere.
+	MiniBatchTime float64
+	// PeakInflight is, per stage, the maximum number of micro-batches
+	// whose forward had run but whose backward had not — the activation
+	// working set 1F1B bounds (paper §5.1).
+	PeakInflight []int
+	// Busy is per-stage total compute seconds (for utilization).
+	Busy []float64
+}
+
+// Pipeline simulates a 1F1B (one-forward-one-backward) schedule
+// (Narayanan et al., PipeDream) over the given stages and returns its
+// timing. Backward is scheduled as early as possible, bounding each
+// stage s to at most S−s in-flight micro-batches.
+func Pipeline(cfg PipelineConfig) PipelineResult {
+	S := len(cfg.Stages)
+	M := cfg.Micro
+	if S == 0 || M <= 0 {
+		panic("sim: empty pipeline")
+	}
+	type stageState struct {
+		Resource
+		fInputAt []float64 // arrival time of forward input per micro-batch (-1 = not yet)
+		bInputAt []float64 // arrival time of backward input per micro-batch
+		fDone    []bool
+		bDone    []bool
+		fStarted []bool
+		bStarted []bool
+		inflight int
+		peak     int
+		busySec  float64
+		lastDone float64
+	}
+	states := make([]*stageState, S)
+	for s := range states {
+		st := &stageState{
+			fInputAt: make([]float64, M),
+			bInputAt: make([]float64, M),
+			fDone:    make([]bool, M),
+			bDone:    make([]bool, M),
+			fStarted: make([]bool, M),
+			bStarted: make([]bool, M),
+		}
+		for m := 0; m < M; m++ {
+			st.fInputAt[m] = -1
+			st.bInputAt[m] = -1
+		}
+		states[s] = st
+	}
+	// Stage 0's forward inputs are all available at t=0; the last stage's
+	// backward input is its own forward output (no transfer).
+	for m := 0; m < M; m++ {
+		states[0].fInputAt[m] = 0
+	}
+
+	sm := New()
+	var link Resource // shared-LAN medium (SharedLAN mode)
+	transfer := func(bytes int64, mb int, fn func()) {
+		tx := TransferTime(bytes, cfg.BytesPerSec, cfg.LatencySec)
+		if cfg.SharedLAN {
+			end := link.Acquire(sm.Now(), tx)
+			cfg.Trace.add(TraceEvent{Stage: -1, Kind: "TX", Micro: mb, Start: end - tx, End: end})
+			sm.At(end, fn)
+		} else {
+			cfg.Trace.add(TraceEvent{Stage: -1, Kind: "TX", Micro: mb, Start: sm.Now(), End: sm.Now() + tx})
+			sm.After(tx, fn)
+		}
+	}
+	var dispatch func(s int)
+	dispatch = func(s int) {
+		st := states[s]
+		now := sm.Now()
+		if st.BusyUntil() > now {
+			return
+		}
+		limit := S - s // 1F1B in-flight bound
+		if cfg.GPipe {
+			limit = M // GPipe holds every micro-batch's activations
+		}
+		// GPipe flushes all forwards first; 1F1B prefers the earliest
+		// ready backward to drain activations eagerly.
+		if cfg.GPipe {
+			for m := 0; m < M; m++ {
+				if st.fStarted[m] || st.fInputAt[m] < 0 || st.fInputAt[m] > now {
+					continue
+				}
+				st.fStarted[m] = true
+				st.inflight++
+				if st.inflight > st.peak {
+					st.peak = st.inflight
+				}
+				done := st.Acquire(now, cfg.Stages[s].Fwd)
+				st.busySec += cfg.Stages[s].Fwd
+				mb := m
+				cfg.Trace.add(TraceEvent{Stage: s, Kind: "F", Micro: mb, Start: done - cfg.Stages[s].Fwd, End: done})
+				sm.At(done, func() {
+					st.fDone[mb] = true
+					st.lastDone = sm.Now()
+					if cfg.NoBackward {
+						st.inflight--
+					}
+					if s < S-1 {
+						next := states[s+1]
+						transfer(cfg.Stages[s].TxBytes, mb, func() {
+							next.fInputAt[mb] = sm.Now()
+							dispatch(s + 1)
+						})
+					}
+					dispatch(s)
+				})
+				return
+			}
+		}
+		if !cfg.NoBackward {
+			for m := 0; m < M; m++ {
+				if st.bStarted[m] || !st.fDone[m] {
+					continue
+				}
+				ready := s == S-1 || (st.bInputAt[m] >= 0 && st.bInputAt[m] <= now)
+				if !ready {
+					continue
+				}
+				st.bStarted[m] = true
+				done := st.Acquire(now, cfg.Stages[s].Bwd)
+				st.busySec += cfg.Stages[s].Bwd
+				mb := m
+				cfg.Trace.add(TraceEvent{Stage: s, Kind: "B", Micro: mb, Start: done - cfg.Stages[s].Bwd, End: done})
+				sm.At(done, func() {
+					st.bDone[mb] = true
+					st.inflight--
+					st.lastDone = sm.Now()
+					if s > 0 {
+						prev := states[s-1]
+						transfer(cfg.Stages[s-1].TxBytes, mb, func() {
+							prev.bInputAt[mb] = sm.Now()
+							dispatch(s - 1)
+						})
+					}
+					dispatch(s)
+				})
+				return
+			}
+		}
+		for m := 0; m < M; m++ {
+			if st.fStarted[m] || st.fInputAt[m] < 0 || st.fInputAt[m] > now {
+				continue
+			}
+			if !cfg.NoBackward && st.inflight >= limit {
+				break
+			}
+			st.fStarted[m] = true
+			st.inflight++
+			if st.inflight > st.peak {
+				st.peak = st.inflight
+			}
+			done := st.Acquire(now, cfg.Stages[s].Fwd)
+			st.busySec += cfg.Stages[s].Fwd
+			mb := m
+			cfg.Trace.add(TraceEvent{Stage: s, Kind: "F", Micro: mb, Start: done - cfg.Stages[s].Fwd, End: done})
+			sm.At(done, func() {
+				st.fDone[mb] = true
+				st.lastDone = sm.Now()
+				if cfg.NoBackward {
+					st.inflight--
+				}
+				if s < S-1 {
+					next := states[s+1]
+					transfer(cfg.Stages[s].TxBytes, mb, func() {
+						next.fInputAt[mb] = sm.Now()
+						dispatch(s + 1)
+					})
+				}
+				dispatch(s)
+			})
+			return
+		}
+	}
+	sm.At(0, func() { dispatch(0) })
+	sm.Run()
+
+	res := PipelineResult{PeakInflight: make([]int, S), Busy: make([]float64, S)}
+	for s, st := range states {
+		res.PeakInflight[s] = st.peak
+		res.Busy[s] = st.busySec
+		end := st.lastDone + cfg.Stages[s].AllReduce
+		if end > res.MiniBatchTime {
+			res.MiniBatchTime = end
+		}
+		// Sanity: every task must have run.
+		for m := 0; m < M; m++ {
+			if !st.fDone[m] || (!cfg.NoBackward && !st.bDone[m]) {
+				panic("sim: pipeline deadlock — unfinished micro-batch")
+			}
+		}
+	}
+	return res
+}
+
+// DataParallelStep returns the virtual time of one synchronous
+// data-parallel step: the slowest device's compute followed by a ring
+// AllReduce of the trainable gradients.
+func DataParallelStep(computeSec []float64, gradBytes int64, bytesPerSec, latencySec float64) float64 {
+	var slowest float64
+	for _, c := range computeSec {
+		if c > slowest {
+			slowest = c
+		}
+	}
+	return slowest + RingAllReduceTime(gradBytes, len(computeSec), bytesPerSec, latencySec)
+}

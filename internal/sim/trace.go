@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TraceEvent is one scheduled activity in a simulated pipeline run.
+type TraceEvent struct {
+	Stage int     // stage index; -1 for the shared network track
+	Kind  string  // "F" forward, "B" backward, "TX" transfer
+	Micro int     // micro-batch id
+	Start float64 // seconds of virtual time
+	End   float64
+}
+
+// Trace collects events from a Pipeline run (attach via
+// PipelineConfig.Trace). Events are appended in completion order.
+type Trace struct {
+	Events []TraceEvent
+}
+
+func (t *Trace) add(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, ev)
+}
+
+// Sorted returns events ordered by start time (stable by stage).
+func (t *Trace) Sorted() []TraceEvent {
+	out := append([]TraceEvent(nil), t.Events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// chromeEvent is the chrome://tracing "complete event" record.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// ChromeJSON renders the trace in the Chrome tracing / Perfetto JSON
+// array format: one thread per pipeline stage plus a network thread.
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	evs := make([]chromeEvent, 0, len(t.Events))
+	for _, e := range t.Events {
+		tid := e.Stage
+		if e.Stage < 0 {
+			tid = 1 << 16 // network track
+		}
+		evs = append(evs, chromeEvent{
+			Name: fmt.Sprintf("%s%d", e.Kind, e.Micro),
+			Cat:  e.Kind,
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  (e.End - e.Start) * 1e6,
+			Pid:  0,
+			Tid:  tid,
+		})
+	}
+	return json.MarshalIndent(evs, "", " ")
+}
+
+// Utilization returns per-stage busy fraction over the trace's span.
+func (t *Trace) Utilization(stages int) []float64 {
+	busy := make([]float64, stages)
+	var span float64
+	for _, e := range t.Events {
+		if e.End > span {
+			span = e.End
+		}
+		if e.Stage >= 0 && e.Stage < stages && e.Kind != "TX" {
+			busy[e.Stage] += e.End - e.Start
+		}
+	}
+	if span == 0 {
+		return busy
+	}
+	for i := range busy {
+		busy[i] /= span
+	}
+	return busy
+}

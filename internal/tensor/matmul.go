@@ -1,0 +1,212 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for A [m,k] and B [k,n], sharding rows of A
+// across goroutines. Inputs with more than two dimensions are treated as
+// [prod(leading dims), last dim] matrices when their shapes are
+// compatible.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := matShape(a)
+	k2, n := matShape(b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulInto computes dst = A·B reusing dst's storage. dst must be [m,n].
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := matShape(a)
+	k2, n := matShape(b)
+	if k != k2 || dst.Numel() != m*n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	matmulInto(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// matShape views t as a 2-D matrix [rows, lastDim].
+func matShape(t *Tensor) (rows, cols int) {
+	if len(t.shape) == 0 {
+		panic("tensor: matmul on scalar")
+	}
+	cols = t.shape[len(t.shape)-1]
+	rows = t.Numel() / cols
+	return rows, cols
+}
+
+// matmulInto accumulates a[m,k]·b[k,n] into out (out must be zeroed).
+// The i-k-j loop order keeps the inner loop streaming over contiguous
+// rows of b and out.
+func matmulInto(out, a, b []float32, m, k, n int) {
+	parallelFor(m, func(start, end int) {
+		for i := start; i < end; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulT computes C = A·Bᵀ for A [m,k] and B [n,k]. This is the natural
+// layout for computing attention scores (Q·Kᵀ) and for weight-gradient
+// style products without materializing a transpose.
+func MatMulT(a, b *Tensor) *Tensor {
+	m, k := matShape(a)
+	n, k2 := matShape(b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	parallelFor(m, func(start, end int) {
+		for i := start; i < end; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p := range arow {
+					s += arow[p] * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul computes C = Aᵀ·B for A [k,m] and B [k,n], i.e. the weight
+// gradient product Xᵀ·dY.
+func TMatMul(a, b *Tensor) *Tensor {
+	k, m := matShape(a)
+	k2, n := matShape(b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	// Shard over rows of the *output* to avoid write contention.
+	parallelFor(m, func(start, end int) {
+		for i := start; i < end; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// BatchMatMul computes, for each batch index, C[b] = A[b]·B[b] where
+// a is [batch, m, k] and b is [batch, k, n].
+func BatchMatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 3 || len(b.shape) != 3 || a.shape[0] != b.shape[0] || a.shape[2] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: BatchMatMul shapes %v × %v", a.shape, b.shape))
+	}
+	batch, m, k := a.shape[0], a.shape[1], a.shape[2]
+	n := b.shape[2]
+	out := New(batch, m, n)
+	parallelFor(batch, func(start, end int) {
+		for bi := start; bi < end; bi++ {
+			ab := a.Data[bi*m*k : (bi+1)*m*k]
+			bb := b.Data[bi*k*n : (bi+1)*k*n]
+			ob := out.Data[bi*m*n : (bi+1)*m*n]
+			for i := 0; i < m; i++ {
+				arow := ab[i*k : (i+1)*k]
+				orow := ob[i*n : (i+1)*n]
+				for p, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := bb[p*n : (p+1)*n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// BatchMatMulT computes, for each batch index, C[b] = A[b]·B[b]ᵀ where
+// a is [batch, m, k] and b is [batch, n, k].
+func BatchMatMulT(a, b *Tensor) *Tensor {
+	if len(a.shape) != 3 || len(b.shape) != 3 || a.shape[0] != b.shape[0] || a.shape[2] != b.shape[2] {
+		panic(fmt.Sprintf("tensor: BatchMatMulT shapes %v × %v", a.shape, b.shape))
+	}
+	batch, m, k := a.shape[0], a.shape[1], a.shape[2]
+	n := b.shape[1]
+	out := New(batch, m, n)
+	parallelFor(batch, func(start, end int) {
+		for bi := start; bi < end; bi++ {
+			ab := a.Data[bi*m*k : (bi+1)*m*k]
+			bb := b.Data[bi*n*k : (bi+1)*n*k]
+			ob := out.Data[bi*m*n : (bi+1)*m*n]
+			for i := 0; i < m; i++ {
+				arow := ab[i*k : (i+1)*k]
+				orow := ob[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					brow := bb[j*k : (j+1)*k]
+					var s float32
+					for p := range arow {
+						s += arow[p] * brow[p]
+					}
+					orow[j] = s
+				}
+			}
+		}
+	})
+	return out
+}
+
+// BatchTMatMul computes, for each batch index, C[b] = A[b]ᵀ·B[b] where
+// a is [batch, k, m] and b is [batch, k, n].
+func BatchTMatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 3 || len(b.shape) != 3 || a.shape[0] != b.shape[0] || a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: BatchTMatMul shapes %v × %v", a.shape, b.shape))
+	}
+	batch, k, m := a.shape[0], a.shape[1], a.shape[2]
+	n := b.shape[2]
+	out := New(batch, m, n)
+	parallelFor(batch, func(start, end int) {
+		for bi := start; bi < end; bi++ {
+			ab := a.Data[bi*k*m : (bi+1)*k*m]
+			bb := b.Data[bi*k*n : (bi+1)*k*n]
+			ob := out.Data[bi*m*n : (bi+1)*m*n]
+			for p := 0; p < k; p++ {
+				arow := ab[p*m : (p+1)*m]
+				brow := bb[p*n : (p+1)*n]
+				for i, av := range arow {
+					if av == 0 {
+						continue
+					}
+					orow := ob[i*n : (i+1)*n]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,151 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// naiveMatMul is the reference implementation used to validate the
+// parallel kernels.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := Rows(a)
+	_, n := Rows(b)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func TestMatMulSmallKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	want := FromSlice([]float32{58, 64, 139, 154}, 2, 2)
+	tensorsClose(t, MatMul(a, b), want, 0)
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	g := NewRNG(11)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {33, 17, 29}} {
+		a := g.Randn(1, dims[0], dims[1])
+		b := g.Randn(1, dims[1], dims[2])
+		tensorsClose(t, MatMul(a, b), naiveMatMul(a, b), 1e-4)
+	}
+}
+
+func TestMatMulInnerDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulT(t *testing.T) {
+	g := NewRNG(12)
+	a := g.Randn(1, 5, 8)
+	b := g.Randn(1, 6, 8)
+	want := naiveMatMul(a, Transpose2D(b))
+	tensorsClose(t, MatMulT(a, b), want, 1e-4)
+}
+
+func TestTMatMul(t *testing.T) {
+	g := NewRNG(13)
+	a := g.Randn(1, 8, 5)
+	b := g.Randn(1, 8, 6)
+	want := naiveMatMul(Transpose2D(a), b)
+	tensorsClose(t, TMatMul(a, b), want, 1e-4)
+}
+
+func TestMatMulInto(t *testing.T) {
+	g := NewRNG(14)
+	a := g.Randn(1, 4, 6)
+	b := g.Randn(1, 6, 3)
+	dst := Full(99, 4, 3) // stale contents must be overwritten
+	MatMulInto(dst, a, b)
+	tensorsClose(t, dst, naiveMatMul(a, b), 1e-4)
+}
+
+func TestBatchMatMul(t *testing.T) {
+	g := NewRNG(15)
+	a := g.Randn(1, 3, 4, 5) // [3,4,5]
+	b := g.Randn(1, 3, 5, 2)
+	out := BatchMatMul(a, b)
+	for bi := 0; bi < 3; bi++ {
+		ab := FromSlice(a.Data[bi*20:(bi+1)*20], 4, 5)
+		bb := FromSlice(b.Data[bi*10:(bi+1)*10], 5, 2)
+		want := naiveMatMul(ab, bb)
+		got := FromSlice(out.Data[bi*8:(bi+1)*8], 4, 2)
+		tensorsClose(t, got, want, 1e-4)
+	}
+}
+
+func TestBatchMatMulT(t *testing.T) {
+	g := NewRNG(16)
+	a := g.Randn(1, 2, 3, 4)
+	b := g.Randn(1, 2, 5, 4)
+	out := BatchMatMulT(a, b)
+	for bi := 0; bi < 2; bi++ {
+		ab := FromSlice(a.Data[bi*12:(bi+1)*12], 3, 4)
+		bb := FromSlice(b.Data[bi*20:(bi+1)*20], 5, 4)
+		want := naiveMatMul(ab, Transpose2D(bb))
+		got := FromSlice(out.Data[bi*15:(bi+1)*15], 3, 5)
+		tensorsClose(t, got, want, 1e-4)
+	}
+}
+
+func TestBatchTMatMul(t *testing.T) {
+	g := NewRNG(17)
+	a := g.Randn(1, 2, 4, 3)
+	b := g.Randn(1, 2, 4, 5)
+	out := BatchTMatMul(a, b)
+	for bi := 0; bi < 2; bi++ {
+		ab := FromSlice(a.Data[bi*12:(bi+1)*12], 4, 3)
+		bb := FromSlice(b.Data[bi*20:(bi+1)*20], 4, 5)
+		want := naiveMatMul(Transpose2D(ab), bb)
+		got := FromSlice(out.Data[bi*15:(bi+1)*15], 3, 5)
+		tensorsClose(t, got, want, 1e-4)
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	want := FromSlice([]float32{1, 4, 2, 5, 3, 6}, 3, 2)
+	tensorsClose(t, Transpose2D(a), want, 0)
+}
+
+func TestSplitMergeHeadsRoundTrip(t *testing.T) {
+	g := NewRNG(18)
+	a := g.Randn(1, 2, 5, 12)
+	split := SplitHeads(a, 4)
+	if split.Dim(0) != 8 || split.Dim(1) != 5 || split.Dim(2) != 3 {
+		t.Fatalf("SplitHeads shape = %v", split.Shape())
+	}
+	tensorsClose(t, MergeHeads(split, 4), a, 0)
+}
+
+func TestSplitHeadsLayout(t *testing.T) {
+	// batch=1, seq=2, heads=2, dh=2 — verify exact placement.
+	a := FromSlice([]float32{0, 1, 2, 3, 10, 11, 12, 13}, 1, 2, 4)
+	s := SplitHeads(a, 2)
+	// head 0: rows [0,1],[10,11]; head 1: rows [2,3],[12,13]
+	want := FromSlice([]float32{0, 1, 10, 11, 2, 3, 12, 13}, 2, 2, 2)
+	tensorsClose(t, s, want, 0)
+}
+
+func TestConcatAndSliceRows(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{5, 6}, 1, 2)
+	c := Concat(a, b)
+	if c.Dim(0) != 3 {
+		t.Fatalf("Concat shape %v", c.Shape())
+	}
+	tensorsClose(t, SliceRows(c, 2, 3), b, 0)
+	tensorsClose(t, SliceRows(c, 0, 2), a, 0)
+}

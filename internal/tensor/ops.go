@@ -1,0 +1,317 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+func checkSame(op string, a, b *Tensor) {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	checkSame("Add", a, b)
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("Sub", a, b)
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("Mul", a, b)
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := New(a.shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a (a += b).
+func AddInPlace(a, b *Tensor) {
+	checkSame("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AxpyInPlace computes a += s*b.
+func AxpyInPlace(a *Tensor, s float32, b *Tensor) {
+	checkSame("AxpyInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies a by s in place.
+func ScaleInPlace(a *Tensor, s float32) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// Apply returns f applied elementwise to a.
+func Apply(a *Tensor, f func(float32) float32) *Tensor {
+	out := New(a.shape...)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// AddRowBroadcast returns m + v where m is [rows, cols] (or any shape whose
+// last dimension equals len(v.Data)) and v is broadcast across rows.
+func AddRowBroadcast(m, v *Tensor) *Tensor {
+	cols := v.Numel()
+	if m.Numel()%cols != 0 {
+		panic(fmt.Sprintf("tensor: AddRowBroadcast %v + %v", m.shape, v.shape))
+	}
+	out := New(m.shape...)
+	rows := m.Numel() / cols
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			out.Data[base+c] = m.Data[base+c] + v.Data[c]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements (accumulated in float64).
+func Sum(a *Tensor) float32 {
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v)
+	}
+	return float32(s)
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(a *Tensor) float32 {
+	if a.Numel() == 0 {
+		return 0
+	}
+	return Sum(a) / float32(a.Numel())
+}
+
+// SumRows collapses an [rows, cols]-viewed tensor to a [cols] vector by
+// summing across rows. cols is taken from the last dimension of a.
+func SumRows(a *Tensor) *Tensor {
+	cols := a.shape[len(a.shape)-1]
+	rows := a.Numel() / cols
+	out := New(cols)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			out.Data[c] += a.Data[base+c]
+		}
+	}
+	return out
+}
+
+// MaxAbs returns the maximum absolute element value.
+func MaxAbs(a *Tensor) float32 {
+	var m float32
+	for _, v := range a.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of all elements.
+func Norm2(a *Tensor) float32 {
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// ArgMaxRows returns, for an [rows, cols]-viewed tensor, the index of the
+// maximum element in each row.
+func ArgMaxRows(a *Tensor) []int {
+	cols := a.shape[len(a.shape)-1]
+	rows := a.Numel() / cols
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		best, bestIdx := a.Data[base], 0
+		for c := 1; c < cols; c++ {
+			if a.Data[base+c] > best {
+				best, bestIdx = a.Data[base+c], c
+			}
+		}
+		out[r] = bestIdx
+	}
+	return out
+}
+
+// Softmax computes a row-wise softmax over the last dimension.
+func Softmax(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	cols := a.shape[len(a.shape)-1]
+	rows := a.Numel() / cols
+	parallelFor(rows, func(start, end int) {
+		for r := start; r < end; r++ {
+			base := r * cols
+			maxv := a.Data[base]
+			for c := 1; c < cols; c++ {
+				if a.Data[base+c] > maxv {
+					maxv = a.Data[base+c]
+				}
+			}
+			var sum float64
+			for c := 0; c < cols; c++ {
+				e := math.Exp(float64(a.Data[base+c] - maxv))
+				out.Data[base+c] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for c := 0; c < cols; c++ {
+				out.Data[base+c] *= inv
+			}
+		}
+	})
+	return out
+}
+
+// LogSoftmax computes a numerically stable row-wise log-softmax over the
+// last dimension.
+func LogSoftmax(a *Tensor) *Tensor {
+	out := New(a.shape...)
+	cols := a.shape[len(a.shape)-1]
+	rows := a.Numel() / cols
+	parallelFor(rows, func(start, end int) {
+		for r := start; r < end; r++ {
+			base := r * cols
+			maxv := a.Data[base]
+			for c := 1; c < cols; c++ {
+				if a.Data[base+c] > maxv {
+					maxv = a.Data[base+c]
+				}
+			}
+			var sum float64
+			for c := 0; c < cols; c++ {
+				sum += math.Exp(float64(a.Data[base+c] - maxv))
+			}
+			lse := float32(math.Log(sum)) + maxv
+			for c := 0; c < cols; c++ {
+				out.Data[base+c] = a.Data[base+c] - lse
+			}
+		}
+	})
+	return out
+}
+
+// LayerNormStats holds the per-row mean and inverse standard deviation
+// computed by LayerNormForward; the backward pass reuses them.
+type LayerNormStats struct {
+	Mean   []float32
+	InvStd []float32
+}
+
+// LayerNormForward normalizes each row of a (over the last dimension) to
+// zero mean and unit variance, then applies the affine transform
+// gamma*x + beta. eps stabilizes the variance.
+func LayerNormForward(a, gamma, beta *Tensor, eps float32) (*Tensor, *LayerNormStats) {
+	cols := a.shape[len(a.shape)-1]
+	if gamma.Numel() != cols || beta.Numel() != cols {
+		panic("tensor: LayerNorm gamma/beta size mismatch")
+	}
+	rows := a.Numel() / cols
+	out := New(a.shape...)
+	stats := &LayerNormStats{Mean: make([]float32, rows), InvStd: make([]float32, rows)}
+	parallelFor(rows, func(start, end int) {
+		for r := start; r < end; r++ {
+			base := r * cols
+			var mean float64
+			for c := 0; c < cols; c++ {
+				mean += float64(a.Data[base+c])
+			}
+			mean /= float64(cols)
+			var variance float64
+			for c := 0; c < cols; c++ {
+				d := float64(a.Data[base+c]) - mean
+				variance += d * d
+			}
+			variance /= float64(cols)
+			invStd := 1 / math.Sqrt(variance+float64(eps))
+			stats.Mean[r] = float32(mean)
+			stats.InvStd[r] = float32(invStd)
+			for c := 0; c < cols; c++ {
+				norm := (a.Data[base+c] - float32(mean)) * float32(invStd)
+				out.Data[base+c] = norm*gamma.Data[c] + beta.Data[c]
+			}
+		}
+	})
+	return out, stats
+}
+
+// LayerNormBackward computes gradients for LayerNormForward. It returns
+// (dX, dGamma, dBeta) given the upstream gradient dOut.
+func LayerNormBackward(a, gamma, dOut *Tensor, stats *LayerNormStats) (dx, dGamma, dBeta *Tensor) {
+	cols := a.shape[len(a.shape)-1]
+	rows := a.Numel() / cols
+	dx = New(a.shape...)
+	dGamma = New(cols)
+	dBeta = New(cols)
+	// dGamma/dBeta accumulate across rows; keep that serial (cols is small)
+	// and parallelize dx by rows.
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		mean, invStd := stats.Mean[r], stats.InvStd[r]
+		for c := 0; c < cols; c++ {
+			xn := (a.Data[base+c] - mean) * invStd
+			dBeta.Data[c] += dOut.Data[base+c]
+			dGamma.Data[c] += dOut.Data[base+c] * xn
+		}
+	}
+	parallelFor(rows, func(start, end int) {
+		for r := start; r < end; r++ {
+			base := r * cols
+			mean, invStd := stats.Mean[r], stats.InvStd[r]
+			var sumDy, sumDyXn float64
+			for c := 0; c < cols; c++ {
+				dy := float64(dOut.Data[base+c] * gamma.Data[c])
+				xn := float64((a.Data[base+c] - mean) * invStd)
+				sumDy += dy
+				sumDyXn += dy * xn
+			}
+			n := float64(cols)
+			for c := 0; c < cols; c++ {
+				dy := float64(dOut.Data[base+c] * gamma.Data[c])
+				xn := float64((a.Data[base+c] - mean) * invStd)
+				dx.Data[base+c] = float32(float64(invStd) * (dy - sumDy/n - xn*sumDyXn/n))
+			}
+		}
+	})
+	return dx, dGamma, dBeta
+}

@@ -1,0 +1,52 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the number of goroutines used by parallel kernels.
+var maxWorkers = runtime.NumCPU()
+
+// SetMaxWorkers overrides the kernel worker count (for tests and for the
+// device simulator, which models single-core edge accelerators). n < 1
+// resets to NumCPU. It returns the previous value.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	maxWorkers = n
+	return prev
+}
+
+// parallelFor runs fn(i) for i in [0, n) across up to maxWorkers
+// goroutines, blocking until all iterations complete. Work is sharded in
+// contiguous chunks so cache behaviour stays predictable.
+func parallelFor(n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,112 @@
+package tensor
+
+import "fmt"
+
+// Transpose2D returns the transpose of a 2-D-viewed tensor [m,n] → [n,m].
+func Transpose2D(a *Tensor) *Tensor {
+	m, n := matShape(a)
+	out := New(n, m)
+	parallelFor(m, func(start, end int) {
+		for i := start; i < end; i++ {
+			for j := 0; j < n; j++ {
+				out.Data[j*m+i] = a.Data[i*n+j]
+			}
+		}
+	})
+	return out
+}
+
+// SplitHeads reshapes [batch, seq, heads*dh] into [batch*heads, seq, dh],
+// the layout consumed by batched attention matmuls.
+func SplitHeads(a *Tensor, heads int) *Tensor {
+	if len(a.shape) != 3 {
+		panic(fmt.Sprintf("tensor: SplitHeads on shape %v", a.shape))
+	}
+	batch, seq, d := a.shape[0], a.shape[1], a.shape[2]
+	if d%heads != 0 {
+		panic(fmt.Sprintf("tensor: SplitHeads %d heads does not divide dim %d", heads, d))
+	}
+	dh := d / heads
+	out := New(batch*heads, seq, dh)
+	parallelFor(batch, func(start, end int) {
+		for b := start; b < end; b++ {
+			for s := 0; s < seq; s++ {
+				src := a.Data[(b*seq+s)*d : (b*seq+s+1)*d]
+				for h := 0; h < heads; h++ {
+					dst := out.Data[((b*heads+h)*seq+s)*dh : ((b*heads+h)*seq+s+1)*dh]
+					copy(dst, src[h*dh:(h+1)*dh])
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MergeHeads inverts SplitHeads: [batch*heads, seq, dh] → [batch, seq, heads*dh].
+func MergeHeads(a *Tensor, heads int) *Tensor {
+	if len(a.shape) != 3 || a.shape[0]%heads != 0 {
+		panic(fmt.Sprintf("tensor: MergeHeads on shape %v with %d heads", a.shape, heads))
+	}
+	batch := a.shape[0] / heads
+	seq, dh := a.shape[1], a.shape[2]
+	d := heads * dh
+	out := New(batch, seq, d)
+	parallelFor(batch, func(start, end int) {
+		for b := start; b < end; b++ {
+			for s := 0; s < seq; s++ {
+				dst := out.Data[(b*seq+s)*d : (b*seq+s+1)*d]
+				for h := 0; h < heads; h++ {
+					src := a.Data[((b*heads+h)*seq+s)*dh : ((b*heads+h)*seq+s+1)*dh]
+					copy(dst[h*dh:(h+1)*dh], src)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Concat concatenates tensors along dimension 0. All inputs must share
+// trailing dimensions.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of nothing")
+	}
+	inner := 1
+	for _, d := range ts[0].shape[1:] {
+		inner *= d
+	}
+	rows := 0
+	for _, t := range ts {
+		ti := 1
+		for _, d := range t.shape[1:] {
+			ti *= d
+		}
+		if ti != inner {
+			panic("tensor: Concat trailing-shape mismatch")
+		}
+		rows += t.shape[0]
+	}
+	shape := append([]int{rows}, ts[0].shape[1:]...)
+	out := New(shape...)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += t.Numel()
+	}
+	return out
+}
+
+// SliceRows returns rows [start, end) along dimension 0 as a copy.
+func SliceRows(a *Tensor, start, end int) *Tensor {
+	if start < 0 || end > a.shape[0] || start > end {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) of shape %v", start, end, a.shape))
+	}
+	inner := a.Numel() / a.shape[0]
+	shape := append([]int{end - start}, a.shape[1:]...)
+	out := New(shape...)
+	copy(out.Data, a.Data[start*inner:end*inner])
+	return out
+}
+
+// Rows views the tensor as [rows, cols] with cols being the last dim.
+func Rows(a *Tensor) (rows, cols int) { return matShape(a) }

@@ -1,0 +1,173 @@
+// Package train provides optimizers, loss/metric computation, and the
+// single-device reference trainer that the distributed engines are
+// validated against.
+package train
+
+import (
+	"math"
+
+	"pac/internal/autograd"
+	"pac/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears gradients.
+	Step()
+	// Params returns the parameter set the optimizer manages.
+	Params() []*autograd.Variable
+	// StateBytes returns the optimizer-state footprint in bytes (the
+	// quantity the paper's Table 1 folds into "Activations").
+	StateBytes() int64
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay.
+type SGD struct {
+	params   []*autograd.Variable
+	lr       float32
+	momentum float32
+	decay    float32
+	velocity []*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer. momentum 0 disables velocity state.
+func NewSGD(params []*autograd.Variable, lr, momentum, decay float32) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum, decay: decay}
+	if momentum != 0 {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Value.Shape()...)
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if p.Grad == nil {
+			continue
+		}
+		g := p.Grad
+		if s.decay != 0 {
+			g = g.Clone()
+			tensor.AxpyInPlace(g, s.decay, p.Value)
+		}
+		if s.velocity != nil {
+			v := s.velocity[i]
+			tensor.ScaleInPlace(v, s.momentum)
+			tensor.AddInPlace(v, g)
+			g = v
+		}
+		tensor.AxpyInPlace(p.Value, -s.lr, g)
+		p.ZeroGrad()
+	}
+}
+
+// Params implements Optimizer.
+func (s *SGD) Params() []*autograd.Variable { return s.params }
+
+// StateBytes implements Optimizer.
+func (s *SGD) StateBytes() int64 {
+	if s.velocity == nil {
+		return 0
+	}
+	var n int64
+	for _, v := range s.velocity {
+		n += int64(v.Numel()) * 4
+	}
+	return n
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with optional decoupled
+// weight decay (AdamW when decay > 0).
+type Adam struct {
+	params []*autograd.Variable
+	lr     float32
+	beta1  float32
+	beta2  float32
+	eps    float32
+	decay  float32
+	m, v   []*tensor.Tensor
+	step   int
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(params []*autograd.Variable, lr float32) *Adam {
+	return NewAdamW(params, lr, 0)
+}
+
+// NewAdamW returns Adam with decoupled weight decay.
+func NewAdamW(params []*autograd.Variable, lr, decay float32) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, decay: decay}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Shape()...)
+		a.v[i] = tensor.New(p.Value.Shape()...)
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - float32(math.Pow(float64(a.beta1), float64(a.step)))
+	bc2 := 1 - float32(math.Pow(float64(a.beta2), float64(a.step)))
+	for i, p := range a.params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Value.Data {
+			g := p.Grad.Data[j]
+			m.Data[j] = a.beta1*m.Data[j] + (1-a.beta1)*g
+			v.Data[j] = a.beta2*v.Data[j] + (1-a.beta2)*g*g
+			mh := m.Data[j] / bc1
+			vh := v.Data[j] / bc2
+			upd := a.lr * mh / (float32(math.Sqrt(float64(vh))) + a.eps)
+			if a.decay != 0 {
+				upd += a.lr * a.decay * p.Value.Data[j]
+			}
+			p.Value.Data[j] -= upd
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Params implements Optimizer.
+func (a *Adam) Params() []*autograd.Variable { return a.params }
+
+// StateBytes implements Optimizer.
+func (a *Adam) StateBytes() int64 {
+	var n int64
+	for _, m := range a.m {
+		n += int64(m.Numel()) * 8 // m and v
+	}
+	return n
+}
+
+// ClipGradNorm rescales gradients so their global L2 norm is at most
+// maxNorm. Returns the pre-clip norm.
+func ClipGradNorm(params []*autograd.Variable, maxNorm float32) float32 {
+	var sq float64
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		for _, g := range p.Grad.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := float32(math.Sqrt(sq))
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			if p.Grad != nil {
+				tensor.ScaleInPlace(p.Grad, scale)
+			}
+		}
+	}
+	return norm
+}
