@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -23,12 +24,22 @@ import (
 )
 
 func main() {
-	modelName := flag.String("model", "t5-base", "model: t5-base, bart-large, t5-large")
-	devices := flag.Int("devices", 8, "number of Jetson Nano devices")
-	batch := flag.Int("batch", 16, "mini-batch size")
-	techName := flag.String("technique", "parallel", "technique: full, adapters, lora, parallel")
-	seq := flag.Int("seq", 128, "encoder sequence length")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pac-plan: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pac-plan", flag.ContinueOnError)
+	modelName := fs.String("model", "t5-base", "model: t5-base, bart-large, t5-large")
+	devices := fs.Int("devices", 8, "number of Jetson Nano devices")
+	batch := fs.Int("batch", 16, "mini-batch size")
+	techName := fs.String("technique", "parallel", "technique: full, adapters, lora, parallel")
+	seq := fs.Int("seq", 128, "encoder sequence length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var cfg model.Config
 	switch *modelName {
@@ -39,8 +50,7 @@ func main() {
 	case "t5-large":
 		cfg = model.T5Large()
 	default:
-		fmt.Fprintf(os.Stderr, "pac-plan: unknown model %q\n", *modelName)
-		os.Exit(2)
+		return fmt.Errorf("unknown model %q", *modelName)
 	}
 	var kind peft.Kind
 	switch *techName {
@@ -53,24 +63,23 @@ func main() {
 	case "parallel":
 		kind = peft.ParallelAdapters
 	default:
-		fmt.Fprintf(os.Stderr, "pac-plan: unknown technique %q\n", *techName)
-		os.Exit(2)
+		return fmt.Errorf("unknown technique %q", *techName)
 	}
 
 	costs := costmodel.Costs{Cfg: cfg, Kind: kind, EncSeq: *seq, DecSeq: 2}
 	in := planner.Input{Blocks: costs.Blocks(), Cluster: cluster.Nanos(*devices), MiniBatch: *batch}
 
-	fmt.Printf("model %s (%dM params), technique %s, %d× %s, batch %d, seq %d\n\n",
+	fmt.Fprintf(out, "model %s (%dM params), technique %s, %d× %s, batch %d, seq %d\n\n",
 		cfg.Name, cfg.ParamCount()/1e6, kind, *devices, cluster.JetsonNano().Name, *batch, *seq)
 
 	p, err := planner.New(in)
 	if err != nil {
-		fmt.Println("PAC (hybrid):  no memory-feasible configuration (OOM)")
+		fmt.Fprintln(out, "PAC (hybrid):  no memory-feasible configuration (OOM)")
 	} else {
-		fmt.Printf("PAC (hybrid):  %s\n", p)
+		fmt.Fprintf(out, "PAC (hybrid):  %s\n", p)
 		if ev, ok := planner.Evaluate(p, in); ok {
 			for k, st := range p.Stages {
-				fmt.Printf("  stage %d: blocks [%d,%d) on %d device(s), peak %.2f GiB, inflight ≤%d\n",
+				fmt.Fprintf(out, "  stage %d: blocks [%d,%d) on %d device(s), peak %.2f GiB, inflight ≤%d\n",
 					k, st.StartBlock, st.EndBlock, len(st.Devices),
 					float64(ev.PeakMemory[k].Total())/(1<<30), ev.PeakInflight[k])
 			}
@@ -79,14 +88,15 @@ func main() {
 
 	pp := planner.PipelineOnly(in)
 	if math.IsInf(pp.StepSec, 1) {
-		fmt.Println("Eco-FL (PP):   OOM")
+		fmt.Fprintln(out, "Eco-FL (PP):   OOM")
 	} else {
-		fmt.Printf("Eco-FL (PP):   %s\n", pp)
+		fmt.Fprintf(out, "Eco-FL (PP):   %s\n", pp)
 	}
 	dp := planner.DataParallel(in)
 	if math.IsInf(dp.StepSec, 1) {
-		fmt.Println("EDDL (DP):     OOM")
+		fmt.Fprintln(out, "EDDL (DP):     OOM")
 	} else {
-		fmt.Printf("EDDL (DP):     step %.3fs (full replica per device)\n", dp.StepSec)
+		fmt.Fprintf(out, "EDDL (DP):     step %.3fs (full replica per device)\n", dp.StepSec)
 	}
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-model", "t5-base", "-devices", "4", "-batch", "8"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"model T5-Base", "PAC (hybrid):", "Eco-FL (PP):", "EDDL (DP):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "gpt-17"}, &sb); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}

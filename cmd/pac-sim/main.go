@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pac/internal/cluster"
@@ -26,16 +27,26 @@ import (
 )
 
 func main() {
-	modelName := flag.String("model", "t5-base", "model: t5-base, bart-large, t5-large")
-	techName := flag.String("technique", "parallel", "technique: full, adapters, lora, parallel")
-	engName := flag.String("engine", "pac", "engine: standalone, eco-fl, eddl, pac")
-	devices := flag.Int("devices", 8, "Jetson Nano count")
-	batch := flag.Int("batch", 16, "mini-batch size")
-	samples := flag.Int("samples", 3668, "dataset size (default: MRPC)")
-	epochs := flag.Int("epochs", 3, "epochs")
-	useCache := flag.Bool("cache", true, "enable the activation cache (PAC + Parallel Adapters)")
-	traceFile := flag.String("trace", "", "write a Chrome-tracing JSON of one pipeline step")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pac-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pac-sim", flag.ContinueOnError)
+	modelName := fs.String("model", "t5-base", "model: t5-base, bart-large, t5-large")
+	techName := fs.String("technique", "parallel", "technique: full, adapters, lora, parallel")
+	engName := fs.String("engine", "pac", "engine: standalone, eco-fl, eddl, pac")
+	devices := fs.Int("devices", 8, "Jetson Nano count")
+	batch := fs.Int("batch", 16, "mini-batch size")
+	samples := fs.Int("samples", 3668, "dataset size (default: MRPC)")
+	epochs := fs.Int("epochs", 3, "epochs")
+	useCache := fs.Bool("cache", true, "enable the activation cache (PAC + Parallel Adapters)")
+	traceFile := fs.String("trace", "", "write a Chrome-tracing JSON of one pipeline step")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfgs := map[string]model.Config{
 		"t5-base": model.T5Base(), "bart-large": model.BARTLarge(), "t5-large": model.T5Large(),
@@ -50,8 +61,7 @@ func main() {
 	kind, ok2 := kinds[*techName]
 	eng, ok3 := engines[*engName]
 	if !ok1 || !ok2 || !ok3 {
-		fmt.Fprintln(os.Stderr, "pac-sim: unknown model/technique/engine")
-		os.Exit(2)
+		return fmt.Errorf("unknown model/technique/engine")
 	}
 
 	spec := core.SimSpec{
@@ -62,20 +72,19 @@ func main() {
 	}
 	res := core.Simulate(spec)
 	if res.OOM {
-		fmt.Println("result: OOM — no memory-feasible configuration")
-		os.Exit(1)
+		return fmt.Errorf("result: OOM — no memory-feasible configuration")
 	}
 
-	fmt.Printf("job:            %s + %s on %s, %d× Nano, batch %d, %d samples × %d epochs\n",
+	fmt.Fprintf(out, "job:            %s + %s on %s, %d× Nano, batch %d, %d samples × %d epochs\n",
 		kind, eng, cfg.Name, *devices, *batch, *samples, *epochs)
-	fmt.Printf("plan:           %s\n", res.Plan)
-	fmt.Printf("total:          %.3f hours\n", res.Hours)
-	fmt.Printf("phase-1 step:   %.3f s/mini-batch (%.2f samples/s)\n", res.Phase1StepSec, res.Throughput)
+	fmt.Fprintf(out, "plan:           %s\n", res.Plan)
+	fmt.Fprintf(out, "total:          %.3f hours\n", res.Hours)
+	fmt.Fprintf(out, "phase-1 step:   %.3f s/mini-batch (%.2f samples/s)\n", res.Phase1StepSec, res.Throughput)
 	if res.CachedStepSec > 0 {
-		fmt.Printf("cached step:    %.3f s/mini-batch\n", res.CachedStepSec)
-		fmt.Printf("redistribution: %.1f s (cache %.2f GB)\n", res.RedistributionSec, float64(res.CacheBytes)/1e9)
+		fmt.Fprintf(out, "cached step:    %.3f s/mini-batch\n", res.CachedStepSec)
+		fmt.Fprintf(out, "redistribution: %.1f s (cache %.2f GB)\n", res.RedistributionSec, float64(res.CacheBytes)/1e9)
 	}
-	fmt.Printf("peak memory:    %.2f GiB/device (weights %.2f, act+opt %.2f, grads %.2f)\n",
+	fmt.Fprintf(out, "peak memory:    %.2f GiB/device (weights %.2f, act+opt %.2f, grads %.2f)\n",
 		costmodel.GiB(res.PeakMemory.Total()), costmodel.GiB(res.PeakMemory.Weights),
 		costmodel.GiB(res.PeakMemory.PaperActivations()), costmodel.GiB(res.PeakMemory.Gradients))
 
@@ -84,18 +93,16 @@ func main() {
 		in := planner.Input{Blocks: costs.Blocks(), Cluster: spec.Cluster, MiniBatch: *batch}
 		tr := &sim.Trace{}
 		if _, ok := planner.EvaluateWithTrace(res.Plan, in, tr); !ok {
-			fmt.Fprintln(os.Stderr, "pac-sim: plan no longer feasible for tracing")
-			os.Exit(1)
+			return fmt.Errorf("plan no longer feasible for tracing")
 		}
 		blob, err := tr.ChromeJSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pac-sim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		if err := os.WriteFile(*traceFile, blob, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pac-sim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("trace:          %d events → %s (open in chrome://tracing)\n", len(tr.Events), *traceFile)
+		fmt.Fprintf(out, "trace:          %d events → %s (open in chrome://tracing)\n", len(tr.Events), *traceFile)
 	}
+	return nil
 }

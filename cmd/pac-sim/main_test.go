@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-devices", "4", "-batch", "8", "-samples", "64", "-epochs", "1"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"job:", "plan:", "total:", "phase-1 step:", "peak memory:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var sb strings.Builder
+	err := run([]string{"-devices", "4", "-batch", "8", "-samples", "64", "-epochs", "1", "-trace", path}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if !strings.Contains(string(blob), `"ph"`) {
+		t.Errorf("trace file is not Chrome-tracing JSON: %.80s", blob)
+	}
+}
+
+func TestRunRejectsUnknownEngine(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-engine", "warp"}, &sb); err == nil {
+		t.Fatal("expected error for unknown engine")
+	}
+}

@@ -4,39 +4,68 @@
 // cache, then cache-only data-parallel epochs — the full paper workflow
 // at laptop scale.
 //
+// The -crash-device / -crash-after flags inject a deterministic device
+// crash mid-epoch to exercise the failure path: the engines detect the
+// dead rank within -step-timeout, the failed device is reported and
+// marked dead in the liveness tracker, the hybrid-parallelism planner
+// is re-run on the surviving device set, and training restarts on the
+// re-planned pool.
+//
 // Usage:
 //
 //	pac-train [-task mrpc|sts-b|sst-2|qnli] [-samples N] [-epochs N]
 //	          [-stages N] [-lanes N] [-batch N] [-lr F] [-cache-dir DIR]
+//	          [-crash-device N] [-crash-after OPS] [-step-timeout D]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"pac/internal/acache"
 	"pac/internal/checkpoint"
+	"pac/internal/cluster"
 	"pac/internal/core"
+	"pac/internal/costmodel"
 	"pac/internal/data"
 	"pac/internal/model"
+	"pac/internal/parallel"
 	"pac/internal/peft"
+	"pac/internal/planner"
 )
 
 func main() {
-	taskName := flag.String("task", "mrpc", "task: mrpc, sts-b, sst-2, qnli")
-	samples := flag.Int("samples", 128, "dataset size")
-	epochs := flag.Int("epochs", 3, "total epochs (first fills the cache)")
-	stages := flag.Int("stages", 2, "pipeline stages")
-	lanes := flag.Int("lanes", 2, "data-parallel lanes per stage")
-	batch := flag.Int("batch", 16, "mini-batch size")
-	lr := flag.Float64("lr", 0.005, "learning rate")
-	pretrain := flag.Int("pretrain", 6, "pretraining epochs for the backbone (0 = random backbone)")
-	cacheDir := flag.String("cache-dir", "", "directory for a disk-backed activation cache (default: in-memory)")
-	savePath := flag.String("save", "", "write the trained adapters to this checkpoint file")
-	loadPath := flag.String("load", "", "initialize adapters from this checkpoint before training")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pac-train: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: flags in, report on
+// out, error instead of os.Exit.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pac-train", flag.ContinueOnError)
+	taskName := fs.String("task", "mrpc", "task: mrpc, sts-b, sst-2, qnli")
+	samples := fs.Int("samples", 128, "dataset size")
+	epochs := fs.Int("epochs", 3, "total epochs (first fills the cache)")
+	stages := fs.Int("stages", 2, "pipeline stages")
+	lanes := fs.Int("lanes", 2, "data-parallel lanes per stage")
+	batch := fs.Int("batch", 16, "mini-batch size")
+	lr := fs.Float64("lr", 0.005, "learning rate")
+	pretrain := fs.Int("pretrain", 6, "pretraining epochs for the backbone (0 = random backbone)")
+	cacheDir := fs.String("cache-dir", "", "directory for a disk-backed activation cache (default: in-memory)")
+	savePath := fs.String("save", "", "write the trained adapters to this checkpoint file")
+	loadPath := fs.String("load", "", "initialize adapters from this checkpoint before training")
+	crashDevice := fs.Int("crash-device", -1, "inject a crash of this device (0..stages·lanes-1; -1 disables)")
+	crashAfter := fs.Int("crash-after", 100, "transport operations before the injected crash fires")
+	stepTimeout := fs.Duration("step-timeout", 5*time.Second, "per-step liveness deadline for failure detection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var task data.Task
 	switch *taskName {
@@ -49,8 +78,7 @@ func main() {
 	case "qnli":
 		task = data.QNLI
 	default:
-		fmt.Fprintf(os.Stderr, "pac-train: unknown task %q\n", *taskName)
-		os.Exit(2)
+		return fmt.Errorf("unknown task %q", *taskName)
 	}
 	spec := data.SpecFor(task)
 
@@ -65,8 +93,7 @@ func main() {
 	if *cacheDir != "" {
 		s, err := acache.NewDiskStore(*cacheDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pac-train: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		store = s
 	}
@@ -75,55 +102,127 @@ func main() {
 	if *pretrain > 0 {
 		corpus := data.Generate(data.GenConfig{Task: data.SST2, Size: 384, SeqLen: 16, Vocab: 64, Seed: 99})
 		backbone = core.PretrainBackbone(cfg, corpus, *pretrain, 3e-3, 1)
-		fmt.Printf("pretrained backbone for %d epochs\n", *pretrain)
+		fmt.Fprintf(out, "pretrained backbone for %d epochs\n", *pretrain)
 	}
 
-	f := core.New(core.Config{
-		Model:      cfg,
-		Opts:       peft.Options{Reduction: 2},
-		Stages:     *stages,
-		Lanes:      *lanes,
-		LR:         float32(*lr),
-		Adam:       true,
-		Cache:      store,
-		Regression: spec.Regression,
-		Backbone:   backbone,
-	})
+	// The emulated device pool: one named device per (lane, stage) slot,
+	// tracked by a heartbeat-based liveness monitor.
+	pool := cluster.Nanos(*stages * *lanes)
+	live := cluster.NewLiveness(time.Minute)
+	for _, d := range pool.Devices {
+		live.Heartbeat(d.Name)
+	}
 
+	coreCfg := core.Config{
+		Model:       cfg,
+		Opts:        peft.Options{Reduction: 2},
+		Stages:      *stages,
+		Lanes:       *lanes,
+		LR:          float32(*lr),
+		Adam:        true,
+		Cache:       store,
+		Regression:  spec.Regression,
+		Backbone:    backbone,
+		StepTimeout: *stepTimeout,
+	}
+	if *crashDevice >= 0 {
+		if *crashDevice >= pool.Size() {
+			return fmt.Errorf("crash-device %d out of range (pool has %d devices)", *crashDevice, pool.Size())
+		}
+		crashLane := *crashDevice / *stages
+		crashStage := *crashDevice % *stages
+		after := *crashAfter
+		coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
+			fc := parallel.FaultConfig{Seed: 1}
+			if id.Kind == "pipe" && id.Index == crashLane {
+				fc.Crash = map[int]int{crashStage: after}
+			}
+			return parallel.WrapFaulty(eps, fc)
+		}
+		fmt.Fprintf(out, "fault injection: device %d (%s, lane %d stage %d) crashes after %d transport ops\n",
+			*crashDevice, pool.Devices[*crashDevice].Name, crashLane, crashStage, after)
+	}
+
+	f := core.New(coreCfg)
 	if *loadPath != "" {
 		if _, err := checkpoint.Load(*loadPath, f.Reference(), cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "pac-train: load: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("load: %w", err)
 		}
 		f.AdoptReferenceWeights()
-		fmt.Printf("loaded adapters from %s\n", *loadPath)
+		fmt.Fprintf(out, "loaded adapters from %s\n", *loadPath)
 	}
 
-	fmt.Printf("PAC fine-tuning %s: %d samples, %d epochs, %d stages × %d lanes (= %d devices)\n",
+	fmt.Fprintf(out, "PAC fine-tuning %s: %d samples, %d epochs, %d stages × %d lanes (= %d devices)\n",
 		task, trainDS.Len(), *epochs, *stages, *lanes, *stages**lanes)
 	before := f.Evaluate(evalDS, *batch)
-	fmt.Printf("before: loss %.4f, metric %.2f\n", before.Loss, before.Metric(task))
+	fmt.Fprintf(out, "before: loss %.4f, metric %.2f\n", before.Loss, before.Metric(task))
 
 	start := time.Now()
-	loss, err := f.FineTune(trainDS, *batch, *epochs, 1)
+	loss, err := f.FineTuneCtx(context.Background(), trainDS, *batch, *epochs, 1)
+	if rf, ok := parallel.AsRankFailed(err); ok {
+		// A device died mid-run: report it, drop it from the pool, re-run
+		// the planner on the survivors, and train again on the new plan.
+		devIdx := rf.Rank
+		if rf.Lane >= 0 {
+			devIdx = rf.Lane**stages + rf.Rank
+		}
+		if devIdx < 0 || devIdx >= pool.Size() {
+			devIdx = 0
+		}
+		failed := pool.Devices[devIdx].Name
+		live.MarkDead(failed)
+		fmt.Fprintf(out, "FAILURE: device %s detected dead (%v)\n", failed, rf)
+
+		survivors := live.Survivors(pool)
+		fmt.Fprintf(out, "re-planning on %d surviving device(s): %v\n", survivors.Size(), deviceNames(survivors))
+		costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
+		in := planner.Input{Blocks: costs.Blocks(), Cluster: survivors, MiniBatch: *batch}
+		if plan, perr := planner.New(in); perr != nil {
+			fmt.Fprintf(out, "re-plan: no feasible configuration on survivors (%v)\n", perr)
+		} else {
+			fmt.Fprintf(out, "re-plan: %s\n", plan)
+		}
+
+		// Rerun on the surviving pool with one lane fewer (the crashed
+		// lane's devices are reassigned; weights restart from scratch —
+		// phase-1 progress of a failed epoch is not recoverable).
+		newLanes := *lanes - 1
+		if newLanes < 1 {
+			newLanes = 1
+		}
+		retryCfg := coreCfg
+		retryCfg.Lanes = newLanes
+		retryCfg.WrapTransport = nil // the dead device is out of the pool
+		retryCfg.Cache = nil         // rebuild the cache on the new pool
+		f = core.New(retryCfg)
+		fmt.Fprintf(out, "restarting: %d stages × %d lanes on survivors\n", *stages, newLanes)
+		loss, err = f.FineTuneCtx(context.Background(), trainDS, *batch, *epochs, 1)
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pac-train: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	elapsed := time.Since(start)
 
 	after := f.Evaluate(evalDS, *batch)
 	st := f.Cache().Stats()
-	fmt.Printf("after:  loss %.4f, metric %.2f (train loss %.4f)\n", after.Loss, after.Metric(task), loss)
-	fmt.Printf("wall time %.1fs; cache: %d entries, %.1f MB, %d hits / %d puts; redistributed %.1f MB\n",
+	fmt.Fprintf(out, "after:  loss %.4f, metric %.2f (train loss %.4f)\n", after.Loss, after.Metric(task), loss)
+	fmt.Fprintf(out, "wall time %.1fs; cache: %d entries, %.1f MB, %d hits / %d puts; redistributed %.1f MB\n",
 		elapsed.Seconds(), f.Cache().Len(), float64(f.Cache().Bytes())/1e6,
 		st.Hits, st.Puts, float64(f.RedistributedBytes)/1e6)
 
 	if *savePath != "" {
 		if err := checkpoint.Save(*savePath, task.String(), f.Reference(), cfg, uint64(f.EpochsRun())); err != nil {
-			fmt.Fprintf(os.Stderr, "pac-train: save: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("save: %w", err)
 		}
-		fmt.Printf("saved adapters to %s\n", *savePath)
+		fmt.Fprintf(out, "saved adapters to %s\n", *savePath)
 	}
+	return nil
+}
+
+func deviceNames(c cluster.Cluster) []string {
+	out := make([]string, c.Size())
+	for i, d := range c.Devices {
+		out[i] = d.Name
+	}
+	return out
 }

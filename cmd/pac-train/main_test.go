@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyArgs keeps the smoke runs to a couple of seconds: no backbone
+// pretraining, one epoch, 16 samples.
+func tinyArgs(extra ...string) []string {
+	args := []string{
+		"-task", "sst-2", "-samples", "16", "-epochs", "1",
+		"-pretrain", "0", "-stages", "2", "-lanes", "2", "-batch", "8",
+	}
+	return append(args, extra...)
+}
+
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := run(tinyArgs(), &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"PAC fine-tuning SST-2", "before:", "after:", "wall time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCrashRecovery drives the full failure path end to end: a
+// device is crashed mid-epoch by the fault injector, the engine
+// surfaces a RankFailedError within the step deadline, pac-train names
+// the dead device, re-runs the planner on the survivors, and finishes
+// training on the shrunken pool.
+func TestRunCrashRecovery(t *testing.T) {
+	var sb strings.Builder
+	err := run(tinyArgs("-crash-device", "3", "-crash-after", "5", "-step-timeout", "2s"), &sb)
+	if err != nil {
+		t.Fatalf("run after recovery: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fault injection: device 3",
+		"FAILURE: device",
+		"re-planning on 3 surviving device(s)",
+		"restarting: 2 stages × 1 lanes",
+		"after:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-task", "imagenet"}, &sb); err == nil {
+		t.Fatal("expected error for unknown task")
+	}
+	if err := run(tinyArgs("-crash-device", "99"), &sb); err == nil {
+		t.Fatal("expected error for out-of-range crash device")
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Liveness tracks device heartbeats for one pool. A device is alive
+// while its last heartbeat is younger than the TTL; a device that goes
+// quiet — or is explicitly reported dead by an engine's
+// RankFailedError — drops out of the surviving set, which the
+// orchestrator feeds back into the planner to re-plan around the loss.
+type Liveness struct {
+	mu    sync.Mutex
+	ttl   time.Duration
+	now   func() time.Time
+	beats map[string]time.Time
+	dead  map[string]bool
+}
+
+// NewLiveness builds a tracker with the given heartbeat TTL.
+func NewLiveness(ttl time.Duration) *Liveness {
+	return &Liveness{ttl: ttl, now: time.Now, beats: map[string]time.Time{}, dead: map[string]bool{}}
+}
+
+// SetClock overrides the time source (tests).
+func (l *Liveness) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+}
+
+// Heartbeat records a sign of life from the named device. A heartbeat
+// from a device previously marked dead revives it (the device
+// rejoined).
+func (l *Liveness) Heartbeat(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.beats[name] = l.now()
+	delete(l.dead, name)
+}
+
+// MarkDead declares a device failed immediately, regardless of its
+// heartbeat age — the path taken when an engine detects the failure
+// first (recv deadline expired on that rank).
+func (l *Liveness) MarkDead(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dead[name] = true
+}
+
+// Alive reports whether the device has a fresh heartbeat and has not
+// been declared dead.
+func (l *Liveness) Alive(name string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.aliveLocked(name)
+}
+
+func (l *Liveness) aliveLocked(name string) bool {
+	if l.dead[name] {
+		return false
+	}
+	last, ok := l.beats[name]
+	if !ok {
+		return false
+	}
+	return l.now().Sub(last) < l.ttl
+}
+
+// Dead returns the sorted names of tracked devices that are not alive.
+func (l *Liveness) Dead() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for name := range l.beats {
+		if !l.aliveLocked(name) {
+			out = append(out, name)
+		}
+	}
+	for name := range l.dead {
+		if _, tracked := l.beats[name]; !tracked {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Survivors filters a cluster down to its alive devices, preserving
+// order — the device set handed back to the planner after a failure.
+func (l *Liveness) Survivors(c Cluster) Cluster {
+	var out Cluster
+	for _, d := range c.Devices {
+		if l.Alive(d.Name) {
+			out.Devices = append(out.Devices, d)
+		}
+	}
+	return out
+}
+
+// Without returns the cluster minus the named devices, preserving
+// order. Convenience for dropping a failed device without a tracker.
+func (c Cluster) Without(names ...string) Cluster {
+	drop := map[string]bool{}
+	for _, n := range names {
+		drop[n] = true
+	}
+	var out Cluster
+	for _, d := range c.Devices {
+		if !drop[d.Name] {
+			out.Devices = append(out.Devices, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestLivenessHeartbeatExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLiveness(30 * time.Second)
+	l.SetClock(func() time.Time { return now })
+
+	l.Heartbeat("a")
+	l.Heartbeat("b")
+	if !l.Alive("a") || !l.Alive("b") {
+		t.Fatal("fresh heartbeats not alive")
+	}
+	if l.Alive("unknown") {
+		t.Fatal("never-seen device reported alive")
+	}
+
+	// a keeps beating; b goes quiet past the TTL.
+	now = now.Add(20 * time.Second)
+	l.Heartbeat("a")
+	now = now.Add(15 * time.Second)
+	if !l.Alive("a") {
+		t.Fatal("a expired despite recent heartbeat")
+	}
+	if l.Alive("b") {
+		t.Fatal("b alive 35s after its last heartbeat (ttl 30s)")
+	}
+	if got := l.Dead(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("Dead() = %v, want [b]", got)
+	}
+}
+
+func TestLivenessMarkDeadAndRevive(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLiveness(time.Minute)
+	l.SetClock(func() time.Time { return now })
+
+	l.Heartbeat("a")
+	l.MarkDead("a")
+	if l.Alive("a") {
+		t.Fatal("MarkDead ignored despite fresh heartbeat")
+	}
+	if got := l.Dead(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Dead() = %v, want [a]", got)
+	}
+	// A later heartbeat means the device rejoined.
+	l.Heartbeat("a")
+	if !l.Alive("a") {
+		t.Fatal("heartbeat did not revive a marked-dead device")
+	}
+}
+
+func TestLivenessSurvivorsPreservesOrder(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLiveness(time.Minute)
+	l.SetClock(func() time.Time { return now })
+
+	pool := Nanos(4)
+	for _, d := range pool.Devices {
+		l.Heartbeat(d.Name)
+	}
+	l.MarkDead(pool.Devices[1].Name)
+
+	s := l.Survivors(pool)
+	if s.Size() != 3 {
+		t.Fatalf("survivors: %d, want 3", s.Size())
+	}
+	want := []string{pool.Devices[0].Name, pool.Devices[2].Name, pool.Devices[3].Name}
+	for i, d := range s.Devices {
+		if d.Name != want[i] {
+			t.Fatalf("survivor %d = %s, want %s (order not preserved)", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestClusterWithout(t *testing.T) {
+	pool := Nanos(3)
+	rest := pool.Without(pool.Devices[0].Name)
+	if rest.Size() != 2 || rest.Devices[0].Name != pool.Devices[1].Name {
+		t.Fatalf("Without broken: %v", rest.Devices)
+	}
+	if pool.Size() != 3 {
+		t.Fatal("Without mutated the original cluster")
+	}
+}

@@ -18,8 +18,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"pac/internal/acache"
 	"pac/internal/autograd"
@@ -54,6 +56,19 @@ type Config struct {
 	// this model's weights before freezing — the pretrained personal LLM
 	// that PAC adapts. It must have been built from the same Config.Model.
 	Backbone *model.Model
+	// StepTimeout bounds each distributed training step: a rank that
+	// goes silent for longer is declared dead and the step returns a
+	// parallel.RankFailedError instead of hanging. Zero disables the
+	// deadline (reliable-LAN assumption).
+	StepTimeout time.Duration
+	// Faults, when non-nil, wraps every engine fabric in a seeded
+	// fault-injection decorator (parallel.WrapFaulty) — the chaos-run
+	// switch used to exercise the failure-handling paths end to end.
+	Faults *parallel.FaultConfig
+	// WrapTransport, when non-nil, rewires each hybrid fabric through
+	// this hook instead of the uniform Faults wrapping, letting a caller
+	// target one fabric — e.g. crash a single stage of a single lane.
+	WrapTransport func(parallel.FabricID, []parallel.Transport) []parallel.Transport
 }
 
 // Framework is a live PAC deployment.
@@ -124,6 +139,15 @@ func New(cfg Config) *Framework {
 		return e
 	})
 
+	f.hybrid.StepTimeout = cfg.StepTimeout
+	if cfg.WrapTransport != nil {
+		f.hybrid.WrapTransports(cfg.WrapTransport)
+	} else if cfg.Faults != nil {
+		f.hybrid.WrapTransports(func(_ parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
+			return parallel.WrapFaulty(eps, *cfg.Faults)
+		})
+	}
+
 	f.reference = peft.NewParallel(newBackbone(), cfg.Opts)
 	return f
 }
@@ -181,12 +205,27 @@ func (b *cacheBuilder) observe(ids []int, tapIdx int, tap *tensor.Tensor) {
 
 // Phase1Epoch runs one hybrid data+pipeline epoch over the loader
 // (paper Step 4), filling the activation cache as a side effect.
-// Returns the mean loss.
+// Returns the mean loss. Reliable-LAN wrapper: panics on device
+// failure; use Phase1EpochCtx to handle failures.
 func (f *Framework) Phase1Epoch(loader *data.Loader, epoch int) float64 {
-	loss := f.hybrid.TrainEpoch(loader, epoch)
+	loss, err := f.Phase1EpochCtx(context.Background(), loader, epoch)
+	if err != nil {
+		panic(err.Error())
+	}
+	return loss
+}
+
+// Phase1EpochCtx is the fault-aware Phase1Epoch: a dead device aborts
+// the epoch cleanly and surfaces a parallel.RankFailedError so the
+// orchestrator can re-plan on the survivors.
+func (f *Framework) Phase1EpochCtx(ctx context.Context, loader *data.Loader, epoch int) (float64, error) {
+	loss, err := f.hybrid.TrainEpochCtx(ctx, loader, epoch)
+	if err != nil {
+		return 0, err
+	}
 	f.phase1Done = true
 	f.epochsRun++
-	return loss
+	return loss, nil
 }
 
 // Redistribute performs the phase transition (paper §5.2): every device
@@ -225,6 +264,13 @@ func (f *Framework) Redistribute(ds *data.Dataset) error {
 // the cache (paper Step 5) across Stages×Lanes workers. Returns the
 // mean loss of the final epoch.
 func (f *Framework) CachedEpochs(loader *data.Loader, startEpoch, n int) (float64, error) {
+	return f.CachedEpochsCtx(context.Background(), loader, startEpoch, n)
+}
+
+// CachedEpochsCtx is the fault-aware CachedEpochs: the DP fabric runs
+// under the configured StepTimeout (and fault injection, if enabled)
+// and a dead worker surfaces as a parallel.RankFailedError.
+func (f *Framework) CachedEpochsCtx(ctx context.Context, loader *data.Loader, startEpoch, n int) (float64, error) {
 	if f.RedistributedBytes == 0 {
 		return 0, fmt.Errorf("core: run Redistribute before cached epochs")
 	}
@@ -240,13 +286,21 @@ func (f *Framework) CachedEpochs(loader *data.Loader, startEpoch, n int) (float6
 		return tech, train.NewSGD(tech.Trainable(), f.cfg.LR, 0, 0)
 	})
 	g.Regression = f.cfg.Regression
+	g.StepTimeout = f.cfg.StepTimeout
+	if f.cfg.Faults != nil {
+		g.Endpoints = parallel.WrapFaulty(g.Endpoints, *f.cfg.Faults)
+	}
 	g.Forward = func(rank int, mb *data.Batch, trainMode bool) *autograd.Variable {
 		pa := g.Techs[rank].(*peft.Parallel)
 		return pa.ForwardFromTaps(f.gatherTaps(pa, mb))
 	}
 	var loss float64
 	for e := 0; e < n; e++ {
-		loss = g.TrainEpoch(loader, startEpoch+e)
+		var err error
+		loss, err = g.TrainEpochCtx(ctx, loader, startEpoch+e)
+		if err != nil {
+			return 0, err
+		}
 		f.epochsRun++
 	}
 	// Adopt the final weights into the reference replica and back into
@@ -296,8 +350,19 @@ func (f *Framework) Recomputed() int64 { return atomic.LoadInt64(&f.recomputed) 
 // fill, redistribution, then cache-only epochs. epochs is the total
 // count (≥1). Returns the final epoch's mean loss.
 func (f *Framework) FineTune(ds *data.Dataset, batch int, epochs int, seed int64) (float64, error) {
+	return f.FineTuneCtx(context.Background(), ds, batch, epochs, seed)
+}
+
+// FineTuneCtx is the fault-aware FineTune: device failures in either
+// phase surface as a parallel.RankFailedError (inspect with
+// parallel.AsRankFailed) instead of panicking, so callers can drop the
+// failed device, re-plan, and retry.
+func (f *Framework) FineTuneCtx(ctx context.Context, ds *data.Dataset, batch int, epochs int, seed int64) (float64, error) {
 	loader := data.NewLoader(ds, batch, seed)
-	loss := f.Phase1Epoch(loader, 0)
+	loss, err := f.Phase1EpochCtx(ctx, loader, 0)
+	if err != nil {
+		return 0, err
+	}
 	if epochs == 1 {
 		// Still sync the reference replica for evaluation.
 		flat := nn.FlattenParams(f.hybrid.Lanes[0].Tech.Trainable())
@@ -307,7 +372,7 @@ func (f *Framework) FineTune(ds *data.Dataset, batch int, epochs int, seed int64
 	if err := f.Redistribute(ds); err != nil {
 		return 0, err
 	}
-	return f.CachedEpochs(loader, 1, epochs-1)
+	return f.CachedEpochsCtx(ctx, loader, 1, epochs-1)
 }
 
 // Evaluate scores the trained adapters on a dataset using the reference

@@ -1,16 +1,77 @@
 package parallel
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
 
-// RingAllReduce sums data across all ranks in t's group in place, using
-// the bandwidth-optimal ring algorithm: n−1 reduce-scatter steps followed
-// by n−1 all-gather steps, each moving 1/n of the payload. Every rank
-// must call it with an equal-length buffer. The group is the transport's
-// full rank set.
-func RingAllReduce(t Transport, data []float32) {
+// RetryPolicy bounds how collectives and engines retry transient
+// transport faults: up to Max attempts with exponential backoff from
+// Base, capped at Cap. The zero value means DefaultRetry.
+type RetryPolicy struct {
+	Max  int
+	Base time.Duration
+	Cap  time.Duration
+}
+
+// DefaultRetry is the policy used by the panic-on-error collective
+// wrappers and by engines with no explicit policy: 6 attempts, 1 ms
+// initial backoff doubling to a 50 ms cap.
+var DefaultRetry = RetryPolicy{Max: 6, Base: time.Millisecond, Cap: 50 * time.Millisecond}
+
+func (p RetryPolicy) orDefault() RetryPolicy {
+	if p.Max <= 0 {
+		return DefaultRetry
+	}
+	return p
+}
+
+// sendRetry sends with bounded exponential backoff on ErrTransient.
+// Non-transient errors (dead rank, canceled context) abort immediately.
+func sendRetry(ctx context.Context, t Transport, to int, tag string, payload []byte, pol RetryPolicy) error {
+	pol = pol.orDefault()
+	backoff := pol.Base
+	var err error
+	for attempt := 0; attempt < pol.Max; attempt++ {
+		err = t.SendCtx(ctx, to, tag, payload)
+		if err == nil || !errors.Is(err, ErrTransient) {
+			return err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return fmt.Errorf("parallel: send %d→%d %q: %w", t.Rank(), to, tag, ctx.Err())
+		}
+		backoff *= 2
+		if backoff > pol.Cap {
+			backoff = pol.Cap
+		}
+	}
+	return fmt.Errorf("parallel: send %d→%d %q: %d attempts exhausted: %w", t.Rank(), to, tag, pol.Max, err)
+}
+
+// recvPeer receives from a peer and classifies liveness failures as
+// RankFailedError blaming that peer.
+func recvPeer(ctx context.Context, t Transport, from int, tag string) ([]byte, error) {
+	b, err := t.RecvCtx(ctx, from, tag)
+	if err != nil {
+		return nil, blamePeer("recv "+tag, from, err)
+	}
+	return b, nil
+}
+
+// RingAllReduceCtx sums data across all ranks in t's group in place,
+// using the bandwidth-optimal ring algorithm: n−1 reduce-scatter steps
+// followed by n−1 all-gather steps, each moving 1/n of the payload.
+// Every rank must call it with an equal-length buffer. Transient send
+// faults are retried per pol; liveness failures surface as
+// RankFailedError.
+func RingAllReduceCtx(ctx context.Context, t Transport, data []float32, pol RetryPolicy) error {
 	n := t.Size()
 	if n == 1 {
-		return
+		return nil
 	}
 	rank := t.Rank()
 	next := (rank + 1) % n
@@ -29,11 +90,17 @@ func RingAllReduce(t Transport, data []float32) {
 		sendC := (rank - s + n) % n
 		recvC := (rank - s - 1 + n) % n
 		tag := fmt.Sprintf("rs%d", s)
-		t.Send(next, tag, chunk(sendC))
-		incoming := t.Recv(prev, tag)
+		if err := sendRetry(ctx, t, next, tag, encodeF32(chunk(sendC)), pol); err != nil {
+			return err
+		}
+		raw, err := recvPeer(ctx, t, prev, tag)
+		if err != nil {
+			return err
+		}
+		incoming := decodeF32(raw)
 		dst := chunk(recvC)
 		if len(incoming) != len(dst) {
-			panic("parallel: allreduce chunk mismatch")
+			return fmt.Errorf("parallel: allreduce chunk mismatch: got %d want %d", len(incoming), len(dst))
 		}
 		for i := range dst {
 			dst[i] += incoming[i]
@@ -44,47 +111,86 @@ func RingAllReduce(t Transport, data []float32) {
 		sendC := (rank + 1 - s + n) % n
 		recvC := (rank - s + n) % n
 		tag := fmt.Sprintf("ag%d", s)
-		t.Send(next, tag, chunk(sendC))
-		incoming := t.Recv(prev, tag)
-		copy(chunk(recvC), incoming)
+		if err := sendRetry(ctx, t, next, tag, encodeF32(chunk(sendC)), pol); err != nil {
+			return err
+		}
+		raw, err := recvPeer(ctx, t, prev, tag)
+		if err != nil {
+			return err
+		}
+		copy(chunk(recvC), decodeF32(raw))
+	}
+	return nil
+}
+
+// RingAllReduce is the legacy reliable-LAN wrapper: panics on any
+// transport failure.
+func RingAllReduce(t Transport, data []float32) {
+	if err := RingAllReduceCtx(context.Background(), t, data, DefaultRetry); err != nil {
+		panic(err.Error())
 	}
 }
 
-// AllReduceMean performs RingAllReduce then divides by the group size,
-// producing the mean — the gradient-averaging collective.
-func AllReduceMean(t Transport, data []float32) {
-	RingAllReduce(t, data)
+// AllReduceMeanCtx performs RingAllReduceCtx then divides by the group
+// size, producing the mean — the gradient-averaging collective.
+func AllReduceMeanCtx(ctx context.Context, t Transport, data []float32, pol RetryPolicy) error {
+	if err := RingAllReduceCtx(ctx, t, data, pol); err != nil {
+		return err
+	}
 	inv := 1 / float32(t.Size())
 	for i := range data {
 		data[i] *= inv
 	}
+	return nil
 }
 
-// Broadcast copies root's data to every rank (in place on non-roots).
-func Broadcast(t Transport, root int, data []float32) {
+// AllReduceMean is the legacy panic-on-error wrapper.
+func AllReduceMean(t Transport, data []float32) {
+	if err := AllReduceMeanCtx(context.Background(), t, data, DefaultRetry); err != nil {
+		panic(err.Error())
+	}
+}
+
+// BroadcastCtx copies root's data to every rank (in place on
+// non-roots).
+func BroadcastCtx(ctx context.Context, t Transport, root int, data []float32, pol RetryPolicy) error {
 	if t.Size() == 1 {
-		return
+		return nil
 	}
 	if t.Rank() == root {
 		for r := 0; r < t.Size(); r++ {
 			if r != root {
-				t.Send(r, "bcast", data)
+				if err := sendRetry(ctx, t, r, "bcast", encodeF32(data), pol); err != nil {
+					return err
+				}
 			}
 		}
-		return
+		return nil
 	}
-	incoming := t.Recv(root, "bcast")
-	copy(data, incoming)
+	raw, err := recvPeer(ctx, t, root, "bcast")
+	if err != nil {
+		return err
+	}
+	copy(data, decodeF32(raw))
+	return nil
 }
 
-// AllGatherBytes collects every rank's blob on every rank, indexed by
-// rank. Used for the PAC cache/parameter redistribution (paper §5.2).
-func AllGatherBytes(t Transport, own []byte) [][]byte {
+// Broadcast is the legacy panic-on-error wrapper.
+func Broadcast(t Transport, root int, data []float32) {
+	if err := BroadcastCtx(context.Background(), t, root, data, DefaultRetry); err != nil {
+		panic(err.Error())
+	}
+}
+
+// AllGatherBytesCtx collects every rank's blob on every rank, indexed
+// by rank. Used for the PAC cache/parameter redistribution (paper
+// §5.2).
+func AllGatherBytesCtx(ctx context.Context, t Transport, own []byte, pol RetryPolicy) ([][]byte, error) {
 	n := t.Size()
 	out := make([][]byte, n)
 	out[t.Rank()] = own
 	if n == 1 {
-		return out
+		return out, nil
 	}
 	// Ring circulation: n−1 steps, each forwarding the previously
 	// received blob.
@@ -94,27 +200,54 @@ func AllGatherBytes(t Transport, own []byte) [][]byte {
 	src := t.Rank()
 	for s := 0; s < n-1; s++ {
 		tag := fmt.Sprintf("gather%d", s)
-		t.SendBytes(next, tag, forward)
-		incoming := t.RecvBytes(prev, tag)
+		if err := sendRetry(ctx, t, next, tag, forward, pol); err != nil {
+			return nil, err
+		}
+		incoming, err := recvPeer(ctx, t, prev, tag)
+		if err != nil {
+			return nil, err
+		}
 		src = (src - 1 + n) % n
 		out[src] = incoming
 		forward = incoming
 	}
+	return out, nil
+}
+
+// AllGatherBytes is the legacy panic-on-error wrapper.
+func AllGatherBytes(t Transport, own []byte) [][]byte {
+	out, err := AllGatherBytesCtx(context.Background(), t, own, DefaultRetry)
+	if err != nil {
+		panic(err.Error())
+	}
 	return out
 }
 
-// Barrier blocks until every rank reaches it (ring token pass, two
-// rounds).
-func Barrier(t Transport) {
+// BarrierCtx blocks until every rank reaches it (ring token pass, two
+// rounds) or the context expires.
+func BarrierCtx(ctx context.Context, t Transport, pol RetryPolicy) error {
 	n := t.Size()
 	if n == 1 {
-		return
+		return nil
 	}
 	next := (t.Rank() + 1) % n
 	prev := (t.Rank() - 1 + n) % n
+	token := encodeF32([]float32{1})
 	for round := 0; round < 2; round++ {
 		tag := fmt.Sprintf("barrier%d", round)
-		t.Send(next, tag, []float32{1})
-		t.Recv(prev, tag)
+		if err := sendRetry(ctx, t, next, tag, token, pol); err != nil {
+			return err
+		}
+		if _, err := recvPeer(ctx, t, prev, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier is the legacy panic-on-error wrapper.
+func Barrier(t Transport) {
+	if err := BarrierCtx(context.Background(), t, DefaultRetry); err != nil {
+		panic(err.Error())
 	}
 }

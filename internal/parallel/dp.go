@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"pac/internal/autograd"
 	"pac/internal/data"
@@ -28,6 +30,14 @@ type DPGroup struct {
 	Endpoints  []Transport
 	Regression bool
 
+	// StepTimeout bounds one synchronous step in StepCtx; a rank that
+	// produces nothing within it is declared dead (RankFailedError).
+	// Zero means no deadline.
+	StepTimeout time.Duration
+	// Retry is the transient-fault retry policy for the gradient
+	// collective; zero value uses DefaultRetry.
+	Retry RetryPolicy
+
 	// Forward overrides the per-replica forward pass; nil uses
 	// Techs[r].Forward. Cache-enabled training injects the
 	// ForwardFromTaps path here.
@@ -50,11 +60,64 @@ func NewDPGroup(n int, factory func(rank int) (peft.Technique, train.Optimizer))
 // Size returns the replica count.
 func (g *DPGroup) Size() int { return len(g.Techs) }
 
-// Step trains one mini-batch: shards it across replicas, runs them
-// concurrently, synchronizes gradients, and steps every optimizer.
-// Returns the global mean loss.
+// errCollector gathers per-rank failures under a lock and cancels the
+// shared step context on the first one, preferring RankFailedError as
+// the reported cause (cancellation noise from the abort is secondary).
+type errCollector struct {
+	mu     sync.Mutex
+	first  error
+	cancel context.CancelFunc
+}
+
+func (c *errCollector) record(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.first == nil {
+		c.first = err
+	} else if _, ok := AsRankFailed(c.first); !ok {
+		if _, ok := AsRankFailed(err); ok {
+			c.first = err
+		}
+	}
+	c.mu.Unlock()
+	c.cancel()
+}
+
+func (c *errCollector) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.first
+}
+
+// Step trains one mini-batch assuming a reliable fabric; it panics on
+// transport failure. Use StepCtx for the fault-aware path.
 func (g *DPGroup) Step(b *data.Batch) float64 {
+	loss, err := g.StepCtx(context.Background(), b)
+	if err != nil {
+		panic(err.Error())
+	}
+	return loss
+}
+
+// StepCtx trains one mini-batch: shards it across replicas, runs them
+// concurrently, synchronizes gradients, and steps every optimizer.
+// Returns the global mean loss. If a rank dies mid-step (crash fault,
+// cut link), every surviving rank aborts cleanly — no goroutine is
+// leaked, nothing hangs — and the step reports a RankFailedError
+// identifying the dead rank within the configured StepTimeout.
+func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 	n := g.Size()
+	if g.StepTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.StepTimeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	col := &errCollector{cancel: cancel}
+
 	shards := b.Split(n)
 	// Replicas beyond the shard count (tiny batches) contribute zero
 	// gradients but must still join the collective.
@@ -78,17 +141,23 @@ func (g *DPGroup) Step(b *data.Batch) float64 {
 				losses[r] = float64(loss.Value.Data[0]) * float64(w)
 			}
 			flat = nn.FlattenGrads(params)
-			RingAllReduce(g.Endpoints[r], flat)
+			if err := RingAllReduceCtx(ctx, g.Endpoints[r], flat, g.Retry); err != nil {
+				col.record(err)
+				return
+			}
 			nn.UnflattenGrads(params, flat)
 			g.Opts[r].Step()
 		}(r)
 	}
 	wg.Wait()
+	if err := col.err(); err != nil {
+		return 0, err
+	}
 	var total float64
 	for _, l := range losses {
 		total += l
 	}
-	return total
+	return total, nil
 }
 
 func (g *DPGroup) forward(r int, b *data.Batch, trainMode bool) *autograd.Variable {
@@ -99,17 +168,35 @@ func (g *DPGroup) forward(r int, b *data.Batch, trainMode bool) *autograd.Variab
 }
 
 // TrainEpoch runs every batch of the loader's epoch and returns the mean
-// loss.
+// loss, panicking on transport failure (reliable-LAN wrapper).
 func (g *DPGroup) TrainEpoch(loader *data.Loader, epoch int) float64 {
+	loss, err := g.TrainEpochCtx(context.Background(), loader, epoch)
+	if err != nil {
+		panic(err.Error())
+	}
+	return loss
+}
+
+// TrainEpochCtx runs every batch of the loader's epoch and returns the
+// mean loss, aborting on the first step failure or context
+// cancellation.
+func (g *DPGroup) TrainEpochCtx(ctx context.Context, loader *data.Loader, epoch int) (float64, error) {
 	batches := loader.Epoch(epoch)
 	var total float64
 	for _, b := range batches {
-		total += g.Step(b)
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		loss, err := g.StepCtx(ctx, b)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
 	}
 	if len(batches) == 0 {
-		return 0
+		return 0, nil
 	}
-	return total / float64(len(batches))
+	return total / float64(len(batches)), nil
 }
 
 // InSync reports whether all replicas hold bitwise-identical trainable

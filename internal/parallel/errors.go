@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Sentinel errors for the fault-tolerant transport paths.
+var (
+	// ErrTransient marks a send that failed but may succeed if retried
+	// (injected message drop, momentary congestion). Collectives retry
+	// these with exponential backoff.
+	ErrTransient = errors.New("parallel: transient transport fault")
+
+	// ErrRankDead marks an operation attempted by (or addressed through)
+	// a rank that has crashed. Not retryable.
+	ErrRankDead = errors.New("parallel: rank is dead")
+
+	// ErrTagMismatch marks a protocol violation: the next message on a
+	// pair's FIFO stream carried an unexpected tag. Not retryable.
+	ErrTagMismatch = errors.New("parallel: tag mismatch")
+)
+
+// RankFailedError is the typed failure the engines return when a peer
+// rank is detected dead — either its recv deadline expired with no
+// message or the transport reported the rank crashed. Engines abort the
+// whole step cleanly (no hang, no goroutine leak) and surface this so
+// the orchestration layer can drop the device and re-plan.
+type RankFailedError struct {
+	Rank int // the rank believed dead, within its fabric
+	// Lane is the hybrid-engine lane the failure was observed in, or -1
+	// when the engine has no lane structure (DP, standalone pipeline).
+	// Under the hybrid engine, device index = Lane·Stages + Rank.
+	Lane int
+	Op   string // the operation that detected it, e.g. "recv f3"
+	Err  error  // underlying cause (deadline, ErrRankDead, ...)
+}
+
+func (e *RankFailedError) Error() string {
+	if e.Lane >= 0 {
+		return fmt.Sprintf("parallel: rank %d (lane %d) failed during %s: %v", e.Rank, e.Lane, e.Op, e.Err)
+	}
+	return fmt.Sprintf("parallel: rank %d failed during %s: %v", e.Rank, e.Op, e.Err)
+}
+
+func (e *RankFailedError) Unwrap() error { return e.Err }
+
+// AsRankFailed extracts a *RankFailedError from an error chain.
+func AsRankFailed(err error) (*RankFailedError, bool) {
+	var rf *RankFailedError
+	if errors.As(err, &rf) {
+		return rf, true
+	}
+	return nil, false
+}
+
+// isDeadline reports whether err is a deadline/timeout failure — the
+// liveness signal the engines translate into a RankFailedError blaming
+// the peer they were waiting on.
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// blamePeer classifies a transport error from an operation on peer:
+// deadline expiries and dead-rank reports become RankFailedError naming
+// the peer; cancellations and other faults pass through unchanged.
+func blamePeer(op string, peer int, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := AsRankFailed(err); ok {
+		return err
+	}
+	if isDeadline(err) || errors.Is(err, ErrRankDead) {
+		return &RankFailedError{Rank: peer, Lane: -1, Op: op, Err: err}
+	}
+	return err
+}

@@ -1,7 +1,9 @@
 package parallel
 
 import (
+	"context"
 	"sync"
+	"time"
 
 	"pac/internal/autograd"
 	"pac/internal/data"
@@ -18,9 +20,17 @@ import (
 // that AllReduce only ships the lightweight side modules.
 type HybridEngine struct {
 	Lanes []*PipelineEngine
-	// crossNets[stage] is the lane-to-lane fabric synchronizing that
-	// stage's gradients.
-	crossNets []*ChanNetwork
+
+	// StepTimeout bounds one global mini-batch in StepCtx; it is pushed
+	// down into every lane. Zero means no deadline.
+	StepTimeout time.Duration
+	// Retry is the transient-fault policy for the cross-lane gradient
+	// collective; zero value uses DefaultRetry.
+	Retry RetryPolicy
+
+	// cross[stage][lane] is the lane-to-lane fabric endpoint
+	// synchronizing that stage's gradients.
+	cross [][]Transport
 }
 
 // NewHybrid assembles a hybrid engine. factory must build identically
@@ -30,23 +40,70 @@ type HybridEngine struct {
 func NewHybrid(lanes, stages, micro int, lr float32, factory func(lane int) *PipelineEngine) *HybridEngine {
 	h := &HybridEngine{}
 	for s := 0; s < stages; s++ {
-		h.crossNets = append(h.crossNets, NewChanNetwork(lanes))
+		h.cross = append(h.cross, NewChanNetwork(lanes).Endpoints())
 	}
 	for l := 0; l < lanes; l++ {
 		e := factory(l)
 		lane := l
-		e.SyncGrads = func(stage int, params []*autograd.Variable) {
+		e.SyncGrads = func(ctx context.Context, stage int, params []*autograd.Variable) error {
 			flat := nn.FlattenGrads(params)
-			RingAllReduce(h.crossNets[stage].Endpoint(lane), flat)
+			if err := RingAllReduceCtx(ctx, h.cross[stage][lane], flat, h.Retry); err != nil {
+				return err
+			}
 			nn.UnflattenGrads(params, flat)
+			return nil
 		}
 		h.Lanes = append(h.Lanes, e)
 	}
 	return h
 }
 
-// Step trains one global mini-batch and returns its mean loss.
+// FabricID names one of the hybrid engine's fabrics for WrapTransports:
+// Kind "pipe" is lane Index's inter-stage pipeline fabric (ranks are
+// stages), Kind "cross" is stage Index's lane-to-lane gradient fabric
+// (ranks are lanes).
+type FabricID struct {
+	Kind  string
+	Index int
+}
+
+// WrapTransports rewires every fabric of the engine — each lane's
+// pipeline endpoints and each stage's cross-lane endpoints — through
+// wrap. Used to interpose FaultyTransport decorators for fault-injection
+// runs; each fabric gets its own wrap call (and thus its own fault
+// schedule state), identified by id so a caller can target one fabric.
+func (h *HybridEngine) WrapTransports(wrap func(id FabricID, eps []Transport) []Transport) {
+	for l, lane := range h.Lanes {
+		lane.Endpoints = wrap(FabricID{Kind: "pipe", Index: l}, lane.Endpoints)
+	}
+	for s := range h.cross {
+		h.cross[s] = wrap(FabricID{Kind: "cross", Index: s}, h.cross[s])
+	}
+}
+
+// Step trains one global mini-batch assuming a reliable fabric; it
+// panics on transport failure. Use StepCtx for the fault-aware path.
 func (h *HybridEngine) Step(b *data.Batch) float64 {
+	loss, err := h.StepCtx(context.Background(), b)
+	if err != nil {
+		panic(err.Error())
+	}
+	return loss
+}
+
+// StepCtx trains one global mini-batch and returns its mean loss. A
+// dead device anywhere — any stage of any lane, or a cut cross-lane
+// link — aborts every lane cleanly and surfaces a RankFailedError.
+func (h *HybridEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
+	if h.StepTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.StepTimeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	col := &errCollector{cancel: cancel}
+
 	shards := b.Split(len(h.Lanes))
 	losses := make([]float64, len(h.Lanes))
 	var wg sync.WaitGroup
@@ -58,28 +115,59 @@ func (h *HybridEngine) Step(b *data.Batch) float64 {
 		wg.Add(1)
 		go func(l int) {
 			defer wg.Done()
-			losses[l] = h.Lanes[l].Step(shards[l])
+			loss, err := h.Lanes[l].StepCtx(ctx, shards[l])
+			if err != nil {
+				// Attribute the failure to this lane so orchestration can
+				// map (lane, stage rank) back to a concrete device.
+				if rf, ok := AsRankFailed(err); ok && rf.Lane < 0 {
+					err = &RankFailedError{Rank: rf.Rank, Lane: l, Op: rf.Op, Err: rf.Err}
+				}
+				col.record(err)
+				return
+			}
+			losses[l] = loss
 		}(l)
 	}
 	wg.Wait()
+	if err := col.err(); err != nil {
+		return 0, err
+	}
 	var total float64
 	for _, v := range losses {
 		total += v
 	}
-	return total
+	return total, nil
 }
 
 // TrainEpoch runs every batch of a loader epoch; returns mean loss.
+// Reliable-LAN wrapper: panics on transport failure.
 func (h *HybridEngine) TrainEpoch(loader *data.Loader, epoch int) float64 {
+	loss, err := h.TrainEpochCtx(context.Background(), loader, epoch)
+	if err != nil {
+		panic(err.Error())
+	}
+	return loss
+}
+
+// TrainEpochCtx runs every batch of a loader epoch, aborting on the
+// first step failure or context cancellation; returns mean loss.
+func (h *HybridEngine) TrainEpochCtx(ctx context.Context, loader *data.Loader, epoch int) (float64, error) {
 	batches := loader.Epoch(epoch)
 	var total float64
 	for _, b := range batches {
-		total += h.Step(b)
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		loss, err := h.StepCtx(ctx, b)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
 	}
 	if len(batches) == 0 {
-		return 0
+		return 0, nil
 	}
-	return total / float64(len(batches))
+	return total / float64(len(batches)), nil
 }
 
 // InSync reports whether all lanes hold identical trainable parameters.

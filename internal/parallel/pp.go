@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"pac/internal/autograd"
 	"pac/internal/data"
@@ -85,14 +87,22 @@ type PipelineEngine struct {
 	Regression bool
 	Micro      int // micro-batches per mini-batch
 
+	// StepTimeout bounds one mini-batch in StepCtx; a stage that stops
+	// producing within it is declared dead (RankFailedError). Zero
+	// means no deadline.
+	StepTimeout time.Duration
+	// Retry is the transient-fault retry policy for boundary sends;
+	// zero value uses DefaultRetry.
+	Retry RetryPolicy
+
 	// LossDenom overrides the loss-weight denominator (the hybrid engine
 	// sets it to the global batch size so lane gradients sum correctly);
 	// 0 uses the local mini-batch size.
 	LossDenom int
 	// SyncGrads, when non-nil, is invoked per stage after a mini-batch's
 	// gradients are complete and before the optimizer step (hybrid
-	// cross-lane AllReduce hook).
-	SyncGrads func(stage int, params []*autograd.Variable)
+	// cross-lane AllReduce hook). A returned error aborts the step.
+	SyncGrads func(ctx context.Context, stage int, params []*autograd.Variable) error
 	// OnTap, when non-nil, observes every tap activation computed during
 	// forward (PAC phase-1 cache collection). ids are the sample ids of
 	// the micro-batch.
@@ -156,10 +166,32 @@ type microCtx struct {
 	mb                      *data.Batch
 }
 
-// Step trains one mini-batch with the 1F1B schedule and returns the
-// global mean loss.
+// Step trains one mini-batch with the 1F1B schedule assuming a
+// reliable fabric; it panics on transport failure. Use StepCtx for the
+// fault-aware path.
 func (e *PipelineEngine) Step(b *data.Batch) float64 {
+	loss, err := e.StepCtx(context.Background(), b)
+	if err != nil {
+		panic(err.Error())
+	}
+	return loss
+}
+
+// StepCtx trains one mini-batch with the 1F1B schedule and returns the
+// global mean loss. If a stage dies mid-batch every surviving stage
+// aborts cleanly (no hang, no leaked goroutine) and the step reports a
+// RankFailedError naming the suspect stage.
+func (e *PipelineEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 	S := e.Stages()
+	if e.StepTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.StepTimeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	col := &errCollector{cancel: cancel}
+
 	micros := b.Split(e.Micro)
 	M := len(micros)
 	denom := b.Size()
@@ -178,64 +210,95 @@ func (e *PipelineEngine) Step(b *data.Batch) float64 {
 				warmup = M
 			}
 			fwd, bwd := 0, 0
-			runFwd := func() {
-				ctxs[fwd] = e.stageForward(s, fwd, micros[fwd])
+			runFwd := func() error {
+				mc, err := e.stageForward(ctx, s, fwd, micros[fwd])
+				if err != nil {
+					return err
+				}
+				ctxs[fwd] = mc
 				fwd++
+				return nil
 			}
-			runBwd := func() {
-				l := e.stageBackward(s, bwd, ctxs[bwd], denom)
+			runBwd := func() error {
+				l, err := e.stageBackward(ctx, s, bwd, ctxs[bwd], denom)
+				if err != nil {
+					return err
+				}
 				ctxs[bwd] = nil
 				if s == S-1 {
 					lossTotal += l
 				}
 				bwd++
+				return nil
 			}
 			for i := 0; i < warmup; i++ {
-				runFwd()
+				if err := runFwd(); err != nil {
+					col.record(err)
+					return
+				}
 			}
 			for fwd < M {
-				runFwd()
-				runBwd()
+				if err := runFwd(); err != nil {
+					col.record(err)
+					return
+				}
+				if err := runBwd(); err != nil {
+					col.record(err)
+					return
+				}
 			}
 			for bwd < M {
-				runBwd()
+				if err := runBwd(); err != nil {
+					col.record(err)
+					return
+				}
 			}
 			params := e.StageParams(s)
 			if e.SyncGrads != nil {
-				e.SyncGrads(s, params)
+				if err := e.SyncGrads(ctx, s, params); err != nil {
+					col.record(err)
+					return
+				}
 			}
 			e.Opts[s].Step()
 		}(s)
 	}
 	wg.Wait()
-	return lossTotal
+	if err := col.err(); err != nil {
+		return 0, err
+	}
+	return lossTotal, nil
 }
 
 // stageForward runs stage s's blocks for micro-batch m.
-func (e *PipelineEngine) stageForward(s, m int, mb *data.Batch) *microCtx {
+func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Batch) (*microCtx, error) {
 	S := e.Stages()
 	pa := e.parallelTech()
 	needBackboneGrads := e.Tech.BackboneBackward()
 
-	ctx := &microCtx{mb: mb}
+	mc := &microCtx{mb: mb}
 	st := &model.State{EncIDs: mb.Enc, DecIDs: mb.Dec, EncLens: mb.Lens}
 
 	var sideState *autograd.Variable
 	if s > 0 {
-		in := decodeBundle(e.Endpoints[s].RecvBytes(s-1, fmt.Sprintf("f%d", m)))
+		raw, err := recvPeer(ctx, e.Endpoints[s], s-1, fmt.Sprintf("f%d", m))
+		if err != nil {
+			return nil, err
+		}
+		in := decodeBundle(raw)
 		if in.Enc != nil {
-			ctx.encIn = autograd.NewVar(in.Enc)
-			ctx.encIn.SetRequiresGrad(needBackboneGrads)
-			st.Enc = ctx.encIn
+			mc.encIn = autograd.NewVar(in.Enc)
+			mc.encIn.SetRequiresGrad(needBackboneGrads)
+			st.Enc = mc.encIn
 		}
 		if in.Dec != nil {
-			ctx.decIn = autograd.NewVar(in.Dec)
-			ctx.decIn.SetRequiresGrad(needBackboneGrads)
-			st.Dec = ctx.decIn
+			mc.decIn = autograd.NewVar(in.Dec)
+			mc.decIn.SetRequiresGrad(needBackboneGrads)
+			st.Dec = mc.decIn
 		}
 		if in.Side != nil {
-			ctx.sideIn = autograd.NewParam(in.Side) // side state always carries grads
-			sideState = ctx.sideIn
+			mc.sideIn = autograd.NewParam(in.Side) // side state always carries grads
+			sideState = mc.sideIn
 		}
 	} else if pa != nil {
 		sideState = pa.SideInit(len(mb.Enc), len(mb.Enc[0]))
@@ -263,62 +326,68 @@ func (e *PipelineEngine) stageForward(s, m int, mb *data.Batch) *microCtx {
 			}
 			sideState = pa.SideStep(ti, tap, sideState)
 		}
-		ctx.sideOut = sideState
+		mc.sideOut = sideState
 	}
 
 	last := s == S-1
 	if last {
 		if pa != nil {
-			ctx.logits = pa.Head(sideState)
+			mc.logits = pa.Head(sideState)
 		} else {
-			ctx.logits = st.Logits
+			mc.logits = st.Logits
 		}
-		return ctx
+		return mc, nil
 	}
 
 	out := bundle{}
 	if st.Enc != nil {
-		ctx.encOut = st.Enc
+		mc.encOut = st.Enc
 		out.Enc = st.Enc.Value
 	}
 	if st.Dec != nil {
-		ctx.decOut = st.Dec
+		mc.decOut = st.Dec
 		out.Dec = st.Dec.Value
 	}
 	if pa != nil && sideState != nil {
 		out.Side = sideState.Value
 	}
-	e.Endpoints[s].SendBytes(s+1, fmt.Sprintf("f%d", m), encodeBundle(out))
-	return ctx
+	if err := sendRetry(ctx, e.Endpoints[s], s+1, fmt.Sprintf("f%d", m), encodeBundle(out), e.Retry); err != nil {
+		return nil, err
+	}
+	return mc, nil
 }
 
 // stageBackward runs stage s's backward for micro-batch m and returns
 // the micro-batch's weighted loss (last stage only).
-func (e *PipelineEngine) stageBackward(s, m int, ctx *microCtx, denom int) float64 {
+func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microCtx, denom int) (float64, error) {
 	S := e.Stages()
 	pa := e.parallelTech()
 	needBackboneGrads := e.Tech.BackboneBackward()
 	var lossVal float64
 
 	if s == S-1 {
-		loss := train.Loss(ctx.logits, ctx.mb, e.Regression)
-		w := float32(ctx.mb.Size()) / float32(denom)
+		loss := train.Loss(mc.logits, mc.mb, e.Regression)
+		w := float32(mc.mb.Size()) / float32(denom)
 		autograd.BackwardWithSeed(loss, tensor.FromSlice([]float32{w}, 1))
 		lossVal = float64(loss.Value.Data[0]) * float64(w)
 	} else {
-		in := decodeBundle(e.Endpoints[s].RecvBytes(s+1, fmt.Sprintf("b%d", m)))
+		raw, err := recvPeer(ctx, e.Endpoints[s], s+1, fmt.Sprintf("b%d", m))
+		if err != nil {
+			return 0, err
+		}
+		in := decodeBundle(raw)
 		var outs []*autograd.Variable
 		var seeds []*tensor.Tensor
-		if in.Enc != nil && ctx.encOut != nil {
-			outs = append(outs, ctx.encOut)
+		if in.Enc != nil && mc.encOut != nil {
+			outs = append(outs, mc.encOut)
 			seeds = append(seeds, in.Enc)
 		}
-		if in.Dec != nil && ctx.decOut != nil {
-			outs = append(outs, ctx.decOut)
+		if in.Dec != nil && mc.decOut != nil {
+			outs = append(outs, mc.decOut)
 			seeds = append(seeds, in.Dec)
 		}
-		if in.Side != nil && ctx.sideOut != nil {
-			outs = append(outs, ctx.sideOut)
+		if in.Side != nil && mc.sideOut != nil {
+			outs = append(outs, mc.sideOut)
 			seeds = append(seeds, in.Side)
 		}
 		autograd.BackwardMulti(outs, seeds)
@@ -327,19 +396,21 @@ func (e *PipelineEngine) stageBackward(s, m int, ctx *microCtx, denom int) float
 	if s > 0 {
 		out := bundle{}
 		if needBackboneGrads {
-			if ctx.encIn != nil {
-				out.Enc = gradOrZero(ctx.encIn)
+			if mc.encIn != nil {
+				out.Enc = gradOrZero(mc.encIn)
 			}
-			if ctx.decIn != nil {
-				out.Dec = gradOrZero(ctx.decIn)
+			if mc.decIn != nil {
+				out.Dec = gradOrZero(mc.decIn)
 			}
 		}
-		if pa != nil && ctx.sideIn != nil {
-			out.Side = gradOrZero(ctx.sideIn)
+		if pa != nil && mc.sideIn != nil {
+			out.Side = gradOrZero(mc.sideIn)
 		}
-		e.Endpoints[s].SendBytes(s-1, fmt.Sprintf("b%d", m), encodeBundle(out))
+		if err := sendRetry(ctx, e.Endpoints[s], s-1, fmt.Sprintf("b%d", m), encodeBundle(out), e.Retry); err != nil {
+			return 0, err
+		}
 	}
-	return lossVal
+	return lossVal, nil
 }
 
 func gradOrZero(v *autograd.Variable) *tensor.Tensor {

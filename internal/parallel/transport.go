@@ -8,22 +8,42 @@
 package parallel
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
+	"os"
 	"sync"
+	"time"
 )
 
-// Transport moves tagged byte payloads between ranks. Sends are
-// non-blocking (buffered); Recv blocks until the next message from the
-// given peer arrives and verifies its tag. Per-pair ordering is FIFO —
-// the engines' communication patterns are deterministic, so tag
-// verification suffices to catch protocol bugs.
+// Transport moves tagged byte payloads between ranks. Per-pair ordering
+// is FIFO — the engines' communication patterns are deterministic, so
+// tag verification suffices to catch protocol bugs.
+//
+// SendCtx/RecvCtx are the fault-aware primitives: they honor the
+// context's deadline and cancellation and report failures as errors
+// (ErrTransient for retryable faults, ErrTagMismatch for protocol
+// violations, deadline errors for suspected-dead peers). The legacy
+// Send/Recv/SendBytes/RecvBytes methods are thin panic-on-error
+// wrappers kept so engine code written against a reliable LAN keeps
+// working unchanged.
 type Transport interface {
 	Rank() int
 	Size() int
+
+	// SendCtx delivers payload to rank `to` under ctx. Sends are
+	// non-blocking in the common case (buffered channels / kernel socket
+	// buffers) but may block under backpressure, in which case ctx
+	// applies.
+	SendCtx(ctx context.Context, to int, tag string, payload []byte) error
+	// RecvCtx blocks until the next message from `from` arrives or ctx
+	// expires, then verifies its tag.
+	RecvCtx(ctx context.Context, from int, tag string) ([]byte, error)
+
 	Send(to int, tag string, payload []float32)
 	Recv(from int, tag string) []float32
 	SendBytes(to int, tag string, payload []byte)
@@ -33,6 +53,32 @@ type Transport interface {
 type message struct {
 	tag  string
 	data []byte
+}
+
+// panicTransport adapts the ctx primitives into the legacy
+// panic-on-error surface; every endpoint embeds it.
+type panicTransport struct{ t Transport }
+
+func (p panicTransport) SendBytes(to int, tag string, payload []byte) {
+	if err := p.t.SendCtx(context.Background(), to, tag, payload); err != nil {
+		panic(fmt.Sprintf("parallel: send %d→%d %q: %v", p.t.Rank(), to, tag, err))
+	}
+}
+
+func (p panicTransport) RecvBytes(from int, tag string) []byte {
+	b, err := p.t.RecvCtx(context.Background(), from, tag)
+	if err != nil {
+		panic(fmt.Sprintf("parallel: recv %d←%d %q: %v", p.t.Rank(), from, tag, err))
+	}
+	return b
+}
+
+func (p panicTransport) Send(to int, tag string, payload []float32) {
+	p.SendBytes(to, tag, encodeF32(payload))
+}
+
+func (p panicTransport) Recv(from int, tag string) []float32 {
+	return decodeF32(p.RecvBytes(from, tag))
 }
 
 // ChanNetwork is an in-process transport fabric: rank×rank buffered
@@ -55,7 +101,11 @@ func NewChanNetwork(n int) *ChanNetwork {
 }
 
 // Endpoint returns rank r's transport handle.
-func (cn *ChanNetwork) Endpoint(r int) Transport { return &chanEndpoint{net: cn, rank: r} }
+func (cn *ChanNetwork) Endpoint(r int) Transport {
+	e := &chanEndpoint{net: cn, rank: r}
+	e.panicTransport = panicTransport{t: e}
+	return e
+}
 
 // Endpoints returns all handles in rank order.
 func (cn *ChanNetwork) Endpoints() []Transport {
@@ -67,6 +117,7 @@ func (cn *ChanNetwork) Endpoints() []Transport {
 }
 
 type chanEndpoint struct {
+	panicTransport
 	net  *ChanNetwork
 	rank int
 }
@@ -74,24 +125,26 @@ type chanEndpoint struct {
 func (e *chanEndpoint) Rank() int { return e.rank }
 func (e *chanEndpoint) Size() int { return e.net.n }
 
-func (e *chanEndpoint) SendBytes(to int, tag string, payload []byte) {
-	e.net.pipes[e.rank][to] <- message{tag: tag, data: payload}
-}
-
-func (e *chanEndpoint) RecvBytes(from int, tag string) []byte {
-	m := <-e.net.pipes[from][e.rank]
-	if m.tag != tag {
-		panic(fmt.Sprintf("parallel: rank %d expected tag %q from %d, got %q", e.rank, tag, from, m.tag))
+func (e *chanEndpoint) SendCtx(ctx context.Context, to int, tag string, payload []byte) error {
+	select {
+	case e.net.pipes[e.rank][to] <- message{tag: tag, data: payload}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("parallel: send %d→%d %q: %w", e.rank, to, tag, ctx.Err())
 	}
-	return m.data
 }
 
-func (e *chanEndpoint) Send(to int, tag string, payload []float32) {
-	e.SendBytes(to, tag, encodeF32(payload))
-}
-
-func (e *chanEndpoint) Recv(from int, tag string) []float32 {
-	return decodeF32(e.RecvBytes(from, tag))
+func (e *chanEndpoint) RecvCtx(ctx context.Context, from int, tag string) ([]byte, error) {
+	select {
+	case m := <-e.net.pipes[from][e.rank]:
+		if m.tag != tag {
+			return nil, fmt.Errorf("parallel: rank %d expected tag %q from %d, got %q: %w",
+				e.rank, tag, from, m.tag, ErrTagMismatch)
+		}
+		return m.data, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("parallel: recv %d←%d %q: %w", e.rank, from, tag, ctx.Err())
+	}
 }
 
 func encodeF32(v []float32) []byte {
@@ -117,14 +170,26 @@ func decodeF32(b []byte) []float32 {
 type TCPNetwork struct {
 	n     int
 	conns [][]net.Conn // conns[from][to], nil on diagonal
-	mu    []sync.Mutex // per-receiver read lock (unused: reads are single-threaded per pair)
+	// sendMu[from][to] serializes writes on conns[from][to] so concurrent
+	// senders to the same peer emit whole frames, never interleaved ones.
+	sendMu [][]sync.Mutex
+	// recvMu[from][to] serializes reads the same way: a frame is consumed
+	// atomically even if two goroutines recv from the same peer.
+	recvMu [][]sync.Mutex
 }
 
 // NewTCPNetwork wires a loopback mesh for n ranks.
 func NewTCPNetwork(n int) (*TCPNetwork, error) {
-	tn := &TCPNetwork{n: n, conns: make([][]net.Conn, n), mu: make([]sync.Mutex, n)}
+	tn := &TCPNetwork{
+		n:      n,
+		conns:  make([][]net.Conn, n),
+		sendMu: make([][]sync.Mutex, n),
+		recvMu: make([][]sync.Mutex, n),
+	}
 	for i := range tn.conns {
 		tn.conns[i] = make([]net.Conn, n)
+		tn.sendMu[i] = make([]sync.Mutex, n)
+		tn.recvMu[i] = make([]sync.Mutex, n)
 	}
 	// For each ordered pair (i < j) create one connection used for both
 	// directions.
@@ -160,7 +225,8 @@ func NewTCPNetwork(n int) (*TCPNetwork, error) {
 	return tn, nil
 }
 
-// Close tears down every connection.
+// Close tears down every connection. Blocked RecvCtx calls on any
+// endpoint return an error promptly rather than hanging.
 func (tn *TCPNetwork) Close() {
 	for i := range tn.conns {
 		for j := range tn.conns[i] {
@@ -172,7 +238,11 @@ func (tn *TCPNetwork) Close() {
 }
 
 // Endpoint returns rank r's transport handle.
-func (tn *TCPNetwork) Endpoint(r int) Transport { return &tcpEndpoint{net: tn, rank: r} }
+func (tn *TCPNetwork) Endpoint(r int) Transport {
+	e := &tcpEndpoint{net: tn, rank: r}
+	e.panicTransport = panicTransport{t: e}
+	return e
+}
 
 // Endpoints returns all handles in rank order.
 func (tn *TCPNetwork) Endpoints() []Transport {
@@ -184,6 +254,7 @@ func (tn *TCPNetwork) Endpoints() []Transport {
 }
 
 type tcpEndpoint struct {
+	panicTransport
 	net  *TCPNetwork
 	rank int
 }
@@ -192,7 +263,10 @@ func (e *tcpEndpoint) Rank() int { return e.rank }
 func (e *tcpEndpoint) Size() int { return e.net.n }
 
 // Frame format: u32 tag length, tag bytes, u32 payload length, payload.
-func (e *tcpEndpoint) SendBytes(to int, tag string, payload []byte) {
+func (e *tcpEndpoint) SendCtx(ctx context.Context, to int, tag string, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("parallel: tcp send %d→%d: %w", e.rank, to, err)
+	}
 	conn := e.net.conns[e.rank][to]
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(tag)))
@@ -200,42 +274,91 @@ func (e *tcpEndpoint) SendBytes(to int, tag string, payload []byte) {
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, payload...)
-	if _, err := conn.Write(buf); err != nil {
-		panic(fmt.Sprintf("parallel: tcp send %d→%d: %v", e.rank, to, err))
+
+	mu := &e.net.sendMu[e.rank][to]
+	mu.Lock()
+	defer mu.Unlock()
+	disarm, err := armDeadline(ctx, conn.SetWriteDeadline)
+	if err != nil {
+		return fmt.Errorf("parallel: tcp send %d→%d: %w", e.rank, to, err)
 	}
+	defer disarm()
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("parallel: tcp send %d→%d: %w", e.rank, to, err)
+	}
+	return nil
 }
 
-func (e *tcpEndpoint) RecvBytes(from int, tag string) []byte {
+func (e *tcpEndpoint) RecvCtx(ctx context.Context, from int, tag string) ([]byte, error) {
 	// conns[rank][peer] is this rank's end of the pair's connection; the
 	// peer writes into its own end conns[peer][rank].
 	conn := e.net.conns[e.rank][from]
-	readU32 := func() uint32 {
+	mu := &e.net.recvMu[e.rank][from]
+	mu.Lock()
+	defer mu.Unlock()
+	disarm, err := armDeadline(ctx, conn.SetReadDeadline)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: tcp recv %d←%d %q: %w", e.rank, from, tag, err)
+	}
+	defer disarm()
+
+	fail := func(err error) ([]byte, error) {
+		// A watchdog-forced timeout is really the context finishing:
+		// report the context's own error (Canceled vs DeadlineExceeded).
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+			err = ctxErr
+		}
+		return nil, fmt.Errorf("parallel: tcp recv %d←%d %q: %w", e.rank, from, tag, err)
+	}
+	readU32 := func() (uint32, error) {
 		var b [4]byte
 		if _, err := io.ReadFull(conn, b[:]); err != nil {
-			panic(fmt.Sprintf("parallel: tcp recv %d←%d: %v", e.rank, from, err))
+			return 0, err
 		}
-		return binary.LittleEndian.Uint32(b[:])
+		return binary.LittleEndian.Uint32(b[:]), nil
 	}
-	tagLen := readU32()
+	tagLen, err := readU32()
+	if err != nil {
+		return fail(err)
+	}
 	tagBuf := make([]byte, tagLen)
 	if _, err := io.ReadFull(conn, tagBuf); err != nil {
-		panic(fmt.Sprintf("parallel: tcp recv tag: %v", err))
+		return fail(err)
 	}
-	if string(tagBuf) != tag {
-		panic(fmt.Sprintf("parallel: rank %d expected tag %q from %d, got %q", e.rank, tag, from, tagBuf))
+	payloadLen, err := readU32()
+	if err != nil {
+		return fail(err)
 	}
-	payloadLen := readU32()
 	payload := make([]byte, payloadLen)
 	if _, err := io.ReadFull(conn, payload); err != nil {
-		panic(fmt.Sprintf("parallel: tcp recv payload: %v", err))
+		return fail(err)
 	}
-	return payload
+	if string(tagBuf) != tag {
+		return nil, fmt.Errorf("parallel: rank %d expected tag %q from %d, got %q: %w",
+			e.rank, tag, from, tagBuf, ErrTagMismatch)
+	}
+	return payload, nil
 }
 
-func (e *tcpEndpoint) Send(to int, tag string, payload []float32) {
-	e.SendBytes(to, tag, encodeF32(payload))
-}
-
-func (e *tcpEndpoint) Recv(from int, tag string) []float32 {
-	return decodeF32(e.RecvBytes(from, tag))
+// armDeadline maps the context onto a connection deadline setter: the
+// context's deadline (if any) becomes the I/O deadline, and a
+// cancellation watchdog forces the in-flight read/write to fail
+// promptly if ctx is canceled mid-operation. The returned disarm func
+// stops the watchdog and clears the deadline.
+func armDeadline(ctx context.Context, set func(time.Time) error) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		dl = time.Time{}
+	}
+	if err := set(dl); err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() { set(time.Unix(1, 0)) })
+	return func() {
+		stop()
+		set(time.Time{})
+	}, nil
 }

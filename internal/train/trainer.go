@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"math"
 
 	"pac/internal/autograd"
@@ -37,19 +38,37 @@ type Trainer struct {
 // TrainEpoch runs one epoch over the loader and returns the mean batch
 // loss.
 func (t *Trainer) TrainEpoch(loader *data.Loader, epoch int) float64 {
+	loss, _ := t.TrainEpochCtx(context.Background(), loader, epoch)
+	return loss
+}
+
+// TrainEpochCtx runs one epoch over the loader, checking the context
+// between batches: training stops cleanly at a batch boundary when ctx
+// expires (deadline-bounded fine-tuning on a shared edge device).
+// Returns the mean loss over the batches that ran plus the context's
+// error, if any.
+func (t *Trainer) TrainEpochCtx(ctx context.Context, loader *data.Loader, epoch int) (float64, error) {
 	var total float64
 	batches := loader.Epoch(epoch)
+	ran := 0
 	for step, b := range batches {
+		if err := ctx.Err(); err != nil {
+			if ran == 0 {
+				return 0, err
+			}
+			return total / float64(ran), err
+		}
 		loss := t.TrainBatch(b)
 		total += loss
+		ran++
 		if t.OnStep != nil {
 			t.OnStep(epoch, step, loss)
 		}
 	}
-	if len(batches) == 0 {
-		return 0
+	if ran == 0 {
+		return 0, nil
 	}
-	return total / float64(len(batches))
+	return total / float64(ran), nil
 }
 
 // TrainBatch runs forward/backward/update on one mini-batch and returns

@@ -1,0 +1,62 @@
+package train
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pac/internal/data"
+	"pac/internal/model"
+	"pac/internal/peft"
+)
+
+func tinyTrainer() (*Trainer, *data.Loader) {
+	m := model.New(model.Tiny())
+	tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4})
+	tr := &Trainer{Tech: tech, Opt: NewSGD(tech.Trainable(), 0.05, 0, 0)}
+	ds := data.Generate(data.GenConfig{Task: data.SST2, Size: 24, SeqLen: 8, Vocab: 64, Seed: 31})
+	return tr, data.NewLoader(ds, 8, 1)
+}
+
+func TestTrainEpochCtxRunsToCompletion(t *testing.T) {
+	tr, loader := tinyTrainer()
+	loss, err := tr.TrainEpochCtx(context.Background(), loader, 0)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+}
+
+func TestTrainEpochCtxStopsAtBatchBoundary(t *testing.T) {
+	tr, loader := tinyTrainer()
+	steps := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	tr.OnStep = func(epoch, step int, loss float64) {
+		steps++
+		if steps == 1 {
+			cancel() // expire mid-epoch; next batch must not run
+		}
+	}
+	loss, err := tr.TrainEpochCtx(ctx, loader, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if steps != 1 {
+		t.Fatalf("ran %d batches after cancellation, want 1", steps)
+	}
+	if loss <= 0 {
+		t.Fatalf("partial mean loss %v, want the one completed batch's loss", loss)
+	}
+}
+
+func TestTrainEpochCtxCanceledBeforeStart(t *testing.T) {
+	tr, loader := tinyTrainer()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	loss, err := tr.TrainEpochCtx(ctx, loader, 0)
+	if !errors.Is(err, context.Canceled) || loss != 0 {
+		t.Fatalf("want (0, Canceled), got (%v, %v)", loss, err)
+	}
+}
