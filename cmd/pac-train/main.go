@@ -4,26 +4,35 @@
 // cache, then cache-only data-parallel epochs — the full paper workflow
 // at laptop scale.
 //
-// The -crash-device / -crash-after flags inject a deterministic device
-// crash mid-epoch to exercise the failure path: the engines detect the
-// dead rank within -step-timeout, the failed device is reported and
-// marked dead in the liveness tracker, the hybrid-parallelism planner
-// is re-run on the surviving device set, and training restarts on the
-// re-planned pool.
+// The command is built as a recovery supervisor around the training
+// loop. With -snapshot-every K the framework captures a consistent
+// training snapshot (adapter weights, optimizer moments, resume cursor,
+// cache manifest) after every K-th step; -snapshot-dir persists them
+// durably off the training path. When a device dies mid-run (inject one
+// deterministically with -crash-device / -crash-after / -crash-phase),
+// the supervisor marks it dead in the liveness tracker, re-runs the
+// hybrid-parallelism planner on the survivors, restores the latest
+// snapshot, salvages the surviving activation cache — recomputing only
+// lost or corrupt entries, never rebuilding — and resumes from the last
+// completed step. -resume does the same across process restarts.
 //
 // Usage:
 //
 //	pac-train [-task mrpc|sts-b|sst-2|qnli] [-samples N] [-epochs N]
 //	          [-stages N] [-lanes N] [-batch N] [-lr F] [-cache-dir DIR]
-//	          [-crash-device N] [-crash-after OPS] [-step-timeout D]
+//	          [-snapshot-every N] [-snapshot-dir DIR] [-resume]
+//	          [-crash-device N] [-crash-after OPS] [-crash-phase hybrid|cached]
+//	          [-max-recoveries N] [-step-timeout D]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"pac/internal/acache"
@@ -60,8 +69,13 @@ func run(args []string, out io.Writer) error {
 	cacheDir := fs.String("cache-dir", "", "directory for a disk-backed activation cache (default: in-memory)")
 	savePath := fs.String("save", "", "write the trained adapters to this checkpoint file")
 	loadPath := fs.String("load", "", "initialize adapters from this checkpoint before training")
+	snapEvery := fs.Int("snapshot-every", 4, "capture a training snapshot every N steps (0 disables)")
+	snapDir := fs.String("snapshot-dir", "", "persist snapshots to this directory (default: in-memory only)")
+	resume := fs.Bool("resume", false, "resume from the latest snapshot in -snapshot-dir")
 	crashDevice := fs.Int("crash-device", -1, "inject a crash of this device (0..stages·lanes-1; -1 disables)")
 	crashAfter := fs.Int("crash-after", 100, "transport operations before the injected crash fires")
+	crashPhase := fs.String("crash-phase", "hybrid", "phase the injected crash targets: hybrid (epoch 1) or cached (epochs ≥2)")
+	maxRecoveries := fs.Int("max-recoveries", 3, "in-process recovery attempts before giving up (0 = fail fast)")
 	stepTimeout := fs.Duration("step-timeout", 5*time.Second, "per-step liveness deadline for failure detection")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +103,9 @@ func run(args []string, out io.Writer) error {
 	cfg.NumClasses = spec.NumClasses
 	cfg.MaxSeq = 32
 
+	// The store is created here, not inside core.New, so it outlives
+	// every recovery attempt: a successor framework salvages it instead
+	// of refilling from scratch.
 	var store acache.Store
 	if *cacheDir != "" {
 		s, err := acache.NewDiskStore(*cacheDir)
@@ -96,6 +113,8 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		store = s
+	} else {
+		store = acache.NewMemoryStore()
 	}
 
 	var backbone *model.Model
@@ -113,43 +132,153 @@ func run(args []string, out io.Writer) error {
 		live.Heartbeat(d.Name)
 	}
 
+	// Snapshot plumbing: the latest capture is always held in memory
+	// (enough for in-process recovery); -snapshot-dir additionally
+	// persists generations durably via a background writer.
+	var writer *checkpoint.Snapshotter
+	if *snapDir != "" {
+		w, err := checkpoint.NewSnapshotter(*snapDir, 3)
+		if err != nil {
+			return err
+		}
+		writer = w
+	}
+	closeWriter := func() int {
+		if writer == nil {
+			return 0
+		}
+		if err := writer.Close(); err != nil {
+			fmt.Fprintf(out, "WARNING: snapshot write failed: %v\n", err)
+		}
+		n := writer.Written()
+		writer = nil
+		return n
+	}
+	defer closeWriter()
+
+	var snapMu sync.Mutex
+	var lastSnap *checkpoint.Snapshot
+	onSnapshot := func(s *checkpoint.Snapshot) {
+		s.Task = task.String()
+		snapMu.Lock()
+		lastSnap = s
+		snapMu.Unlock()
+		if writer != nil {
+			writer.Write(s)
+		}
+	}
+	latestSnapshot := func() *checkpoint.Snapshot {
+		snapMu.Lock()
+		s := lastSnap
+		snapMu.Unlock()
+		if s != nil {
+			return s
+		}
+		if *snapDir == "" {
+			return nil
+		}
+		s, _, err := checkpoint.Latest(*snapDir)
+		if err != nil {
+			return nil
+		}
+		return s
+	}
+
 	coreCfg := core.Config{
-		Model:       cfg,
-		Opts:        peft.Options{Reduction: 2},
-		Stages:      *stages,
-		Lanes:       *lanes,
-		LR:          float32(*lr),
-		Adam:        true,
-		Cache:       store,
-		Regression:  spec.Regression,
-		Backbone:    backbone,
-		StepTimeout: *stepTimeout,
+		Model:         cfg,
+		Opts:          peft.Options{Reduction: 2},
+		Stages:        *stages,
+		Lanes:         *lanes,
+		LR:            float32(*lr),
+		Adam:          true,
+		Cache:         store,
+		Regression:    spec.Regression,
+		Backbone:      backbone,
+		StepTimeout:   *stepTimeout,
+		SnapshotEvery: *snapEvery,
+		OnSnapshot:    onSnapshot,
 	}
 	if *crashDevice >= 0 {
 		if *crashDevice >= pool.Size() {
 			return fmt.Errorf("crash-device %d out of range (pool has %d devices)", *crashDevice, pool.Size())
 		}
-		crashLane := *crashDevice / *stages
-		crashStage := *crashDevice % *stages
 		after := *crashAfter
-		coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
-			fc := parallel.FaultConfig{Seed: 1}
-			if id.Kind == "pipe" && id.Index == crashLane {
-				fc.Crash = map[int]int{crashStage: after}
+		switch *crashPhase {
+		case "hybrid":
+			crashLane := *crashDevice / *stages
+			crashStage := *crashDevice % *stages
+			coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
+				fc := parallel.FaultConfig{Seed: 1}
+				if id.Kind == "pipe" && id.Index == crashLane {
+					fc.Crash = map[int]int{crashStage: after}
+				}
+				return parallel.WrapFaulty(eps, fc)
 			}
-			return parallel.WrapFaulty(eps, fc)
+			fmt.Fprintf(out, "fault injection: device %d (%s, lane %d stage %d) crashes after %d transport ops in the hybrid phase\n",
+				*crashDevice, pool.Devices[*crashDevice].Name, crashLane, crashStage, after)
+		case "cached":
+			crashRank := *crashDevice
+			coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
+				fc := parallel.FaultConfig{Seed: 1}
+				if id.Kind == "dp" {
+					fc.Crash = map[int]int{crashRank: after}
+				}
+				return parallel.WrapFaulty(eps, fc)
+			}
+			fmt.Fprintf(out, "fault injection: device %d (%s, DP rank %d) crashes after %d transport ops in the cached phase\n",
+				*crashDevice, pool.Devices[*crashDevice].Name, crashRank, after)
+		default:
+			return fmt.Errorf("unknown crash-phase %q (want hybrid or cached)", *crashPhase)
 		}
-		fmt.Fprintf(out, "fault injection: device %d (%s, lane %d stage %d) crashes after %d transport ops\n",
-			*crashDevice, pool.Devices[*crashDevice].Name, crashLane, crashStage, after)
 	}
 
-	f := core.New(coreCfg)
-	if *loadPath != "" {
-		if _, err := checkpoint.Load(*loadPath, f.Reference(), cfg); err != nil {
-			return fmt.Errorf("load: %w", err)
+	// buildFramework assembles a framework for one attempt; with a
+	// snapshot it restores the training state and salvages the cache so
+	// the attempt continues instead of restarting.
+	buildFramework := func(c core.Config, snap *checkpoint.Snapshot) (*core.Framework, core.Cursor, error) {
+		f := core.New(c)
+		if snap == nil {
+			if *loadPath != "" {
+				if _, err := checkpoint.Load(*loadPath, f.Reference(), cfg); err != nil {
+					return nil, core.Cursor{}, fmt.Errorf("load: %w", err)
+				}
+				f.AdoptReferenceWeights()
+				fmt.Fprintf(out, "loaded adapters from %s\n", *loadPath)
+			}
+			return f, core.Cursor{}, nil
 		}
-		f.AdoptReferenceWeights()
-		fmt.Fprintf(out, "loaded adapters from %s\n", *loadPath)
+		if err := f.RestoreSnapshot(snap); err != nil {
+			return nil, core.Cursor{}, fmt.Errorf("restore snapshot: %w", err)
+		}
+		cur := core.Cursor{Epoch: snap.Epoch, Step: snap.Step}
+		rep, err := f.SalvageCache(trainDS, *batch, snap.Seed, cur)
+		if err != nil {
+			return nil, core.Cursor{}, fmt.Errorf("salvage cache: %w", err)
+		}
+		fmt.Fprintf(out, "cache salvage: %s\n", rep)
+		return f, cur, nil
+	}
+
+	var startSnap *checkpoint.Snapshot
+	if *resume {
+		if *snapDir == "" {
+			return fmt.Errorf("-resume requires -snapshot-dir")
+		}
+		s, path, err := checkpoint.Latest(*snapDir)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Fprintf(out, "resume: no usable snapshot in %s, starting fresh\n", *snapDir)
+		case err != nil:
+			return fmt.Errorf("resume: %w", err)
+		default:
+			startSnap = s
+			fmt.Fprintf(out, "resume: continuing from %s (epoch %d, step %d)\n", path, s.Epoch, s.Step)
+		}
+	}
+
+	f, cursor, err := buildFramework(coreCfg, startSnap)
+	if err != nil {
+		return err
 	}
 
 	fmt.Fprintf(out, "PAC fine-tuning %s: %d samples, %d epochs, %d stages × %d lanes (= %d devices)\n",
@@ -158,45 +287,63 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "before: loss %.4f, metric %.2f\n", before.Loss, before.Metric(task))
 
 	start := time.Now()
-	loss, err := f.FineTuneCtx(context.Background(), trainDS, *batch, *epochs, 1)
-	if rf, ok := parallel.AsRankFailed(err); ok {
-		// A device died mid-run: report it, drop it from the pool, re-run
-		// the planner on the survivors, and train again on the new plan.
-		devIdx := rf.Rank
-		if rf.Lane >= 0 {
-			devIdx = rf.Lane**stages + rf.Rank
+	// The supervisor loop: train; on a device failure, attribute it, mark
+	// the device dead, re-plan on the survivors, restore the latest
+	// snapshot, salvage the cache, and resume from the cursor — no
+	// restart from scratch as long as a snapshot exists.
+	recoveries := 0
+	var loss float64
+	for {
+		loss, err = f.FineTuneFromCtx(context.Background(), trainDS, *batch, *epochs, 1, cursor)
+		rf, failed := parallel.AsRankFailed(err)
+		if !failed {
+			break
 		}
-		if devIdx < 0 || devIdx >= pool.Size() {
-			devIdx = 0
+		if recoveries >= *maxRecoveries {
+			return fmt.Errorf("device failure after %d recoveries: %w", recoveries, err)
 		}
-		failed := pool.Devices[devIdx].Name
-		live.MarkDead(failed)
-		fmt.Fprintf(out, "FAILURE: device %s detected dead (%v)\n", failed, rf)
+		recoveries++
 
-		survivors := live.Survivors(pool)
-		fmt.Fprintf(out, "re-planning on %d surviving device(s): %v\n", survivors.Size(), deviceNames(survivors))
-		costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
-		in := planner.Input{Blocks: costs.Blocks(), Cluster: survivors, MiniBatch: *batch}
-		if plan, perr := planner.New(in); perr != nil {
-			fmt.Fprintf(out, "re-plan: no feasible configuration on survivors (%v)\n", perr)
+		devIdx, known := attributeDevice(rf, coreCfg.Stages, pool.Size())
+		if known {
+			failedName := pool.Devices[devIdx].Name
+			live.MarkDead(failedName)
+			fmt.Fprintf(out, "FAILURE: device %s detected dead (%v)\n", failedName, rf)
+
+			survivors := live.Survivors(pool)
+			fmt.Fprintf(out, "re-planning on %d surviving device(s): %v\n", survivors.Size(), deviceNames(survivors))
+			costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
+			in := planner.Input{Blocks: costs.Blocks(), Cluster: survivors, MiniBatch: *batch}
+			if plan, perr := planner.New(in); perr != nil {
+				fmt.Fprintf(out, "re-plan: no feasible configuration on survivors (%v)\n", perr)
+			} else {
+				fmt.Fprintf(out, "re-plan: %s\n", plan)
+			}
+			// The crashed lane's surviving devices are reassigned; shrink
+			// the lane count to fit the smaller pool.
+			if coreCfg.Lanes > 1 {
+				coreCfg.Lanes--
+			}
 		} else {
-			fmt.Fprintf(out, "re-plan: %s\n", plan)
+			// The failure could not be attributed to a concrete device
+			// (collective-level fault): keep the pool intact rather than
+			// blaming an arbitrary member.
+			fmt.Fprintf(out, "FAILURE: unknown device (rank %d, lane %d): %v — pool unchanged\n", rf.Rank, rf.Lane, rf)
 		}
+		coreCfg.WrapTransport = nil // the injected fault has fired
 
-		// Rerun on the surviving pool with one lane fewer (the crashed
-		// lane's devices are reassigned; weights restart from scratch —
-		// phase-1 progress of a failed epoch is not recoverable).
-		newLanes := *lanes - 1
-		if newLanes < 1 {
-			newLanes = 1
+		snap := latestSnapshot()
+		if snap != nil {
+			fmt.Fprintf(out, "recovering from snapshot: epoch %d, step %d (%d stages × %d lanes)\n",
+				snap.Epoch, snap.Step, coreCfg.Stages, coreCfg.Lanes)
+		} else {
+			fmt.Fprintf(out, "no snapshot captured yet: restarting from scratch (%d stages × %d lanes, cache preserved)\n",
+				coreCfg.Stages, coreCfg.Lanes)
 		}
-		retryCfg := coreCfg
-		retryCfg.Lanes = newLanes
-		retryCfg.WrapTransport = nil // the dead device is out of the pool
-		retryCfg.Cache = nil         // rebuild the cache on the new pool
-		f = core.New(retryCfg)
-		fmt.Fprintf(out, "restarting: %d stages × %d lanes on survivors\n", *stages, newLanes)
-		loss, err = f.FineTuneCtx(context.Background(), trainDS, *batch, *epochs, 1)
+		f, cursor, err = buildFramework(coreCfg, snap)
+		if err != nil {
+			return err
+		}
 	}
 	if err != nil {
 		return err
@@ -206,9 +353,12 @@ func run(args []string, out io.Writer) error {
 	after := f.Evaluate(evalDS, *batch)
 	st := f.Cache().Stats()
 	fmt.Fprintf(out, "after:  loss %.4f, metric %.2f (train loss %.4f)\n", after.Loss, after.Metric(task), loss)
-	fmt.Fprintf(out, "wall time %.1fs; cache: %d entries, %.1f MB, %d hits / %d puts; redistributed %.1f MB\n",
+	fmt.Fprintf(out, "wall time %.1fs; cache: %d entries, %.1f MB, %d hits / %d puts / %d corrupt; redistributed %.1f MB\n",
 		elapsed.Seconds(), f.Cache().Len(), float64(f.Cache().Bytes())/1e6,
-		st.Hits, st.Puts, float64(f.RedistributedBytes)/1e6)
+		st.Hits, st.Puts, st.Corrupt, float64(f.RedistributedBytes)/1e6)
+	if n := closeWriter(); n > 0 {
+		fmt.Fprintf(out, "snapshots: %d written to %s\n", n, *snapDir)
+	}
 
 	if *savePath != "" {
 		if err := checkpoint.Save(*savePath, task.String(), f.Reference(), cfg, uint64(f.EpochsRun())); err != nil {
@@ -217,6 +367,23 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "saved adapters to %s\n", *savePath)
 	}
 	return nil
+}
+
+// attributeDevice maps a rank failure to a concrete pool index: phase-1
+// failures carry (lane, stage), cached-phase failures a DP rank that is
+// the device index directly. A rank that falls outside the pool — a
+// collective-level fault, or an error surfaced after a re-plan changed
+// the pool shape — is reported as unknown rather than blamed on an
+// arbitrary device.
+func attributeDevice(rf *parallel.RankFailedError, stages, poolSize int) (int, bool) {
+	idx := rf.Rank
+	if rf.Lane >= 0 {
+		idx = rf.Lane*stages + rf.Rank
+	}
+	if idx < 0 || idx >= poolSize {
+		return -1, false
+	}
+	return idx, true
 }
 
 func deviceNames(c cluster.Cluster) []string {

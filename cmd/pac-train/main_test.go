@@ -1,18 +1,38 @@
 package main
 
 import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+
+	"pac/internal/parallel"
 )
 
 // tinyArgs keeps the smoke runs to a couple of seconds: no backbone
-// pretraining, one epoch, 16 samples.
+// pretraining, 16 samples (12 train after the eval split).
 func tinyArgs(extra ...string) []string {
 	args := []string{
 		"-task", "sst-2", "-samples", "16", "-epochs", "1",
 		"-pretrain", "0", "-stages", "2", "-lanes", "2", "-batch", "8",
 	}
 	return append(args, extra...)
+}
+
+// cachePuts extracts the put counter from the final stats line.
+func cachePuts(t *testing.T, out string) int {
+	t.Helper()
+	m := regexp.MustCompile(`(\d+) puts`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no puts counter in output:\n%s", out)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 func TestRunSmoke(t *testing.T) {
@@ -28,27 +48,138 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
-// TestRunCrashRecovery drives the full failure path end to end: a
-// device is crashed mid-epoch by the fault injector, the engine
-// surfaces a RankFailedError within the step deadline, pac-train names
-// the dead device, re-runs the planner on the survivors, and finishes
-// training on the shrunken pool.
+// TestRunCrashRecovery drives the supervisor end to end, table-driven
+// over the crash phase: a device is killed mid-run by the fault
+// injector, the engine surfaces a RankFailedError within the step
+// deadline, the supervisor names the dead device, re-plans on the
+// survivors, restores the latest snapshot, salvages the cache, and
+// finishes training — with cache puts bounded by the dataset size,
+// proving the cache was salvaged rather than rebuilt.
 func TestRunCrashRecovery(t *testing.T) {
-	var sb strings.Builder
-	err := run(tinyArgs("-crash-device", "3", "-crash-after", "5", "-step-timeout", "2s"), &sb)
-	if err != nil {
-		t.Fatalf("run after recovery: %v\n%s", err, sb.String())
+	const trainSamples = 12 // 16 samples minus the 25% eval split
+	cases := []struct {
+		name  string
+		extra []string
+		want  []string
+	}{
+		{
+			// Crash in epoch 1, after enough steps that a snapshot
+			// exists: resume mid-hybrid-phase from the cursor.
+			name: "hybrid-phase",
+			extra: []string{"-epochs", "2", "-crash-device", "3", "-crash-after", "10",
+				"-crash-phase", "hybrid", "-snapshot-every", "1", "-step-timeout", "2s"},
+			want: []string{
+				"fault injection: device 3",
+				"FAILURE: device",
+				"re-planning on 3 surviving device(s)",
+				"recovering from snapshot: epoch 0",
+				"cache salvage:",
+			},
+		},
+		{
+			// Crash in a cached epoch (≥2): phase 1's product survives;
+			// the salvage verifies it instead of re-running the backbone.
+			name: "cached-phase",
+			extra: []string{"-epochs", "3", "-crash-device", "1", "-crash-after", "8",
+				"-crash-phase", "cached", "-snapshot-every", "1", "-step-timeout", "2s"},
+			want: []string{
+				"fault injection: device 1",
+				"FAILURE: device",
+				"re-planning on 3 surviving device(s)",
+				"recovering from snapshot",
+				"cache salvage:",
+				"recomputed 0",
+			},
+		},
+		{
+			// Crash before the first capture: the supervisor restarts
+			// from scratch but keeps the filled cache entries.
+			name: "no-snapshot-yet",
+			extra: []string{"-epochs", "2", "-crash-device", "3", "-crash-after", "5",
+				"-crash-phase", "hybrid", "-snapshot-every", "0", "-step-timeout", "2s"},
+			want: []string{
+				"FAILURE: device",
+				"no snapshot captured yet: restarting from scratch",
+			},
+		},
 	}
-	out := sb.String()
-	for _, want := range []string{
-		"fault injection: device 3",
-		"FAILURE: device",
-		"re-planning on 3 surviving device(s)",
-		"restarting: 2 stages × 1 lanes",
-		"after:",
-	} {
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := run(tinyArgs(tc.extra...), &sb)
+			out := sb.String()
+			if err != nil {
+				t.Fatalf("run after recovery: %v\n%s", err, out)
+			}
+			for _, want := range append(tc.want, "after:") {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			// Salvaged, not rebuilt: with the store surviving the
+			// recovery, each sample is computed and Put at most once.
+			if puts := cachePuts(t, out); puts > trainSamples {
+				t.Errorf("cache saw %d puts for %d samples — rebuilt, not salvaged:\n%s",
+					puts, trainSamples, out)
+			}
+		})
+	}
+}
+
+// TestRunResumeAcrossProcesses simulates a process death: the first run
+// fails fast on the injected crash (max-recoveries 0), leaving durable
+// snapshots and a disk cache behind; the second run -resumes from them
+// and completes without refilling the cache.
+func TestRunResumeAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	snapDir := filepath.Join(dir, "snaps")
+	cacheDir := filepath.Join(dir, "cache")
+	shared := []string{"-epochs", "2", "-snapshot-every", "1",
+		"-snapshot-dir", snapDir, "-cache-dir", cacheDir, "-step-timeout", "2s"}
+
+	var first strings.Builder
+	err := run(tinyArgs(append(shared,
+		"-crash-device", "3", "-crash-after", "10", "-max-recoveries", "0")...), &first)
+	if err == nil {
+		t.Fatalf("first process survived with max-recoveries 0:\n%s", first.String())
+	}
+	if !strings.Contains(err.Error(), "device failure") {
+		t.Fatalf("first process failed for the wrong reason: %v", err)
+	}
+
+	var second strings.Builder
+	if err := run(tinyArgs(append(shared, "-resume")...), &second); err != nil {
+		t.Fatalf("resumed process: %v\n%s", err, second.String())
+	}
+	out := second.String()
+	for _, want := range []string{"resume: continuing from", "cache salvage:", "after:"} {
 		if !strings.Contains(out, want) {
-			t.Errorf("output missing %q:\n%s", want, out)
+			t.Errorf("resume output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAttributeDevice pins the failure-attribution rules, including the
+// fix for the old behavior of blaming device 0 for unmappable failures.
+func TestAttributeDevice(t *testing.T) {
+	cases := []struct {
+		rank, lane, stages, pool int
+		wantIdx                  int
+		wantKnown                bool
+	}{
+		{rank: 1, lane: 0, stages: 2, pool: 4, wantIdx: 1, wantKnown: true},  // lane 0, stage 1
+		{rank: 0, lane: 1, stages: 2, pool: 4, wantIdx: 2, wantKnown: true},  // lane 1, stage 0
+		{rank: 3, lane: -1, stages: 2, pool: 4, wantIdx: 3, wantKnown: true}, // DP rank
+		{rank: 9, lane: -1, stages: 2, pool: 4, wantKnown: false},            // out of range
+		{rank: 1, lane: 5, stages: 2, pool: 4, wantKnown: false},             // phantom lane
+		{rank: -2, lane: -1, stages: 2, pool: 4, wantKnown: false},           // negative rank
+	}
+	for _, tc := range cases {
+		rf := &parallel.RankFailedError{Rank: tc.rank, Lane: tc.lane, Op: "op", Err: fmt.Errorf("x")}
+		idx, known := attributeDevice(rf, tc.stages, tc.pool)
+		if known != tc.wantKnown || (known && idx != tc.wantIdx) {
+			t.Errorf("attributeDevice(rank=%d lane=%d) = (%d, %v), want (%d, %v)",
+				tc.rank, tc.lane, idx, known, tc.wantIdx, tc.wantKnown)
 		}
 	}
 }
@@ -60,5 +191,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(tinyArgs("-crash-device", "99"), &sb); err == nil {
 		t.Fatal("expected error for out-of-range crash device")
+	}
+	if err := run(tinyArgs("-crash-device", "1", "-crash-phase", "nonsense"), &sb); err == nil {
+		t.Fatal("expected error for unknown crash phase")
+	}
+	if err := run(tinyArgs("-resume"), &sb); err == nil {
+		t.Fatal("expected error for -resume without -snapshot-dir")
 	}
 }

@@ -38,9 +38,12 @@ func (e Entry) Clone() Entry {
 	return out
 }
 
-// Stats counts cache traffic.
+// Stats counts cache traffic. Corrupt counts entries that failed
+// integrity verification on read and were dropped for recomputation
+// (disk stores; a torn write or flash bit rot must cost one sample's
+// recompute, never the epoch).
 type Stats struct {
-	Hits, Misses, Puts int64
+	Hits, Misses, Puts, Corrupt int64
 }
 
 // Store is an activation cache backend.

@@ -1,7 +1,9 @@
 package acache
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -14,6 +16,13 @@ import (
 // too small to hold the cache ("the activation cache is reloaded from
 // disk per micro-batch"). Reads decode on demand; only an id→size index
 // lives in memory.
+//
+// Each entry file is the canonical entry encoding followed by a 4-byte
+// CRC-32 (IEEE) footer. Get verifies the footer before decoding; an
+// entry that fails (torn write, flash bit rot) is dropped from the
+// index and deleted, so the caller's miss path recomputes that one
+// sample instead of the epoch failing. Footer-less files from older
+// versions still decode (legacy fallback).
 type DiskStore struct {
 	dir string
 
@@ -58,21 +67,26 @@ func (s *DiskStore) path(id int) string {
 // Put implements Store.
 func (s *DiskStore) Put(id int, taps Entry) error {
 	blob := EncodeEntry(taps)
+	var footer [4]byte
+	binary.LittleEndian.PutUint32(footer[:], crc32.ChecksumIEEE(blob))
+	file := append(blob, footer[:]...)
 	tmp := s.path(id) + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := os.WriteFile(tmp, file, 0o644); err != nil {
 		return fmt.Errorf("acache: write entry: %w", err)
 	}
 	if err := os.Rename(tmp, s.path(id)); err != nil {
 		return fmt.Errorf("acache: commit entry: %w", err)
 	}
 	s.mu.Lock()
-	s.index[id] = int64(len(blob))
+	s.index[id] = int64(len(file))
 	s.stats.Puts++
 	s.mu.Unlock()
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. A file that fails its CRC (and is not a valid
+// legacy footer-less entry) counts as corrupt: the entry is deleted
+// and reported as a miss, and the caller recomputes that sample.
 func (s *DiskStore) Get(id int) (Entry, bool) {
 	s.mu.Lock()
 	_, ok := s.index[id]
@@ -85,15 +99,40 @@ func (s *DiskStore) Get(id int) (Entry, bool) {
 	if !ok {
 		return nil, false
 	}
-	blob, err := os.ReadFile(s.path(id))
+	file, err := os.ReadFile(s.path(id))
 	if err != nil {
+		s.dropCorrupt(id)
 		return nil, false
 	}
-	entry, err := DecodeEntry(blob)
-	if err != nil {
-		return nil, false
+	if n := len(file); n >= 4 {
+		blob, footer := file[:n-4], file[n-4:]
+		if crc32.ChecksumIEEE(blob) == binary.LittleEndian.Uint32(footer) {
+			if entry, err := DecodeEntry(blob); err == nil {
+				return entry, true
+			}
+		}
 	}
-	return entry, true
+	// Legacy fallback: entries written before the CRC footer existed.
+	if entry, err := DecodeEntry(file); err == nil {
+		return entry, true
+	}
+	s.dropCorrupt(id)
+	return nil, false
+}
+
+// dropCorrupt removes a damaged entry so subsequent Has/Get report a
+// clean miss and the sample is recomputed rather than retried forever.
+func (s *DiskStore) dropCorrupt(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[id]; !ok {
+		return
+	}
+	delete(s.index, id)
+	s.stats.Hits-- // the optimistic hit above was in fact a miss
+	s.stats.Misses++
+	s.stats.Corrupt++
+	_ = os.Remove(s.path(id))
 }
 
 // Has implements Store.

@@ -1,0 +1,201 @@
+package acache
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// Manifest is the integrity ledger of an activation cache: a CRC-32
+// per cached sample entry, recorded as entries are committed during
+// phase 1. After a device loss or process restart it is the source of
+// truth for salvage — surviving entries are verified against it, and
+// only samples whose taps are missing or damaged are recomputed
+// through the frozen backbone (O(lost shard) instead of replaying the
+// whole epoch-1 forward pass).
+type Manifest struct {
+	mu   sync.Mutex
+	taps int
+	sums map[int]uint32
+}
+
+// NewManifest returns an empty manifest for entries of the given tap
+// count.
+func NewManifest(taps int) *Manifest {
+	return &Manifest{taps: taps, sums: map[int]uint32{}}
+}
+
+// EntrySum is the checksum recorded per entry: CRC-32 (IEEE) of the
+// entry's canonical encoding — the same bytes the disk store persists
+// and redistribution ships, so one sum serves every store kind.
+func EntrySum(e Entry) uint32 {
+	return crc32.ChecksumIEEE(EncodeEntry(e))
+}
+
+// Taps returns the per-entry tap count the manifest describes.
+func (m *Manifest) Taps() int { return m.taps }
+
+// Observe records (or refreshes) the checksum for one committed entry.
+func (m *Manifest) Observe(id int, e Entry) {
+	sum := EntrySum(e)
+	m.mu.Lock()
+	m.sums[id] = sum
+	m.mu.Unlock()
+}
+
+// Sum returns the recorded checksum for a sample id.
+func (m *Manifest) Sum(id int) (uint32, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sum, ok := m.sums[id]
+	return sum, ok
+}
+
+// Len returns the number of samples with recorded checksums.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sums)
+}
+
+// Sums returns a copy of the id → checksum map (snapshot encoding).
+func (m *Manifest) Sums() map[int]uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]uint32, len(m.sums))
+	for id, s := range m.sums {
+		out[id] = s
+	}
+	return out
+}
+
+// ManifestFromSums rebuilds a manifest from a snapshot's persisted
+// id → checksum map.
+func ManifestFromSums(taps int, sums map[int]uint32) *Manifest {
+	m := NewManifest(taps)
+	for id, s := range sums {
+		m.sums[id] = s
+	}
+	return m
+}
+
+// BuildManifest scans a store and records a checksum for every entry it
+// can read — the bootstrap path when no recorded manifest survived.
+// Unreadable entries (a disk store's corrupt files) are simply absent.
+func BuildManifest(s Store, taps int) *Manifest {
+	m := NewManifest(taps)
+	for _, id := range s.IDs() {
+		if e, ok := s.Get(id); ok {
+			m.sums[id] = EntrySum(e)
+		}
+	}
+	return m
+}
+
+// ShardManifest describes one device's cache shard: the sample-ID
+// range it covers and a checksum per entry, aligned with IDs.
+type ShardManifest struct {
+	Device       int
+	IDs          []int
+	Sums         []uint32
+	MinID, MaxID int
+}
+
+// Shards groups the manifest into per-device shard descriptors using
+// the same round-robin assignment as ShardIDs — the metadata each
+// device would carry alongside its shard in a LAN deployment.
+func (m *Manifest) Shards(devices int) []ShardManifest {
+	m.mu.Lock()
+	ids := make([]int, 0, len(m.sums))
+	for id := range m.sums {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Ints(ids)
+	out := make([]ShardManifest, devices)
+	for d, shard := range ShardIDs(ids, devices) {
+		sm := ShardManifest{Device: d, IDs: shard}
+		for i, id := range shard {
+			sum, _ := m.Sum(id)
+			sm.Sums = append(sm.Sums, sum)
+			if i == 0 || id < sm.MinID {
+				sm.MinID = id
+			}
+			if id > sm.MaxID {
+				sm.MaxID = id
+			}
+		}
+		out[d] = sm
+	}
+	return out
+}
+
+// SalvageReport summarizes one salvage pass.
+type SalvageReport struct {
+	// Verified entries survived intact (checksum match, or readable
+	// with no recorded checksum to compare against).
+	Verified int
+	// Corrupt entries were present but failed verification; they were
+	// dropped and recomputed.
+	Corrupt int
+	// Missing entries were absent from the store (lost shard).
+	Missing int
+	// Recomputed counts corrupt+missing entries restored through the
+	// recompute callback.
+	Recomputed int
+}
+
+func (r SalvageReport) String() string {
+	return fmt.Sprintf("verified %d, corrupt %d, missing %d, recomputed %d",
+		r.Verified, r.Corrupt, r.Missing, r.Recomputed)
+}
+
+// Salvage restores store coverage of want after a device loss or
+// process restart: every surviving entry is verified (against the
+// manifest checksum when one is recorded, else by a successful read —
+// the disk store self-verifies per-entry CRCs), corrupt entries are
+// dropped, and only the corrupt or missing samples are recomputed via
+// the callback — never the intact remainder. A nil recompute verifies
+// and drops but restores nothing (the lazy miss path will recompute on
+// demand). A nil manifest skips checksum comparison.
+func Salvage(s Store, want []int, m *Manifest, recompute func(id int) (Entry, error)) (SalvageReport, error) {
+	var rep SalvageReport
+	type deleter interface{ Delete(id int) }
+	for _, id := range want {
+		e, ok := s.Get(id)
+		if ok {
+			intact := true
+			if m != nil {
+				if sum, recorded := m.Sum(id); recorded && EntrySum(e) != sum {
+					intact = false
+				}
+			}
+			if intact {
+				rep.Verified++
+				continue
+			}
+			rep.Corrupt++
+			if d, can := s.(deleter); can {
+				d.Delete(id)
+			}
+		} else {
+			rep.Missing++
+		}
+		if recompute == nil {
+			continue
+		}
+		fresh, err := recompute(id)
+		if err != nil {
+			return rep, fmt.Errorf("acache: salvage recompute sample %d: %w", id, err)
+		}
+		if err := s.Put(id, fresh); err != nil {
+			return rep, fmt.Errorf("acache: salvage store sample %d: %w", id, err)
+		}
+		if m != nil {
+			m.Observe(id, fresh)
+		}
+		rep.Recomputed++
+	}
+	return rep, nil
+}

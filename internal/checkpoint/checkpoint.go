@@ -18,10 +18,13 @@ package checkpoint
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"pac/internal/autograd"
 	"pac/internal/model"
@@ -35,6 +38,47 @@ const (
 
 	flagQuantized = 1 << 0 // int8 symmetric quantization per tensor
 )
+
+// ErrCorrupt marks a checkpoint or snapshot that failed integrity
+// verification — truncated, bit-flipped, or torn mid-write. Callers
+// test with errors.Is and fall back (previous snapshot, fresh start)
+// instead of training on damaged state.
+var ErrCorrupt = errors.New("integrity check failed")
+
+// atomicWrite commits blob to path so a crash at any point leaves
+// either the old file or the new one, never a torn mix: write to a
+// sibling temp file, fsync it, rename over the target, fsync the
+// directory so the rename itself is durable.
+func atomicWrite(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	fh, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.Write(blob); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
 
 // Checkpoint is a deserialized adapter snapshot.
 type Checkpoint struct {
@@ -87,12 +131,8 @@ func save(path, name string, tech peft.Technique, cfg model.Config, step uint64,
 		Params:      values(tech.Trainable()),
 		Quantized:   quantized,
 	})
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := atomicWrite(path, blob); err != nil {
 		return fmt.Errorf("checkpoint: write: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("checkpoint: commit: %w", err)
 	}
 	return nil
 }
@@ -196,11 +236,11 @@ func Encode(ck *Checkpoint) []byte {
 // Decode parses a checkpoint, verifying magic, version, and CRC.
 func Decode(blob []byte) (*Checkpoint, error) {
 	if len(blob) < 4 {
-		return nil, fmt.Errorf("checkpoint: truncated")
+		return nil, fmt.Errorf("checkpoint: truncated: %w", ErrCorrupt)
 	}
 	body, footer := blob[:len(blob)-4], blob[len(blob)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(footer) {
-		return nil, fmt.Errorf("checkpoint: CRC mismatch — file corrupted")
+		return nil, fmt.Errorf("checkpoint: CRC mismatch: %w", ErrCorrupt)
 	}
 	r := bytes.NewReader(body)
 	r32 := func() (uint32, error) {
@@ -214,52 +254,54 @@ func Decode(blob []byte) (*Checkpoint, error) {
 		return v, err
 	}
 	if m, err := r32(); err != nil || m != magic {
-		return nil, fmt.Errorf("checkpoint: bad magic")
+		return nil, fmt.Errorf("checkpoint: bad magic: %w", ErrCorrupt)
 	}
-	if v, err := r32(); err != nil || v != version {
-		return nil, fmt.Errorf("checkpoint: unsupported version")
+	if v, err := r32(); err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated header: %w", ErrCorrupt)
+	} else if v != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", v)
 	}
 	ck := &Checkpoint{}
 	flags, err := r32()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("checkpoint: truncated header: %w", ErrCorrupt)
 	}
 	ck.Quantized = flags&flagQuantized != 0
 	kind, err := r32()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("checkpoint: truncated metadata: %w", ErrCorrupt)
 	}
 	ck.Kind = peft.Kind(kind)
 	if ck.Fingerprint, err = r64(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("checkpoint: truncated metadata: %w", ErrCorrupt)
 	}
 	if ck.Step, err = r64(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("checkpoint: truncated metadata: %w", ErrCorrupt)
 	}
 	nameLen, err := r32()
 	if err != nil || nameLen > 1<<16 {
-		return nil, fmt.Errorf("checkpoint: bad name length")
+		return nil, fmt.Errorf("checkpoint: bad name length: %w", ErrCorrupt)
 	}
 	name := make([]byte, nameLen)
-	if _, err := r.Read(name); err != nil {
-		return nil, err
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated name: %w", ErrCorrupt)
 	}
 	ck.Name = string(name)
 	count, err := r32()
 	if err != nil || count > 1<<20 {
-		return nil, fmt.Errorf("checkpoint: bad tensor count")
+		return nil, fmt.Errorf("checkpoint: bad tensor count: %w", ErrCorrupt)
 	}
 	for i := uint32(0); i < count; i++ {
 		nd, err := r32()
 		if err != nil || nd > 8 {
-			return nil, fmt.Errorf("checkpoint: tensor %d bad rank", i)
+			return nil, fmt.Errorf("checkpoint: tensor %d bad rank: %w", i, ErrCorrupt)
 		}
 		shape := make([]int, nd)
 		numel := 1
 		for j := range shape {
 			d, err := r32()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("checkpoint: tensor %d truncated shape: %w", i, ErrCorrupt)
 			}
 			shape[j] = int(d)
 			numel *= int(d)
@@ -267,28 +309,28 @@ func Decode(blob []byte) (*Checkpoint, error) {
 		vals := make([]float32, numel)
 		if ck.Quantized {
 			if int64(numel)+4 > int64(r.Len()) {
-				return nil, fmt.Errorf("checkpoint: tensor %d truncated", i)
+				return nil, fmt.Errorf("checkpoint: tensor %d truncated: %w", i, ErrCorrupt)
 			}
 			bits, err := r32()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("checkpoint: tensor %d truncated: %w", i, ErrCorrupt)
 			}
 			scale := math.Float32frombits(bits)
 			raw := make([]byte, numel)
-			if _, err := r.Read(raw); err != nil {
-				return nil, err
+			if _, err := io.ReadFull(r, raw); err != nil {
+				return nil, fmt.Errorf("checkpoint: tensor %d truncated: %w", i, ErrCorrupt)
 			}
 			for j, q := range raw {
 				vals[j] = float32(int8(q)) * scale
 			}
 		} else {
 			if int64(numel)*4 > int64(r.Len()) {
-				return nil, fmt.Errorf("checkpoint: tensor %d truncated", i)
+				return nil, fmt.Errorf("checkpoint: tensor %d truncated: %w", i, ErrCorrupt)
 			}
 			for j := range vals {
 				bits, err := r32()
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("checkpoint: tensor %d truncated: %w", i, ErrCorrupt)
 				}
 				vals[j] = math.Float32frombits(bits)
 			}
@@ -296,7 +338,7 @@ func Decode(blob []byte) (*Checkpoint, error) {
 		ck.Params = append(ck.Params, tensor.FromSlice(vals, shape...))
 	}
 	if r.Len() != 0 {
-		return nil, fmt.Errorf("checkpoint: %d trailing bytes", r.Len())
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes: %w", r.Len(), ErrCorrupt)
 	}
 	return ck, nil
 }

@@ -1,0 +1,535 @@
+// Snapshot is the durable training-state format behind elastic resume:
+// where the adapter checkpoint (checkpoint.go) stores only the trained
+// weights for deployment, a snapshot captures everything needed to
+// continue training bit-identically from the middle of a run — adapter
+// weights, optimizer moments, the (epoch, step) cursor, the data-order
+// seed, a config fingerprint, and the activation-cache manifest.
+//
+// File layout (little-endian throughout):
+//
+//	u32 magic "PACS", u32 version
+//	u32 section count, then per section:
+//	  u32 kind, u32 payload length, u32 CRC-32 (IEEE) of payload, payload
+//
+// Every section carries its own CRC so a torn or bit-flipped write is
+// detected at load — Load never hands damaged state to the trainer; it
+// returns ErrCorrupt and the caller falls back to an older snapshot.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"pac/internal/tensor"
+)
+
+const (
+	snapMagic   = 0x50414353 // "PACS"
+	snapVersion = 1
+
+	secMeta     = 1
+	secAdapters = 2
+	secOptim    = 3
+	secCache    = 4
+)
+
+// OptGroup is one optimizer's exported state: in phase 1 there is one
+// group per pipeline stage (the per-stage optimizers), in cached epochs
+// a single group (the data-parallel replicas are in lockstep, so rank
+// 0's state stands for all).
+type OptGroup struct {
+	Step    int
+	Tensors []*tensor.Tensor
+}
+
+// Snapshot is a deserialized training snapshot.
+type Snapshot struct {
+	Fingerprint uint64
+	Task        string
+	Seed        int64
+	// Epoch and Step form the resume cursor: Step completed steps of
+	// Epoch are reflected in the state; training resumes at batch Step.
+	Epoch int
+	Step  int
+	// Stages and Lanes record the plan shape the state was captured
+	// under (optimizer groups are per stage; a resume with a different
+	// stage count cannot import them).
+	Stages int
+	Lanes  int
+	// Adapters are the trainable parameter values in Trainable() order.
+	Adapters []*tensor.Tensor
+	// OptGroups carry the optimizer moments (see OptGroup).
+	OptGroups []OptGroup
+	// CacheTaps and CacheSums are the activation-cache manifest: per
+	// cached sample id, the CRC-32 of its encoded entry. Salvage uses
+	// them to verify surviving shards after a crash.
+	CacheTaps int
+	CacheSums map[int]uint32
+}
+
+func writeTensors(buf *bytes.Buffer, ts []*tensor.Tensor) {
+	w32 := func(v uint32) { _ = binary.Write(buf, binary.LittleEndian, v) }
+	w32(uint32(len(ts)))
+	for _, t := range ts {
+		shape := t.Shape()
+		w32(uint32(len(shape)))
+		for _, d := range shape {
+			w32(uint32(d))
+		}
+		for _, v := range t.Data {
+			w32(math.Float32bits(v))
+		}
+	}
+}
+
+func readTensors(r *bytes.Reader) ([]*tensor.Tensor, error) {
+	r32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	count, err := r32()
+	if err != nil || count > 1<<20 {
+		return nil, fmt.Errorf("snapshot: bad tensor count: %w", ErrCorrupt)
+	}
+	out := make([]*tensor.Tensor, 0, count)
+	for i := uint32(0); i < count; i++ {
+		nd, err := r32()
+		if err != nil || nd > 8 {
+			return nil, fmt.Errorf("snapshot: tensor %d bad rank: %w", i, ErrCorrupt)
+		}
+		shape := make([]int, nd)
+		numel := 1
+		for j := range shape {
+			d, err := r32()
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: tensor %d truncated shape: %w", i, ErrCorrupt)
+			}
+			shape[j] = int(d)
+			numel *= int(d)
+		}
+		if int64(numel)*4 > int64(r.Len()) {
+			return nil, fmt.Errorf("snapshot: tensor %d truncated: %w", i, ErrCorrupt)
+		}
+		vals := make([]float32, numel)
+		for j := range vals {
+			bits, err := r32()
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: tensor %d truncated: %w", i, ErrCorrupt)
+			}
+			vals[j] = math.Float32frombits(bits)
+		}
+		out = append(out, tensor.FromSlice(vals, shape...))
+	}
+	return out, nil
+}
+
+// EncodeSnapshot serializes a snapshot into the sectioned format.
+func EncodeSnapshot(s *Snapshot) []byte {
+	section := func(buf *bytes.Buffer, kind uint32, payload []byte) {
+		w32 := func(v uint32) { _ = binary.Write(buf, binary.LittleEndian, v) }
+		w32(kind)
+		w32(uint32(len(payload)))
+		w32(crc32.ChecksumIEEE(payload))
+		buf.Write(payload)
+	}
+
+	var meta bytes.Buffer
+	mw32 := func(v uint32) { _ = binary.Write(&meta, binary.LittleEndian, v) }
+	mw64 := func(v uint64) { _ = binary.Write(&meta, binary.LittleEndian, v) }
+	mw64(s.Fingerprint)
+	mw64(uint64(s.Seed))
+	mw32(uint32(s.Epoch))
+	mw32(uint32(s.Step))
+	mw32(uint32(s.Stages))
+	mw32(uint32(s.Lanes))
+	mw32(uint32(len(s.Task)))
+	meta.WriteString(s.Task)
+
+	var adapters bytes.Buffer
+	writeTensors(&adapters, s.Adapters)
+
+	var optim bytes.Buffer
+	ow32 := func(v uint32) { _ = binary.Write(&optim, binary.LittleEndian, v) }
+	ow32(uint32(len(s.OptGroups)))
+	for _, g := range s.OptGroups {
+		ow32(uint32(g.Step))
+		writeTensors(&optim, g.Tensors)
+	}
+
+	var cache bytes.Buffer
+	cw32 := func(v uint32) { _ = binary.Write(&cache, binary.LittleEndian, v) }
+	cw32(uint32(s.CacheTaps))
+	ids := make([]int, 0, len(s.CacheSums))
+	for id := range s.CacheSums {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	cw32(uint32(len(ids)))
+	for _, id := range ids {
+		cw32(uint32(id))
+		cw32(s.CacheSums[id])
+	}
+
+	var buf bytes.Buffer
+	hw32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	hw32(snapMagic)
+	hw32(snapVersion)
+	hw32(4)
+	section(&buf, secMeta, meta.Bytes())
+	section(&buf, secAdapters, adapters.Bytes())
+	section(&buf, secOptim, optim.Bytes())
+	section(&buf, secCache, cache.Bytes())
+	return buf.Bytes()
+}
+
+// DecodeSnapshot parses a snapshot, verifying the per-section CRCs.
+// Damage of any kind — truncation, bit flips, a torn tail — yields an
+// error wrapping ErrCorrupt, never a silently wrong snapshot.
+func DecodeSnapshot(blob []byte) (*Snapshot, error) {
+	r := bytes.NewReader(blob)
+	r32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	if m, err := r32(); err != nil || m != snapMagic {
+		return nil, fmt.Errorf("snapshot: bad magic: %w", ErrCorrupt)
+	}
+	if v, err := r32(); err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header: %w", ErrCorrupt)
+	} else if v != snapVersion {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	nsec, err := r32()
+	if err != nil || nsec > 64 {
+		return nil, fmt.Errorf("snapshot: bad section count: %w", ErrCorrupt)
+	}
+	sections := map[uint32][]byte{}
+	for i := uint32(0); i < nsec; i++ {
+		kind, err := r32()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: truncated section header: %w", ErrCorrupt)
+		}
+		// A damaged kind field would pass the payload CRC yet make the
+		// section silently vanish from the map — reject it here instead.
+		if kind < secMeta || kind > secCache {
+			return nil, fmt.Errorf("snapshot: unknown section kind %d: %w", kind, ErrCorrupt)
+		}
+		if _, dup := sections[kind]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate section kind %d: %w", kind, ErrCorrupt)
+		}
+		length, err := r32()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: truncated section header: %w", ErrCorrupt)
+		}
+		sum, err := r32()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: truncated section header: %w", ErrCorrupt)
+		}
+		if int64(length) > int64(r.Len()) {
+			return nil, fmt.Errorf("snapshot: section %d truncated: %w", kind, ErrCorrupt)
+		}
+		payload := make([]byte, length)
+		if _, err := r.Read(payload); err != nil {
+			return nil, fmt.Errorf("snapshot: section %d truncated: %w", kind, ErrCorrupt)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("snapshot: section %d CRC mismatch: %w", kind, ErrCorrupt)
+		}
+		sections[kind] = payload
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes: %w", r.Len(), ErrCorrupt)
+	}
+
+	s := &Snapshot{}
+
+	meta, ok := sections[secMeta]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: missing meta section: %w", ErrCorrupt)
+	}
+	mr := bytes.NewReader(meta)
+	mr32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(mr, binary.LittleEndian, &v)
+		return v, err
+	}
+	mr64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(mr, binary.LittleEndian, &v)
+		return v, err
+	}
+	bad := func() error { return fmt.Errorf("snapshot: truncated meta: %w", ErrCorrupt) }
+	if s.Fingerprint, err = mr64(); err != nil {
+		return nil, bad()
+	}
+	seed, err := mr64()
+	if err != nil {
+		return nil, bad()
+	}
+	s.Seed = int64(seed)
+	fields := []*int{&s.Epoch, &s.Step, &s.Stages, &s.Lanes}
+	for _, f := range fields {
+		v, err := mr32()
+		if err != nil {
+			return nil, bad()
+		}
+		*f = int(v)
+	}
+	nameLen, err := mr32()
+	if err != nil || int64(nameLen) > int64(mr.Len()) {
+		return nil, bad()
+	}
+	name := make([]byte, nameLen)
+	if _, err := mr.Read(name); err != nil && nameLen > 0 {
+		return nil, bad()
+	}
+	s.Task = string(name)
+
+	if payload, ok := sections[secAdapters]; ok {
+		ar := bytes.NewReader(payload)
+		if s.Adapters, err = readTensors(ar); err != nil {
+			return nil, err
+		}
+	}
+
+	if payload, ok := sections[secOptim]; ok {
+		or := bytes.NewReader(payload)
+		or32 := func() (uint32, error) {
+			var v uint32
+			err := binary.Read(or, binary.LittleEndian, &v)
+			return v, err
+		}
+		ngroups, err := or32()
+		if err != nil || ngroups > 1<<12 {
+			return nil, fmt.Errorf("snapshot: bad optimizer group count: %w", ErrCorrupt)
+		}
+		for i := uint32(0); i < ngroups; i++ {
+			step, err := or32()
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: truncated optimizer group: %w", ErrCorrupt)
+			}
+			ts, err := readTensors(or)
+			if err != nil {
+				return nil, err
+			}
+			s.OptGroups = append(s.OptGroups, OptGroup{Step: int(step), Tensors: ts})
+		}
+	}
+
+	if payload, ok := sections[secCache]; ok {
+		cr := bytes.NewReader(payload)
+		cr32 := func() (uint32, error) {
+			var v uint32
+			err := binary.Read(cr, binary.LittleEndian, &v)
+			return v, err
+		}
+		taps, err := cr32()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: truncated cache manifest: %w", ErrCorrupt)
+		}
+		s.CacheTaps = int(taps)
+		count, err := cr32()
+		if err != nil || count > 1<<24 {
+			return nil, fmt.Errorf("snapshot: bad cache manifest count: %w", ErrCorrupt)
+		}
+		s.CacheSums = make(map[int]uint32, count)
+		for i := uint32(0); i < count; i++ {
+			id, err := cr32()
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: truncated cache manifest: %w", ErrCorrupt)
+			}
+			sum, err := cr32()
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: truncated cache manifest: %w", ErrCorrupt)
+			}
+			s.CacheSums[int(id)] = sum
+		}
+	}
+	return s, nil
+}
+
+// SaveSnapshot writes a snapshot atomically (temp file + fsync +
+// rename): a crash mid-save leaves the previous snapshot intact.
+func SaveSnapshot(path string, s *Snapshot) error {
+	if err := atomicWrite(path, EncodeSnapshot(s)); err != nil {
+		return fmt.Errorf("snapshot: write: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads and verifies one snapshot file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	return DecodeSnapshot(blob)
+}
+
+const snapPattern = "snap-%08d.pacs"
+
+// Latest returns the newest loadable snapshot in dir and its path. A
+// corrupt newest file (torn write, bit rot) is skipped and the previous
+// one is returned — the fallback the recovery supervisor relies on.
+// Returns os.ErrNotExist (wrapped) when no usable snapshot exists.
+func Latest(dir string) (*Snapshot, string, error) {
+	seqs, err := snapshotSeqs(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var firstErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, fmt.Sprintf(snapPattern, seqs[i]))
+		s, err := LoadSnapshot(path)
+		if err == nil {
+			return s, path, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, "", fmt.Errorf("snapshot: no usable snapshot in %s (newest: %w): %w", dir, firstErr, os.ErrNotExist)
+	}
+	return nil, "", fmt.Errorf("snapshot: no snapshot in %s: %w", dir, os.ErrNotExist)
+}
+
+func snapshotSeqs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []int
+	for _, de := range entries {
+		var seq int
+		if n, err := fmt.Sscanf(de.Name(), snapPattern, &seq); n == 1 && err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// Snapshotter writes snapshots off the training path: Write hands the
+// capture to a background goroutine and returns immediately, coalescing
+// to the latest capture when writes are slower than the training loop
+// produces them. Old files beyond the retention count are pruned so the
+// directory always holds the newest few generations — enough for the
+// corrupt-newest fallback without unbounded growth.
+type Snapshotter struct {
+	dir  string
+	keep int
+
+	ch   chan *Snapshot
+	done chan struct{}
+
+	mu      sync.Mutex
+	seq     int
+	written int
+	err     error
+}
+
+// NewSnapshotter opens dir (creating it if needed) and resumes the
+// sequence numbering after any snapshots already present. keep < 1
+// defaults to 3 retained generations.
+func NewSnapshotter(dir string, keep int) (*Snapshotter, error) {
+	if keep < 1 {
+		keep = 3
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: create dir: %w", err)
+	}
+	seqs, err := snapshotSeqs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: scan dir: %w", err)
+	}
+	next := 0
+	if len(seqs) > 0 {
+		next = seqs[len(seqs)-1] + 1
+	}
+	w := &Snapshotter{dir: dir, keep: keep, seq: next,
+		ch: make(chan *Snapshot, 1), done: make(chan struct{})}
+	go w.loop()
+	return w, nil
+}
+
+// Write queues a snapshot for background persistence. If a write is
+// already in flight the pending capture is replaced (latest wins) —
+// the training loop never blocks on the disk.
+func (w *Snapshotter) Write(s *Snapshot) {
+	for {
+		select {
+		case w.ch <- s:
+			return
+		default:
+			select {
+			case <-w.ch:
+			default:
+			}
+		}
+	}
+}
+
+func (w *Snapshotter) loop() {
+	defer close(w.done)
+	for s := range w.ch {
+		w.mu.Lock()
+		seq := w.seq
+		w.seq++
+		w.mu.Unlock()
+		path := filepath.Join(w.dir, fmt.Sprintf(snapPattern, seq))
+		err := SaveSnapshot(path, s)
+		w.mu.Lock()
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		if err == nil {
+			w.written++
+		}
+		w.mu.Unlock()
+		if err == nil {
+			w.prune(seq)
+		}
+	}
+}
+
+func (w *Snapshotter) prune(newest int) {
+	seqs, err := snapshotSeqs(w.dir)
+	if err != nil {
+		return
+	}
+	for _, seq := range seqs {
+		if seq <= newest-w.keep {
+			_ = os.Remove(filepath.Join(w.dir, fmt.Sprintf(snapPattern, seq)))
+		}
+	}
+}
+
+// Written returns how many snapshots have been persisted so far.
+func (w *Snapshotter) Written() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+// Close drains pending writes and returns the first persistence error,
+// if any. Write must not be called after Close.
+func (w *Snapshotter) Close() error {
+	close(w.ch)
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

@@ -1,0 +1,251 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/tensor"
+)
+
+func sampleSnapshot() *Snapshot {
+	mk := func(vals ...float32) *tensor.Tensor {
+		return tensor.FromSlice(vals, len(vals))
+	}
+	return &Snapshot{
+		Fingerprint: Fingerprint(model.Tiny()),
+		Task:        "mrpc",
+		Seed:        42,
+		Epoch:       1,
+		Step:        7,
+		Stages:      2,
+		Lanes:       2,
+		Adapters:    []*tensor.Tensor{mk(1, 2, 3), mk(4.5)},
+		OptGroups: []OptGroup{
+			{Step: 9, Tensors: []*tensor.Tensor{mk(0.1, 0.2, 0.3), mk(0.4)}},
+		},
+		CacheTaps: 4,
+		CacheSums: map[int]uint32{0: 111, 3: 222, 17: 333},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	got, err := DecodeSnapshot(EncodeSnapshot(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != want.Fingerprint || got.Task != want.Task ||
+		got.Seed != want.Seed || got.Epoch != want.Epoch || got.Step != want.Step ||
+		got.Stages != want.Stages || got.Lanes != want.Lanes || got.CacheTaps != want.CacheTaps {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, want)
+	}
+	if len(got.Adapters) != len(want.Adapters) {
+		t.Fatalf("adapter count %d, want %d", len(got.Adapters), len(want.Adapters))
+	}
+	for i := range want.Adapters {
+		for j, v := range want.Adapters[i].Data {
+			if got.Adapters[i].Data[j] != v {
+				t.Fatalf("adapter %d elem %d mismatch", i, j)
+			}
+		}
+	}
+	if len(got.OptGroups) != 1 || got.OptGroups[0].Step != 9 {
+		t.Fatalf("optimizer groups: %+v", got.OptGroups)
+	}
+	for j, v := range want.OptGroups[0].Tensors[0].Data {
+		if got.OptGroups[0].Tensors[0].Data[j] != v {
+			t.Fatal("optimizer tensor mismatch")
+		}
+	}
+	if len(got.CacheSums) != 3 || got.CacheSums[17] != 333 {
+		t.Fatalf("cache sums: %v", got.CacheSums)
+	}
+}
+
+// TestSnapshotTruncationNeverSilent is the torn-write guarantee: a
+// snapshot file cut off at ANY 64-byte boundary must be rejected with
+// ErrCorrupt — a partial write can never be loaded as training state.
+func TestSnapshotTruncationNeverSilent(t *testing.T) {
+	blob := EncodeSnapshot(sampleSnapshot())
+	for cut := 0; cut < len(blob); cut += 64 {
+		_, err := DecodeSnapshot(blob[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(blob))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestCheckpointTruncationNeverSilent applies the same fuzz to the
+// adapter checkpoint (PACK) format through a real saved file.
+func TestCheckpointTruncationNeverSilent(t *testing.T) {
+	tech, cfg := trainedTechnique(t, peft.ParallelAdapters)
+	path := filepath.Join(t.TempDir(), "a.pack")
+	if err := Save(path, "x", tech, cfg, 3); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(blob); err != nil {
+		t.Fatalf("untruncated file rejected: %v", err)
+	}
+	for cut := 0; cut < len(blob); cut += 64 {
+		_, err := Decode(blob[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(blob))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestSnapshotBitFlipDetected(t *testing.T) {
+	blob := EncodeSnapshot(sampleSnapshot())
+	for pos := 0; pos < len(blob); pos += 17 {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 0x40
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("bit flip at byte %d undetected", pos)
+		}
+	}
+}
+
+func TestSaveLoadSnapshotAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap-00000000.pacs")
+	if err := SaveSnapshot(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 7 {
+		t.Fatalf("step %d, want 7", got.Step)
+	}
+	// No temp-file residue from the atomic write.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestLatestFallsBackPastCorrupt is the supervisor's safety net: when
+// the newest snapshot is a torn write, Latest must return the previous
+// generation, never the damaged one.
+func TestLatestFallsBackPastCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	old := sampleSnapshot()
+	old.Step = 3
+	newer := sampleSnapshot()
+	newer.Step = 8
+	if err := SaveSnapshot(filepath.Join(dir, fmt.Sprintf(snapPattern, 0)), old); err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, fmt.Sprintf(snapPattern, 1))
+	if err := SaveSnapshot(newest, newer); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest mid-file.
+	blob, _ := os.ReadFile(newest)
+	if err := os.WriteFile(newest, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, path, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Step != 3 {
+		t.Fatalf("Latest returned step %d, want fallback step 3", s.Step)
+	}
+	if !strings.HasSuffix(path, fmt.Sprintf(snapPattern, 0)) {
+		t.Fatalf("Latest path %s is not the fallback", path)
+	}
+}
+
+func TestLatestEmptyDir(t *testing.T) {
+	if _, _, err := Latest(t.TempDir()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir: %v, want ErrNotExist", err)
+	}
+	if _, _, err := Latest(filepath.Join(t.TempDir(), "missing")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing dir: %v, want ErrNotExist", err)
+	}
+}
+
+func TestSnapshotterRetainsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewSnapshotter(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s := sampleSnapshot()
+		s.Step = i
+		w.Write(s)
+		// Drain between writes so every generation lands (coalescing
+		// would otherwise skip intermediate ones, which is fine for the
+		// trainer but makes retention counting nondeterministic here).
+		deadline := time.Now().Add(5 * time.Second)
+		for w.Written() <= i {
+			if time.Now().After(deadline) {
+				t.Fatalf("snapshot %d never persisted", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written() != 5 {
+		t.Fatalf("written %d, want 5", w.Written())
+	}
+	seqs, err := snapshotSeqs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) > 2 {
+		t.Fatalf("retention kept %d generations, want ≤2: %v", len(seqs), seqs)
+	}
+	s, _, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Step != 4 {
+		t.Fatalf("latest step %d, want 4", s.Step)
+	}
+
+	// A successor (process restart) resumes numbering after the
+	// survivors instead of overwriting them.
+	w2, err := NewSnapshotter(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := sampleSnapshot()
+	next.Step = 9
+	w2.Write(next)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err = Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Step != 9 {
+		t.Fatalf("latest after restart: step %d, want 9", s.Step)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"pac/internal/acache"
 	"pac/internal/autograd"
+	"pac/internal/checkpoint"
 	"pac/internal/data"
 	"pac/internal/model"
 	"pac/internal/nn"
@@ -65,10 +66,31 @@ type Config struct {
 	// fault-injection decorator (parallel.WrapFaulty) — the chaos-run
 	// switch used to exercise the failure-handling paths end to end.
 	Faults *parallel.FaultConfig
-	// WrapTransport, when non-nil, rewires each hybrid fabric through
-	// this hook instead of the uniform Faults wrapping, letting a caller
-	// target one fabric — e.g. crash a single stage of a single lane.
+	// WrapTransport, when non-nil, rewires each fabric through this hook
+	// instead of the uniform Faults wrapping, letting a caller target
+	// one fabric — e.g. crash a single stage of a single lane. Besides
+	// the hybrid fabrics it also sees the cached-epoch data-parallel
+	// fabric as FabricID{Kind: "dp", Index: 0} (ranks are workers).
 	WrapTransport func(parallel.FabricID, []parallel.Transport) []parallel.Transport
+	// SnapshotEvery enables elastic-resume captures: after every K-th
+	// completed training step the framework assembles a consistent
+	// checkpoint.Snapshot — adapter weights, optimizer moments, resume
+	// cursor, cache manifest — and hands it to OnSnapshot. The capture
+	// itself is cheap tensor clones taken between steps; OnSnapshot
+	// should queue the actual write off the training path (e.g.
+	// checkpoint.Snapshotter). Zero disables captures.
+	SnapshotEvery int
+	OnSnapshot    func(*checkpoint.Snapshot)
+}
+
+// Cursor pinpoints where a resumed run continues: Step completed steps
+// of Epoch are already reflected in the restored state, so training
+// resumes at batch index Step. Epoch 0 is the hybrid cache-filling
+// epoch; epochs ≥ 1 are cache-only. The zero Cursor means "from the
+// beginning".
+type Cursor struct {
+	Epoch int
+	Step  int
 }
 
 // Framework is a live PAC deployment.
@@ -89,6 +111,18 @@ type Framework struct {
 	phase1Done bool
 	epochsRun  int
 	recomputed int64
+
+	// manifest ledgers a checksum per committed cache entry; snapshots
+	// persist it and salvage verifies surviving entries against it.
+	manifest *acache.Manifest
+	// sinceSnap counts steps since the last snapshot capture; curSeed is
+	// the data-order seed of the active FineTune run (recorded in
+	// snapshots so a resume replays the same batch order).
+	sinceSnap int
+	curSeed   int64
+	// pendingOpt holds DP optimizer state restored from a snapshot,
+	// consumed when the cached-epoch group is built.
+	pendingOpt []checkpoint.OptGroup
 	// RedistributedBytes records the payload of the phase-transition
 	// collective (adapter params + cache shards), for reporting.
 	RedistributedBytes int64
@@ -114,7 +148,8 @@ func New(cfg Config) *Framework {
 		cfg.Cache = acache.NewMemoryStore()
 	}
 	f := &Framework{cfg: cfg, cache: cfg.Cache}
-	f.builder = newCacheBuilder(2*cfg.Model.Layers, f.cache)
+	f.manifest = acache.NewManifest(2 * cfg.Model.Layers)
+	f.builder = newCacheBuilder(2*cfg.Model.Layers, f.cache, f.manifest)
 
 	newBackbone := func() *model.Model {
 		m := model.New(cfg.Model)
@@ -140,6 +175,9 @@ func New(cfg Config) *Framework {
 	})
 
 	f.hybrid.StepTimeout = cfg.StepTimeout
+	if cfg.OnSnapshot != nil && cfg.SnapshotEvery > 0 {
+		f.hybrid.OnStep = func(epoch, step int) { f.maybeSnapshot(epoch, step, nil) }
+	}
 	if cfg.WrapTransport != nil {
 		f.hybrid.WrapTransports(cfg.WrapTransport)
 	} else if cfg.Faults != nil {
@@ -155,10 +193,11 @@ func New(cfg Config) *Framework {
 // cacheBuilder assembles per-sample cache entries from per-stage,
 // per-micro-batch tap observations.
 type cacheBuilder struct {
-	taps  int
-	store acache.Store
-	mu    chMutex
-	parts map[int]acache.Entry
+	taps     int
+	store    acache.Store
+	manifest *acache.Manifest
+	mu       chMutex
+	parts    map[int]acache.Entry
 }
 
 // chMutex is a channel-based mutex (keeps the struct copy-safe in vet).
@@ -167,8 +206,9 @@ type chMutex chan struct{}
 func (m chMutex) lock()   { m <- struct{}{} }
 func (m chMutex) unlock() { <-m }
 
-func newCacheBuilder(taps int, store acache.Store) *cacheBuilder {
-	return &cacheBuilder{taps: taps, store: store, mu: make(chMutex, 1), parts: map[int]acache.Entry{}}
+func newCacheBuilder(taps int, store acache.Store, manifest *acache.Manifest) *cacheBuilder {
+	return &cacheBuilder{taps: taps, store: store, manifest: manifest,
+		mu: make(chMutex, 1), parts: map[int]acache.Entry{}}
 }
 
 // observe records tap tapIdx for every sample of a micro-batch; when a
@@ -198,6 +238,9 @@ func (b *cacheBuilder) observe(ids []int, tapIdx int, tap *tensor.Tensor) {
 		if complete {
 			if err := b.store.Put(id, e); err == nil {
 				delete(b.parts, id)
+				if b.manifest != nil {
+					b.manifest.Observe(id, e)
+				}
 			}
 		}
 	}
@@ -219,7 +262,14 @@ func (f *Framework) Phase1Epoch(loader *data.Loader, epoch int) float64 {
 // the epoch cleanly and surfaces a parallel.RankFailedError so the
 // orchestrator can re-plan on the survivors.
 func (f *Framework) Phase1EpochCtx(ctx context.Context, loader *data.Loader, epoch int) (float64, error) {
-	loss, err := f.hybrid.TrainEpochCtx(ctx, loader, epoch)
+	return f.Phase1EpochFromCtx(ctx, loader, epoch, 0)
+}
+
+// Phase1EpochFromCtx resumes a hybrid epoch at batch index start —
+// batches before it were completed (and their samples cached) before
+// the interruption, so only the remainder runs.
+func (f *Framework) Phase1EpochFromCtx(ctx context.Context, loader *data.Loader, epoch, start int) (float64, error) {
+	loss, err := f.hybrid.TrainEpochFromCtx(ctx, loader, epoch, start)
 	if err != nil {
 		return 0, err
 	}
@@ -271,6 +321,15 @@ func (f *Framework) CachedEpochs(loader *data.Loader, startEpoch, n int) (float6
 // under the configured StepTimeout (and fault injection, if enabled)
 // and a dead worker surfaces as a parallel.RankFailedError.
 func (f *Framework) CachedEpochsCtx(ctx context.Context, loader *data.Loader, startEpoch, n int) (float64, error) {
+	return f.CachedEpochsFromCtx(ctx, loader, startEpoch, n, 0)
+}
+
+// CachedEpochsFromCtx resumes cached training at batch index startStep
+// of the first epoch (later epochs run in full) — the entry point for
+// elastic resume into the cache-only phase. Optimizer state restored
+// from a snapshot (RestoreSnapshot) is imported into every replica
+// before the first step so the update trajectory continues exactly.
+func (f *Framework) CachedEpochsFromCtx(ctx context.Context, loader *data.Loader, startEpoch, n, startStep int) (float64, error) {
 	if f.RedistributedBytes == 0 {
 		return 0, fmt.Errorf("core: run Redistribute before cached epochs")
 	}
@@ -287,8 +346,28 @@ func (f *Framework) CachedEpochsCtx(ctx context.Context, loader *data.Loader, st
 	})
 	g.Regression = f.cfg.Regression
 	g.StepTimeout = f.cfg.StepTimeout
-	if f.cfg.Faults != nil {
+	if f.cfg.WrapTransport != nil {
+		g.Endpoints = f.cfg.WrapTransport(parallel.FabricID{Kind: "dp", Index: 0}, g.Endpoints)
+	} else if f.cfg.Faults != nil {
 		g.Endpoints = parallel.WrapFaulty(g.Endpoints, *f.cfg.Faults)
+	}
+	if f.pendingOpt != nil {
+		if len(f.pendingOpt) != 1 {
+			return 0, fmt.Errorf("core: snapshot has %d optimizer groups, cached phase needs 1", len(f.pendingOpt))
+		}
+		for r, opt := range g.Opts {
+			st, ok := opt.(train.Stateful)
+			if !ok {
+				return 0, fmt.Errorf("core: rank %d optimizer cannot import snapshot state", r)
+			}
+			if err := st.LoadState(f.pendingOpt[0].Tensors, f.pendingOpt[0].Step); err != nil {
+				return 0, fmt.Errorf("core: restore optimizer state: %w", err)
+			}
+		}
+		f.pendingOpt = nil
+	}
+	if f.cfg.OnSnapshot != nil && f.cfg.SnapshotEvery > 0 {
+		g.OnStep = func(epoch, step int) { f.maybeSnapshot(epoch, step, g) }
 	}
 	g.Forward = func(rank int, mb *data.Batch, trainMode bool) *autograd.Variable {
 		pa := g.Techs[rank].(*peft.Parallel)
@@ -296,8 +375,12 @@ func (f *Framework) CachedEpochsCtx(ctx context.Context, loader *data.Loader, st
 	}
 	var loss float64
 	for e := 0; e < n; e++ {
+		start := 0
+		if e == 0 {
+			start = startStep
+		}
 		var err error
-		loss, err = g.TrainEpochCtx(ctx, loader, startEpoch+e)
+		loss, err = g.TrainEpochFromCtx(ctx, loader, startEpoch+e, start)
 		if err != nil {
 			return 0, err
 		}
@@ -327,7 +410,9 @@ func (f *Framework) gatherTaps(pa *peft.Parallel, mb *data.Batch) []*tensor.Tens
 			one := mb.Slice(i, i+1)
 			res := pa.Forward(one.Enc, one.Dec, one.Lens, false)
 			entry = acache.Entry(res.Taps)
-			_ = f.cache.Put(id, entry)
+			if err := f.cache.Put(id, entry); err == nil && f.manifest != nil {
+				f.manifest.Observe(id, entry)
+			}
 			atomic.AddInt64(&f.recomputed, 1)
 		}
 		for ti := range out {
@@ -358,21 +443,44 @@ func (f *Framework) FineTune(ds *data.Dataset, batch int, epochs int, seed int64
 // parallel.AsRankFailed) instead of panicking, so callers can drop the
 // failed device, re-plan, and retry.
 func (f *Framework) FineTuneCtx(ctx context.Context, ds *data.Dataset, batch int, epochs int, seed int64) (float64, error) {
+	return f.FineTuneFromCtx(ctx, ds, batch, epochs, seed, Cursor{})
+}
+
+// FineTuneFromCtx runs the PAC workflow from a resume cursor: a zero
+// cursor is a fresh run; a cursor restored from a snapshot (after
+// RestoreSnapshot and a cache salvage) continues mid-epoch from the
+// last completed step instead of replaying finished work. seed must
+// match the interrupted run's seed so the batch order replays
+// identically.
+func (f *Framework) FineTuneFromCtx(ctx context.Context, ds *data.Dataset, batch int, epochs int, seed int64, from Cursor) (float64, error) {
+	f.curSeed = seed
 	loader := data.NewLoader(ds, batch, seed)
-	loss, err := f.Phase1EpochCtx(ctx, loader, 0)
-	if err != nil {
-		return 0, err
+	if from.Epoch <= 0 {
+		loss, err := f.Phase1EpochFromCtx(ctx, loader, 0, from.Step)
+		if err != nil {
+			return 0, err
+		}
+		if epochs == 1 {
+			// Still sync the reference replica for evaluation.
+			flat := nn.FlattenParams(f.hybrid.Lanes[0].Tech.Trainable())
+			nn.UnflattenParams(f.reference.Trainable(), flat)
+			return loss, nil
+		}
+		if err := f.Redistribute(ds); err != nil {
+			return 0, err
+		}
+		return f.CachedEpochsFromCtx(ctx, loader, 1, epochs-1, 0)
 	}
-	if epochs == 1 {
-		// Still sync the reference replica for evaluation.
-		flat := nn.FlattenParams(f.hybrid.Lanes[0].Tech.Trainable())
-		nn.UnflattenParams(f.reference.Trainable(), flat)
-		return loss, nil
-	}
+	// Cache-only-phase resume: phase 1 completed before the crash; its
+	// product (the cache) was salvaged rather than rebuilt.
+	f.phase1Done = true
 	if err := f.Redistribute(ds); err != nil {
 		return 0, err
 	}
-	return f.CachedEpochsCtx(ctx, loader, 1, epochs-1)
+	if from.Epoch >= epochs {
+		return 0, fmt.Errorf("core: resume cursor epoch %d is past the %d-epoch run", from.Epoch, epochs)
+	}
+	return f.CachedEpochsFromCtx(ctx, loader, from.Epoch, epochs-from.Epoch, from.Step)
 }
 
 // Evaluate scores the trained adapters on a dataset using the reference
@@ -413,4 +521,194 @@ func (f *Framework) AdoptReferenceWeights() {
 	for _, lane := range f.hybrid.Lanes {
 		nn.UnflattenParams(lane.Tech.Trainable(), flat)
 	}
+}
+
+// Manifest exposes the cache integrity ledger (tests, reporting).
+func (f *Framework) Manifest() *acache.Manifest { return f.manifest }
+
+// maybeSnapshot implements the SnapshotEvery cadence. It runs on the
+// epoch-loop goroutine between steps, so the state it clones is
+// consistent; g is the live DP group during cached epochs, nil during
+// phase 1.
+func (f *Framework) maybeSnapshot(epoch, step int, g *parallel.DPGroup) {
+	f.sinceSnap++
+	if f.sinceSnap < f.cfg.SnapshotEvery {
+		return
+	}
+	f.sinceSnap = 0
+	if g != nil {
+		f.cfg.OnSnapshot(f.captureDP(g, epoch, step))
+	} else {
+		f.cfg.OnSnapshot(f.captureHybrid(epoch, step))
+	}
+}
+
+func cloneTensors(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+func cloneValues(vars []*autograd.Variable) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(vars))
+	for i, v := range vars {
+		out[i] = v.Value.Clone()
+	}
+	return out
+}
+
+func exportOpt(opt train.Optimizer) checkpoint.OptGroup {
+	if st, ok := opt.(train.Stateful); ok {
+		ts, step := st.StateTensors()
+		return checkpoint.OptGroup{Step: step, Tensors: cloneTensors(ts)}
+	}
+	return checkpoint.OptGroup{}
+}
+
+func (f *Framework) baseSnapshot(epoch, step int) *checkpoint.Snapshot {
+	return &checkpoint.Snapshot{
+		Fingerprint: checkpoint.Fingerprint(f.cfg.Model),
+		Seed:        f.curSeed,
+		Epoch:       epoch,
+		// step is the 0-based index of the batch just completed; the
+		// cursor points at the next one.
+		Step:      step + 1,
+		Stages:    f.cfg.Stages,
+		Lanes:     f.cfg.Lanes,
+		CacheTaps: f.manifest.Taps(),
+		CacheSums: f.manifest.Sums(),
+	}
+}
+
+// captureHybrid snapshots mid-phase-1 state: lane 0 speaks for all
+// lanes (the cross-lane AllReduce keeps them bit-identical), with one
+// optimizer group per pipeline stage.
+func (f *Framework) captureHybrid(epoch, step int) *checkpoint.Snapshot {
+	snap := f.baseSnapshot(epoch, step)
+	lane := f.hybrid.Lanes[0]
+	snap.Adapters = cloneValues(lane.Tech.Trainable())
+	for s := 0; s < lane.Stages(); s++ {
+		snap.OptGroups = append(snap.OptGroups, exportOpt(lane.Opts[s]))
+	}
+	return snap
+}
+
+// captureDP snapshots mid-cached-phase state: rank 0 speaks for all
+// replicas (the data-parallel invariant), one optimizer group.
+func (f *Framework) captureDP(g *parallel.DPGroup, epoch, step int) *checkpoint.Snapshot {
+	snap := f.baseSnapshot(epoch, step)
+	snap.Adapters = cloneValues(g.Techs[0].Trainable())
+	snap.OptGroups = []checkpoint.OptGroup{exportOpt(g.Opts[0])}
+	return snap
+}
+
+// CaptureSnapshot assembles a snapshot of the current trained state at
+// an epoch boundary (between FineTune calls or after completion) —
+// the synchronous sibling of the SnapshotEvery captures.
+func (f *Framework) CaptureSnapshot(epoch, step int) *checkpoint.Snapshot {
+	snap := f.baseSnapshot(epoch, step-1)
+	snap.Adapters = cloneValues(f.reference.Trainable())
+	return snap
+}
+
+// RestoreSnapshot installs a snapshot's training state into a freshly
+// built framework: adapter weights into the reference replica and
+// every lane, optimizer moments into the matching optimizers (phase-1
+// snapshots carry one group per stage, imported directly; cached-phase
+// snapshots carry one group, staged for the DP replicas built at
+// CachedEpochs time), and the cache manifest for salvage. The model
+// fingerprint and stage count must match the snapshot's.
+func (f *Framework) RestoreSnapshot(s *checkpoint.Snapshot) error {
+	if s.Fingerprint != checkpoint.Fingerprint(f.cfg.Model) {
+		return fmt.Errorf("core: snapshot model fingerprint mismatch")
+	}
+	ref := f.reference.Trainable()
+	if len(s.Adapters) != len(ref) {
+		return fmt.Errorf("core: snapshot has %d adapter tensors, framework has %d", len(s.Adapters), len(ref))
+	}
+	for i, p := range ref {
+		if !tensor.SameShape(p.Value, s.Adapters[i]) {
+			return fmt.Errorf("core: snapshot adapter %d shape %v, framework has %v", i, s.Adapters[i].Shape(), p.Value.Shape())
+		}
+	}
+	for i, p := range ref {
+		p.Value.CopyFrom(s.Adapters[i])
+	}
+	f.AdoptReferenceWeights()
+	if s.CacheSums != nil {
+		taps := s.CacheTaps
+		if taps == 0 {
+			taps = f.manifest.Taps()
+		}
+		f.manifest = acache.ManifestFromSums(taps, s.CacheSums)
+		f.builder.manifest = f.manifest
+	}
+	if s.Epoch <= 0 {
+		// Mid-phase-1 snapshot: per-stage optimizer groups.
+		if s.Stages != f.cfg.Stages {
+			return fmt.Errorf("core: snapshot captured under %d stages, framework has %d", s.Stages, f.cfg.Stages)
+		}
+		for _, lane := range f.hybrid.Lanes {
+			if len(s.OptGroups) != lane.Stages() {
+				return fmt.Errorf("core: snapshot has %d optimizer groups, pipeline has %d stages", len(s.OptGroups), lane.Stages())
+			}
+			for st := 0; st < lane.Stages(); st++ {
+				stateful, ok := lane.Opts[st].(train.Stateful)
+				if !ok {
+					return fmt.Errorf("core: stage %d optimizer cannot import snapshot state", st)
+				}
+				if err := stateful.LoadState(s.OptGroups[st].Tensors, s.OptGroups[st].Step); err != nil {
+					return fmt.Errorf("core: restore stage %d optimizer: %w", st, err)
+				}
+			}
+		}
+	} else if len(s.OptGroups) > 0 {
+		f.phase1Done = true
+		f.pendingOpt = s.OptGroups
+	} else {
+		f.phase1Done = true
+	}
+	return nil
+}
+
+// SalvageCache verifies the surviving activation-cache entries against
+// the manifest and recomputes only the damaged or missing samples'
+// taps through the reference replica's frozen backbone — O(lost
+// shard), not O(whole epoch). The expected coverage follows the resume
+// cursor: mid-phase-1, only the batches already trained should be
+// cached (the replayed remainder refills itself); from the cached
+// phase on, the full dataset.
+func (f *Framework) SalvageCache(ds *data.Dataset, batch int, seed int64, from Cursor) (acache.SalvageReport, error) {
+	var want []int
+	if from.Epoch <= 0 {
+		loader := data.NewLoader(ds, batch, seed)
+		batches := loader.Epoch(0)
+		n := from.Step
+		if n > len(batches) {
+			n = len(batches)
+		}
+		for _, b := range batches[:n] {
+			want = append(want, b.IDs...)
+		}
+	} else {
+		for _, ex := range ds.Examples {
+			want = append(want, ex.ID)
+		}
+	}
+	byID := make(map[int]data.Example, ds.Len())
+	for _, ex := range ds.Examples {
+		byID[ex.ID] = ex
+	}
+	recompute := func(id int) (acache.Entry, error) {
+		ex, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: sample %d not in dataset", id)
+		}
+		b := data.BatchOf([]data.Example{ex})
+		res := f.reference.Forward(b.Enc, b.Dec, b.Lens, false)
+		return acache.Entry(res.Taps), nil
+	}
+	return acache.Salvage(f.cache, want, f.manifest, recompute)
 }

@@ -42,6 +42,12 @@ type DPGroup struct {
 	// Techs[r].Forward. Cache-enabled training injects the
 	// ForwardFromTaps path here.
 	Forward func(rank int, b *data.Batch, trainMode bool) *autograd.Variable
+
+	// OnStep, when non-nil, observes every completed training step:
+	// (epoch, step) where step is the 0-based batch index just finished.
+	// Called on the epoch-loop goroutine between steps — a consistent
+	// point to capture resume state.
+	OnStep func(epoch, step int)
 }
 
 // NewDPGroup builds a group over n fresh replicas created by factory
@@ -181,22 +187,37 @@ func (g *DPGroup) TrainEpoch(loader *data.Loader, epoch int) float64 {
 // mean loss, aborting on the first step failure or context
 // cancellation.
 func (g *DPGroup) TrainEpochCtx(ctx context.Context, loader *data.Loader, epoch int) (float64, error) {
+	return g.TrainEpochFromCtx(ctx, loader, epoch, 0)
+}
+
+// TrainEpochFromCtx runs the loader epoch starting at batch index
+// start, skipping the batches a resumed run already completed; returns
+// the mean loss over the batches actually executed.
+func (g *DPGroup) TrainEpochFromCtx(ctx context.Context, loader *data.Loader, epoch, start int) (float64, error) {
 	batches := loader.Epoch(epoch)
+	if start < 0 {
+		start = 0
+	}
 	var total float64
-	for _, b := range batches {
+	ran := 0
+	for i := start; i < len(batches); i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		loss, err := g.StepCtx(ctx, b)
+		loss, err := g.StepCtx(ctx, batches[i])
 		if err != nil {
 			return 0, err
 		}
 		total += loss
+		ran++
+		if g.OnStep != nil {
+			g.OnStep(epoch, i)
+		}
 	}
-	if len(batches) == 0 {
+	if ran == 0 {
 		return 0, nil
 	}
-	return total / float64(len(batches)), nil
+	return total / float64(ran), nil
 }
 
 // InSync reports whether all replicas hold bitwise-identical trainable

@@ -27,6 +27,11 @@ type HybridEngine struct {
 	// Retry is the transient-fault policy for the cross-lane gradient
 	// collective; zero value uses DefaultRetry.
 	Retry RetryPolicy
+	// OnStep, when non-nil, observes every completed training step:
+	// (epoch, step) where step is the 0-based batch index just finished.
+	// Called on the epoch-loop goroutine between steps — a consistent
+	// point to capture resume state.
+	OnStep func(epoch, step int)
 
 	// cross[stage][lane] is the lane-to-lane fabric endpoint
 	// synchronizing that stage's gradients.
@@ -152,22 +157,38 @@ func (h *HybridEngine) TrainEpoch(loader *data.Loader, epoch int) float64 {
 // TrainEpochCtx runs every batch of a loader epoch, aborting on the
 // first step failure or context cancellation; returns mean loss.
 func (h *HybridEngine) TrainEpochCtx(ctx context.Context, loader *data.Loader, epoch int) (float64, error) {
+	return h.TrainEpochFromCtx(ctx, loader, epoch, 0)
+}
+
+// TrainEpochFromCtx runs the loader epoch starting at batch index
+// start, skipping the batches a resumed run already completed; returns
+// the mean loss over the batches actually executed. start at or past
+// the batch count runs nothing (the epoch was already complete).
+func (h *HybridEngine) TrainEpochFromCtx(ctx context.Context, loader *data.Loader, epoch, start int) (float64, error) {
 	batches := loader.Epoch(epoch)
+	if start < 0 {
+		start = 0
+	}
 	var total float64
-	for _, b := range batches {
+	ran := 0
+	for i := start; i < len(batches); i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		loss, err := h.StepCtx(ctx, b)
+		loss, err := h.StepCtx(ctx, batches[i])
 		if err != nil {
 			return 0, err
 		}
 		total += loss
+		ran++
+		if h.OnStep != nil {
+			h.OnStep(epoch, i)
+		}
 	}
-	if len(batches) == 0 {
+	if ran == 0 {
 		return 0, nil
 	}
-	return total / float64(len(batches)), nil
+	return total / float64(ran), nil
 }
 
 // InSync reports whether all lanes hold identical trainable parameters.

@@ -4,6 +4,7 @@
 package train
 
 import (
+	"fmt"
 	"math"
 
 	"pac/internal/autograd"
@@ -19,6 +20,20 @@ type Optimizer interface {
 	// StateBytes returns the optimizer-state footprint in bytes (the
 	// quantity the paper's Table 1 folds into "Activations").
 	StateBytes() int64
+}
+
+// Stateful is implemented by optimizers whose update rule carries
+// per-parameter state (Adam moments, SGD velocity) that must survive a
+// training snapshot: resuming from a checkpoint without it changes the
+// update trajectory and breaks resume-equivalence.
+type Stateful interface {
+	// StateTensors returns the live state tensors in a stable order plus
+	// the optimizer's scalar step counter. Callers must clone before
+	// mutating or retaining across steps.
+	StateTensors() ([]*tensor.Tensor, int)
+	// LoadState copies previously exported state (same shapes, same
+	// order) into the optimizer, replacing its current state.
+	LoadState(ts []*tensor.Tensor, step int) error
 }
 
 // SGD is stochastic gradient descent with optional momentum and weight
@@ -67,6 +82,26 @@ func (s *SGD) Step() {
 
 // Params implements Optimizer.
 func (s *SGD) Params() []*autograd.Variable { return s.params }
+
+// StateTensors implements Stateful: the velocity tensors (empty when
+// momentum is disabled — plain SGD is stateless).
+func (s *SGD) StateTensors() ([]*tensor.Tensor, int) {
+	return s.velocity, 0
+}
+
+// LoadState implements Stateful.
+func (s *SGD) LoadState(ts []*tensor.Tensor, _ int) error {
+	if len(ts) != len(s.velocity) {
+		return fmt.Errorf("train: SGD state has %d tensors, want %d", len(ts), len(s.velocity))
+	}
+	for i, v := range s.velocity {
+		if !tensor.SameShape(v, ts[i]) {
+			return fmt.Errorf("train: SGD velocity %d shape %v, want %v", i, ts[i].Shape(), v.Shape())
+		}
+		v.CopyFrom(ts[i])
+	}
+	return nil
+}
 
 // StateBytes implements Optimizer.
 func (s *SGD) StateBytes() int64 {
@@ -138,6 +173,36 @@ func (a *Adam) Step() {
 
 // Params implements Optimizer.
 func (a *Adam) Params() []*autograd.Variable { return a.params }
+
+// StateTensors implements Stateful: first moments, then second moments,
+// plus the bias-correction step counter.
+func (a *Adam) StateTensors() ([]*tensor.Tensor, int) {
+	out := make([]*tensor.Tensor, 0, 2*len(a.params))
+	out = append(out, a.m...)
+	out = append(out, a.v...)
+	return out, a.step
+}
+
+// LoadState implements Stateful.
+func (a *Adam) LoadState(ts []*tensor.Tensor, step int) error {
+	if len(ts) != 2*len(a.params) {
+		return fmt.Errorf("train: Adam state has %d tensors, want %d", len(ts), 2*len(a.params))
+	}
+	if step < 0 {
+		return fmt.Errorf("train: Adam step %d negative", step)
+	}
+	dst := append(append([]*tensor.Tensor(nil), a.m...), a.v...)
+	for i, t := range dst {
+		if !tensor.SameShape(t, ts[i]) {
+			return fmt.Errorf("train: Adam moment %d shape %v, want %v", i, ts[i].Shape(), t.Shape())
+		}
+	}
+	for i, t := range dst {
+		t.CopyFrom(ts[i])
+	}
+	a.step = step
+	return nil
+}
 
 // StateBytes implements Optimizer.
 func (a *Adam) StateBytes() int64 {
