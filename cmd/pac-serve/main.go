@@ -5,8 +5,12 @@
 // Usage:
 //
 //	pac-serve [-addr :8080] [-lm] [-vocab N] [-adapters FILE]
+//	          [-telemetry-addr HOST:PORT]
 //
-// Endpoints: POST /classify, POST /generate, POST /swap, GET /stats.
+// Endpoints: POST /classify, POST /generate, POST /swap, GET /stats,
+// GET /metrics (Prometheus text). -telemetry-addr additionally serves
+// the debug mux (/metrics, /debug/vars, /debug/pprof) on a separate
+// address, keeping profiling off the public API port.
 //
 // Example session:
 //
@@ -25,6 +29,7 @@ import (
 	"pac/internal/model"
 	"pac/internal/peft"
 	"pac/internal/serve"
+	"pac/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +37,7 @@ func main() {
 	lm := flag.Bool("lm", false, "serve a language model (enables /generate)")
 	vocab := flag.Int("vocab", 64, "vocabulary size")
 	adapters := flag.String("adapters", "", "checkpoint to load at startup")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve the debug mux (/metrics, /debug/vars, /debug/pprof) on this address (empty disables)")
 	flag.Parse()
 
 	cfg := model.Tiny()
@@ -51,6 +57,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("loaded adapters from %s\n", *adapters)
+	}
+
+	if *telemetryAddr != "" {
+		ln, err := telemetry.Serve(*telemetryAddr, telemetry.NewDebugMux(srv.Registry(), nil))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pac-serve: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", ln.Addr())
 	}
 
 	fmt.Printf("serving %s (lm=%v, vocab=%d) on %s\n", cfg.Name, *lm, *vocab, *addr)

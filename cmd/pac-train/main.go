@@ -22,7 +22,14 @@
 //	          [-stages N] [-lanes N] [-batch N] [-lr F] [-cache-dir DIR]
 //	          [-snapshot-every N] [-snapshot-dir DIR] [-resume]
 //	          [-crash-device N] [-crash-after OPS] [-crash-phase hybrid|cached]
-//	          [-max-recoveries N] [-step-timeout D]
+//	          [-max-recoveries N] [-step-timeout D] [-fault-drop P]
+//	          [-telemetry-addr HOST:PORT] [-trace-out FILE]
+//
+// -telemetry-addr serves live introspection over HTTP while the run is
+// in flight: /metrics (Prometheus text), /debug/vars (JSON) and
+// /debug/pprof. -trace-out writes the run's real timeline — per-stage
+// forward/backward micro-batch spans, AllReduce rounds, snapshot and
+// salvage events — as Chrome/Perfetto JSON (load it at ui.perfetto.dev).
 package main
 
 import (
@@ -45,7 +52,13 @@ import (
 	"pac/internal/parallel"
 	"pac/internal/peft"
 	"pac/internal/planner"
+	"pac/internal/telemetry"
 )
+
+// mReplans counts supervisor re-planning rounds after an attributed
+// device failure — the top-level resilience signal next to the
+// transport-level retry and fault counters.
+var mReplans = telemetry.Default().Counter("pac_replans_total")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -77,8 +90,24 @@ func run(args []string, out io.Writer) error {
 	crashPhase := fs.String("crash-phase", "hybrid", "phase the injected crash targets: hybrid (epoch 1) or cached (epochs ≥2)")
 	maxRecoveries := fs.Int("max-recoveries", 3, "in-process recovery attempts before giving up (0 = fail fast)")
 	stepTimeout := fs.Duration("step-timeout", 5*time.Second, "per-step liveness deadline for failure detection")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
+	traceOut := fs.String("trace-out", "", "write the run's Chrome/Perfetto JSON trace to this file")
+	faultDrop := fs.Float64("fault-drop", 0, "per-send probability of an injected transient drop (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+	}
+	if *telemetryAddr != "" {
+		ln, err := telemetry.Serve(*telemetryAddr, telemetry.NewDebugMux(telemetry.Default(), tracer))
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "telemetry: http://%s/metrics\n", ln.Addr())
 	}
 
 	var task data.Task
@@ -197,6 +226,11 @@ func run(args []string, out io.Writer) error {
 		StepTimeout:   *stepTimeout,
 		SnapshotEvery: *snapEvery,
 		OnSnapshot:    onSnapshot,
+		Trace:         tracer,
+	}
+	if *faultDrop > 0 {
+		coreCfg.Faults = &parallel.FaultConfig{Seed: 1, Drop: *faultDrop}
+		fmt.Fprintf(out, "fault injection: %.0f%% transient send drops\n", *faultDrop*100)
 	}
 	if *crashDevice >= 0 {
 		if *crashDevice >= pool.Size() {
@@ -208,7 +242,7 @@ func run(args []string, out io.Writer) error {
 			crashLane := *crashDevice / *stages
 			crashStage := *crashDevice % *stages
 			coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
-				fc := parallel.FaultConfig{Seed: 1}
+				fc := parallel.FaultConfig{Seed: 1, Drop: *faultDrop}
 				if id.Kind == "pipe" && id.Index == crashLane {
 					fc.Crash = map[int]int{crashStage: after}
 				}
@@ -219,7 +253,7 @@ func run(args []string, out io.Writer) error {
 		case "cached":
 			crashRank := *crashDevice
 			coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
-				fc := parallel.FaultConfig{Seed: 1}
+				fc := parallel.FaultConfig{Seed: 1, Drop: *faultDrop}
 				if id.Kind == "dp" {
 					fc.Crash = map[int]int{crashRank: after}
 				}
@@ -311,6 +345,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "FAILURE: device %s detected dead (%v)\n", failedName, rf)
 
 			survivors := live.Survivors(pool)
+			mReplans.Inc()
 			fmt.Fprintf(out, "re-planning on %d surviving device(s): %v\n", survivors.Size(), deviceNames(survivors))
 			costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
 			in := planner.Input{Blocks: costs.Blocks(), Cluster: survivors, MiniBatch: *batch}
@@ -358,6 +393,12 @@ func run(args []string, out io.Writer) error {
 		st.Hits, st.Puts, st.Corrupt, float64(f.RedistributedBytes)/1e6)
 	if n := closeWriter(); n > 0 {
 		fmt.Fprintf(out, "snapshots: %d written to %s\n", n, *snapDir)
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s\n", tracer.Len(), *traceOut)
 	}
 
 	if *savePath != "" {

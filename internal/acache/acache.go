@@ -90,6 +90,7 @@ func (s *MemoryStore) Put(id int, taps Entry) error {
 	s.entries[id] = taps
 	s.bytes += taps.Bytes()
 	s.stats.Puts++
+	mMemPuts.Inc()
 	return nil
 }
 
@@ -100,8 +101,10 @@ func (s *MemoryStore) Get(id int) (Entry, bool) {
 	e, ok := s.entries[id]
 	if ok {
 		s.stats.Hits++
+		mMemHits.Inc()
 	} else {
 		s.stats.Misses++
+		mMemMisses.Inc()
 	}
 	return e, ok
 }

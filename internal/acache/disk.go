@@ -80,6 +80,7 @@ func (s *DiskStore) Put(id int, taps Entry) error {
 	s.mu.Lock()
 	s.index[id] = int64(len(file))
 	s.stats.Puts++
+	mDiskPuts.Inc()
 	s.mu.Unlock()
 	return nil
 }
@@ -92,8 +93,10 @@ func (s *DiskStore) Get(id int) (Entry, bool) {
 	_, ok := s.index[id]
 	if ok {
 		s.stats.Hits++
+		mDiskHits.Inc()
 	} else {
 		s.stats.Misses++
+		mDiskMisses.Inc()
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -132,6 +135,7 @@ func (s *DiskStore) dropCorrupt(id int) {
 	s.stats.Hits-- // the optimistic hit above was in fact a miss
 	s.stats.Misses++
 	s.stats.Corrupt++
+	mDiskCorrupt.Inc()
 	_ = os.Remove(s.path(id))
 }
 

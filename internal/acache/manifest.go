@@ -197,5 +197,9 @@ func Salvage(s Store, want []int, m *Manifest, recompute func(id int) (Entry, er
 		}
 		rep.Recomputed++
 	}
+	mSalvageVerified.Add(int64(rep.Verified))
+	mSalvageCorrupt.Add(int64(rep.Corrupt))
+	mSalvageMissing.Add(int64(rep.Missing))
+	mSalvageRecomputed.Add(int64(rep.Recomputed))
 	return rep, nil
 }

@@ -1,0 +1,13 @@
+package checkpoint
+
+import "pac/internal/telemetry"
+
+// Snapshot persistence metric handles on the shared registry: durable
+// writes and their latency, retention pruning, and corrupt files the
+// Latest fallback skipped over during recovery.
+var (
+	mSnapWrites   = telemetry.Default().Counter("pac_snapshot_writes_total")
+	mSnapWriteSec = telemetry.Default().Histogram("pac_snapshot_write_seconds", nil)
+	mSnapPrunes   = telemetry.Default().Counter("pac_snapshot_prunes_total")
+	mSnapCorrupt  = telemetry.Default().Counter("pac_snapshot_corrupt_skipped_total")
+)

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"pac/internal/tensor"
 )
@@ -393,6 +394,7 @@ func Latest(dir string) (*Snapshot, string, error) {
 		if err == nil {
 			return s, path, nil
 		}
+		mSnapCorrupt.Inc()
 		if firstErr == nil {
 			firstErr = err
 		}
@@ -490,6 +492,7 @@ func (w *Snapshotter) loop() {
 		w.seq++
 		w.mu.Unlock()
 		path := filepath.Join(w.dir, fmt.Sprintf(snapPattern, seq))
+		t0 := time.Now()
 		err := SaveSnapshot(path, s)
 		w.mu.Lock()
 		if err != nil && w.err == nil {
@@ -497,6 +500,8 @@ func (w *Snapshotter) loop() {
 		}
 		if err == nil {
 			w.written++
+			mSnapWrites.Inc()
+			mSnapWriteSec.Observe(time.Since(t0).Seconds())
 		}
 		w.mu.Unlock()
 		if err == nil {
@@ -512,7 +517,9 @@ func (w *Snapshotter) prune(newest int) {
 	}
 	for _, seq := range seqs {
 		if seq <= newest-w.keep {
-			_ = os.Remove(filepath.Join(w.dir, fmt.Sprintf(snapPattern, seq)))
+			if os.Remove(filepath.Join(w.dir, fmt.Sprintf(snapPattern, seq))) == nil {
+				mSnapPrunes.Inc()
+			}
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"pac/internal/nn"
 	"pac/internal/parallel"
 	"pac/internal/peft"
+	"pac/internal/telemetry"
 	"pac/internal/tensor"
 	"pac/internal/train"
 )
@@ -81,6 +82,12 @@ type Config struct {
 	// checkpoint.Snapshotter). Zero disables captures.
 	SnapshotEvery int
 	OnSnapshot    func(*checkpoint.Snapshot)
+	// Trace, when non-nil, records the run's real timeline — per-stage
+	// F/B micro-batch spans on one trace process per lane, DP replica
+	// steps on telemetry.PidDP, and orchestrator events (whole steps,
+	// snapshot captures/restores, cache salvage) on telemetry.PidOrch —
+	// in the same Chrome/Perfetto JSON format the simulator emits.
+	Trace *telemetry.Tracer
 }
 
 // Cursor pinpoints where a resumed run continues: Step completed steps
@@ -171,8 +178,13 @@ func New(cfg Config) *Framework {
 			}
 		}
 		e.OnTap = f.builder.observe // the builder dedups by sample id
+		e.Trace = cfg.Trace
+		e.TracePID = lane
+		cfg.Trace.SetProcessName(lane, fmt.Sprintf("lane %d (pipeline)", lane))
 		return e
 	})
+	f.hybrid.Trace = cfg.Trace
+	cfg.Trace.SetProcessName(telemetry.PidOrch, "orchestrator")
 
 	f.hybrid.StepTimeout = cfg.StepTimeout
 	if cfg.OnSnapshot != nil && cfg.SnapshotEvery > 0 {
@@ -275,6 +287,7 @@ func (f *Framework) Phase1EpochFromCtx(ctx context.Context, loader *data.Loader,
 	}
 	f.phase1Done = true
 	f.epochsRun++
+	mEpochsHybrid.Inc()
 	return loss, nil
 }
 
@@ -346,6 +359,9 @@ func (f *Framework) CachedEpochsFromCtx(ctx context.Context, loader *data.Loader
 	})
 	g.Regression = f.cfg.Regression
 	g.StepTimeout = f.cfg.StepTimeout
+	g.Trace = f.cfg.Trace
+	g.TracePID = telemetry.PidDP
+	f.cfg.Trace.SetProcessName(telemetry.PidDP, "dp group (cached epochs)")
 	if f.cfg.WrapTransport != nil {
 		g.Endpoints = f.cfg.WrapTransport(parallel.FabricID{Kind: "dp", Index: 0}, g.Endpoints)
 	} else if f.cfg.Faults != nil {
@@ -385,6 +401,7 @@ func (f *Framework) CachedEpochsFromCtx(ctx context.Context, loader *data.Loader
 			return 0, err
 		}
 		f.epochsRun++
+		mEpochsCached.Inc()
 	}
 	// Adopt the final weights into the reference replica and back into
 	// every hybrid lane, so a subsequent phase-1 pass (new data arriving,
@@ -414,6 +431,7 @@ func (f *Framework) gatherTaps(pa *peft.Parallel, mb *data.Batch) []*tensor.Tens
 				f.manifest.Observe(id, entry)
 			}
 			atomic.AddInt64(&f.recomputed, 1)
+			mCacheRecomputed.Inc()
 		}
 		for ti := range out {
 			if out[ti] == nil {
@@ -536,11 +554,13 @@ func (f *Framework) maybeSnapshot(epoch, step int, g *parallel.DPGroup) {
 		return
 	}
 	f.sinceSnap = 0
+	defer f.cfg.Trace.Span("snapshot", "capture", telemetry.PidOrch, 0)()
 	if g != nil {
 		f.cfg.OnSnapshot(f.captureDP(g, epoch, step))
 	} else {
 		f.cfg.OnSnapshot(f.captureHybrid(epoch, step))
 	}
+	mSnapCaptures.Inc()
 }
 
 func cloneTensors(ts []*tensor.Tensor) []*tensor.Tensor {
@@ -621,6 +641,7 @@ func (f *Framework) CaptureSnapshot(epoch, step int) *checkpoint.Snapshot {
 // CachedEpochs time), and the cache manifest for salvage. The model
 // fingerprint and stage count must match the snapshot's.
 func (f *Framework) RestoreSnapshot(s *checkpoint.Snapshot) error {
+	defer f.cfg.Trace.Span("snapshot", "restore", telemetry.PidOrch, 0)()
 	if s.Fingerprint != checkpoint.Fingerprint(f.cfg.Model) {
 		return fmt.Errorf("core: snapshot model fingerprint mismatch")
 	}
@@ -670,6 +691,7 @@ func (f *Framework) RestoreSnapshot(s *checkpoint.Snapshot) error {
 	} else {
 		f.phase1Done = true
 	}
+	mSnapRestores.Inc()
 	return nil
 }
 
@@ -681,6 +703,7 @@ func (f *Framework) RestoreSnapshot(s *checkpoint.Snapshot) error {
 // cached (the replayed remainder refills itself); from the cached
 // phase on, the full dataset.
 func (f *Framework) SalvageCache(ds *data.Dataset, batch int, seed int64, from Cursor) (acache.SalvageReport, error) {
+	defer f.cfg.Trace.Span("cache", "salvage", telemetry.PidOrch, 0)()
 	var want []int
 	if from.Epoch <= 0 {
 		loader := data.NewLoader(ds, batch, seed)

@@ -1,0 +1,17 @@
+package core
+
+import "pac/internal/telemetry"
+
+// Orchestration-level metric handles on the shared registry (see
+// DESIGN.md "Observability"). Cache-store and salvage internals are
+// counted inside internal/acache; these cover what only the framework
+// sees: epoch phases, recompute fallbacks, snapshot lifecycle.
+var (
+	mEpochsHybrid = telemetry.Default().Counter("pac_train_epochs_total", "phase", "hybrid")
+	mEpochsCached = telemetry.Default().Counter("pac_train_epochs_total", "phase", "cached")
+
+	mCacheRecomputed = telemetry.Default().Counter("pac_cache_recomputed_total")
+
+	mSnapCaptures = telemetry.Default().Counter("pac_snapshot_captures_total")
+	mSnapRestores = telemetry.Default().Counter("pac_snapshot_restores_total")
+)

@@ -36,9 +36,15 @@ func sendRetry(ctx context.Context, t Transport, to int, tag string, payload []b
 	var err error
 	for attempt := 0; attempt < pol.Max; attempt++ {
 		err = t.SendCtx(ctx, to, tag, payload)
-		if err == nil || !errors.Is(err, ErrTransient) {
+		if err == nil {
+			mSends.Inc()
+			mSendBytes.Add(int64(len(payload)))
+			return nil
+		}
+		if !errors.Is(err, ErrTransient) {
 			return err
 		}
+		mSendRetries.Inc()
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -59,6 +65,8 @@ func recvPeer(ctx context.Context, t Transport, from int, tag string) ([]byte, e
 	if err != nil {
 		return nil, blamePeer("recv "+tag, from, err)
 	}
+	mRecvs.Inc()
+	mRecvBytes.Add(int64(len(b)))
 	return b, nil
 }
 
@@ -73,6 +81,8 @@ func RingAllReduceCtx(ctx context.Context, t Transport, data []float32, pol Retr
 	if n == 1 {
 		return nil
 	}
+	mAllReduces.Inc()
+	defer func(t0 time.Time) { mAllReduceSec.Observe(time.Since(t0).Seconds()) }(time.Now())
 	rank := t.Rank()
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n

@@ -10,6 +10,7 @@ import (
 	"pac/internal/data"
 	"pac/internal/nn"
 	"pac/internal/peft"
+	"pac/internal/telemetry"
 	"pac/internal/tensor"
 	"pac/internal/train"
 )
@@ -48,6 +49,12 @@ type DPGroup struct {
 	// Called on the epoch-loop goroutine between steps — a consistent
 	// point to capture resume state.
 	OnStep func(epoch, step int)
+
+	// Trace, when non-nil, records per-rank step spans as Chrome trace
+	// events on process TracePID (telemetry.PidDP by convention); the
+	// thread id is the replica rank.
+	Trace    *telemetry.Tracer
+	TracePID int
 }
 
 // NewDPGroup builds a group over n fresh replicas created by factory
@@ -115,6 +122,7 @@ func (g *DPGroup) Step(b *data.Batch) float64 {
 // identifying the dead rank within the configured StepTimeout.
 func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 	n := g.Size()
+	t0 := time.Now()
 	if g.StepTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, g.StepTimeout)
@@ -133,6 +141,7 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			defer g.Trace.Span("compute", "step", g.TracePID, r)()
 			params := g.Techs[r].Trainable()
 			var flat []float32
 			if r < len(shards) && shards[r].Size() > 0 {
@@ -158,6 +167,14 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 	wg.Wait()
 	if err := col.err(); err != nil {
 		return 0, err
+	}
+	elapsed := time.Since(t0).Seconds()
+	mStepsDP.Inc()
+	mStepSecDP.Observe(elapsed)
+	tok := batchTokens(b.Lens)
+	mTokens.Add(tok)
+	if elapsed > 0 {
+		mTokensPerSec.Set(float64(tok) / elapsed)
 	}
 	var total float64
 	for _, l := range losses {

@@ -74,6 +74,7 @@ func blamePeer(op string, peer int, err error) error {
 		return err
 	}
 	if isDeadline(err) || errors.Is(err, ErrRankDead) {
+		mRankFailures.Inc()
 		return &RankFailedError{Rank: peer, Lane: -1, Op: op, Err: err}
 	}
 	return err

@@ -133,6 +133,7 @@ func (f *faultFabric) tick(r int) error {
 		f.ops[r]++
 		if limit, ok := f.cfg.Crash[r]; ok && f.ops[r] > limit {
 			f.dead[r] = true
+			mFaultCrashes.Inc()
 		}
 	}
 	if f.dead[r] {
@@ -214,6 +215,7 @@ func (e *faultyEndpoint) SendCtx(ctx context.Context, to int, tag string, payloa
 
 	if cfg.Drop > 0 && dropRoll < cfg.Drop && ps.consecDrops < cfg.maxConsecDrops() {
 		ps.consecDrops++
+		mFaultDrops.Inc()
 		return fmt.Errorf("parallel: injected drop %d→%d %q: %w", e.rank, to, tag, ErrTransient)
 	}
 	ps.consecDrops = 0
@@ -221,6 +223,7 @@ func (e *faultyEndpoint) SendCtx(ctx context.Context, to int, tag string, payloa
 	if cfg.Delay > 0 && delayRoll < cfg.Delay && cfg.MaxDelay > 0 {
 		// Sleeping under the pair lock delays the whole FIFO stream,
 		// preserving order (and therefore numerics).
+		mFaultDelays.Inc()
 		time.Sleep(time.Duration(delayFrac * float64(cfg.MaxDelay)))
 	}
 
@@ -233,6 +236,7 @@ func (e *faultyEndpoint) SendCtx(ctx context.Context, to int, tag string, payloa
 		return err
 	}
 	if cfg.Duplicate > 0 && dupRoll < cfg.Duplicate {
+		mFaultDuplicates.Inc()
 		if err := e.fab.inner[e.rank].SendCtx(ctx, to, faultTag, frame); err != nil {
 			return err
 		}

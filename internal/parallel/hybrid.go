@@ -8,6 +8,7 @@ import (
 	"pac/internal/autograd"
 	"pac/internal/data"
 	"pac/internal/nn"
+	"pac/internal/telemetry"
 )
 
 // HybridEngine is PAC's hybrid data+pipeline parallelism (paper §5.1,
@@ -32,6 +33,11 @@ type HybridEngine struct {
 	// Called on the epoch-loop goroutine between steps — a consistent
 	// point to capture resume state.
 	OnStep func(epoch, step int)
+
+	// Trace, when non-nil, records whole-step spans on the orchestrator
+	// track (telemetry.PidOrch). Lane engines carry their own Trace/
+	// TracePID for the per-stage micro-batch spans.
+	Trace *telemetry.Tracer
 
 	// cross[stage][lane] is the lane-to-lane fabric endpoint
 	// synchronizing that stage's gradients.
@@ -100,6 +106,8 @@ func (h *HybridEngine) Step(b *data.Batch) float64 {
 // dead device anywhere — any stage of any lane, or a cut cross-lane
 // link — aborts every lane cleanly and surfaces a RankFailedError.
 func (h *HybridEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
+	t0 := time.Now()
+	defer h.Trace.Span("step", "step", telemetry.PidOrch, 0)()
 	if h.StepTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, h.StepTimeout)
@@ -136,6 +144,14 @@ func (h *HybridEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, err
 	wg.Wait()
 	if err := col.err(); err != nil {
 		return 0, err
+	}
+	elapsed := time.Since(t0).Seconds()
+	mStepsHybrid.Inc()
+	mStepSecHybrid.Observe(elapsed)
+	tok := batchTokens(b.Lens)
+	mTokens.Add(tok)
+	if elapsed > 0 {
+		mTokensPerSec.Set(float64(tok) / elapsed)
 	}
 	var total float64
 	for _, v := range losses {

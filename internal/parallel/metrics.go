@@ -1,0 +1,43 @@
+package parallel
+
+import "pac/internal/telemetry"
+
+// Package-level metric handles, resolved once at init from the shared
+// registry (see DESIGN.md "Observability" for the naming scheme). The
+// hot path pays one atomic add per event; tests and multiple engines
+// in one process share these series, which is fine for monotonic
+// counters — rates, not absolute values, are the signal.
+var (
+	mSends       = telemetry.Default().Counter("pac_comm_sends_total")
+	mSendBytes   = telemetry.Default().Counter("pac_comm_send_bytes_total")
+	mSendRetries = telemetry.Default().Counter("pac_comm_send_retries_total")
+	mRecvs       = telemetry.Default().Counter("pac_comm_recvs_total")
+	mRecvBytes   = telemetry.Default().Counter("pac_comm_recv_bytes_total")
+
+	mAllReduces   = telemetry.Default().Counter("pac_comm_allreduce_total")
+	mAllReduceSec = telemetry.Default().Histogram("pac_comm_allreduce_seconds", nil)
+
+	mRankFailures = telemetry.Default().Counter("pac_comm_rank_failures_total")
+
+	mFaultDrops      = telemetry.Default().Counter("pac_fault_injected_total", "kind", "drop")
+	mFaultDelays     = telemetry.Default().Counter("pac_fault_injected_total", "kind", "delay")
+	mFaultDuplicates = telemetry.Default().Counter("pac_fault_injected_total", "kind", "duplicate")
+	mFaultCrashes    = telemetry.Default().Counter("pac_fault_injected_total", "kind", "crash")
+
+	mStepsHybrid   = telemetry.Default().Counter("pac_train_steps_total", "engine", "hybrid")
+	mStepSecHybrid = telemetry.Default().Histogram("pac_train_step_seconds", nil, "engine", "hybrid")
+	mStepsDP       = telemetry.Default().Counter("pac_train_steps_total", "engine", "dp")
+	mStepSecDP     = telemetry.Default().Histogram("pac_train_step_seconds", nil, "engine", "dp")
+	mTokens        = telemetry.Default().Counter("pac_train_tokens_total")
+	mTokensPerSec  = telemetry.Default().Gauge("pac_train_tokens_per_second")
+)
+
+// batchTokens counts the input tokens of one mini-batch (the sum of
+// valid encoder lengths) — the numerator of tokens/sec.
+func batchTokens(lens []int) int64 {
+	var n int64
+	for _, l := range lens {
+		n += int64(l)
+	}
+	return n
+}

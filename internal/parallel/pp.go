@@ -10,6 +10,7 @@ import (
 	"pac/internal/data"
 	"pac/internal/model"
 	"pac/internal/peft"
+	"pac/internal/telemetry"
 	"pac/internal/tensor"
 	"pac/internal/train"
 )
@@ -107,6 +108,13 @@ type PipelineEngine struct {
 	// forward (PAC phase-1 cache collection). ids are the sample ids of
 	// the micro-batch.
 	OnTap func(ids []int, tapIdx int, tap *tensor.Tensor)
+
+	// Trace, when non-nil, records per-stage forward/backward micro-batch
+	// spans as Chrome trace events. TracePID is the trace process id this
+	// engine's spans land on (the hybrid engine assigns one pid per lane);
+	// the thread id is the stage index.
+	Trace    *telemetry.Tracer
+	TracePID int
 }
 
 // Stages returns the stage count.
@@ -272,6 +280,7 @@ func (e *PipelineEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, e
 
 // stageForward runs stage s's blocks for micro-batch m.
 func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Batch) (*microCtx, error) {
+	defer e.Trace.Span("compute", fmt.Sprintf("F%d", m), e.TracePID, s)()
 	S := e.Stages()
 	pa := e.parallelTech()
 	needBackboneGrads := e.Tech.BackboneBackward()
@@ -360,6 +369,7 @@ func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Ba
 // stageBackward runs stage s's backward for micro-batch m and returns
 // the micro-batch's weighted loss (last stage only).
 func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microCtx, denom int) (float64, error) {
+	defer e.Trace.Span("compute", fmt.Sprintf("B%d", m), e.TracePID, s)()
 	S := e.Stages()
 	pa := e.parallelTech()
 	needBackboneGrads := e.Tech.BackboneBackward()

@@ -1,0 +1,34 @@
+package parallel
+
+import (
+	"testing"
+
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/telemetry"
+)
+
+// benchHybridStep measures one hybrid 2×2 training step. Run the pair
+// to bound the telemetry cost (acceptance: tracing adds <5% step time):
+//
+//	go test ./internal/parallel/ -bench HybridStepTelemetry -benchtime 20x
+func benchHybridStep(b *testing.B, tr *telemetry.Tracer) {
+	batch := makeBatch(8)
+	h := NewHybrid(2, 2, 2, lr, func(lane int) *PipelineEngine {
+		m := model.New(model.Tiny())
+		tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4})
+		e := NewPipeline(m, tech, 2, nil, 2, lr)
+		e.Trace = tr
+		e.TracePID = lane
+		return e
+	})
+	h.Trace = tr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Step(batch)
+	}
+}
+
+func BenchmarkHybridStepTelemetryOff(b *testing.B) { benchHybridStep(b, nil) }
+
+func BenchmarkHybridStepTelemetryOn(b *testing.B) { benchHybridStep(b, telemetry.NewTracer()) }

@@ -14,7 +14,13 @@ import (
 //	POST /generate {"tokens": [[...]], "lens": [...], "max_len": N, "temperature": T}
 //	                                                          → {"outputs": [[...]]}
 //	POST /swap     {"path": "adapters.pack"}                  → {"ok": true}
-//	GET  /stats                                               → {"served": N, "swaps": N}
+//	GET  /stats                                               → {"served": N, "swaps": N, "batches": N,
+//	                                                             "batch_size": {...}, "classify_seconds": {...},
+//	                                                             "generate_seconds": {...}}
+//	GET  /metrics                                             → Prometheus text exposition
+//
+// The histogram summaries carry count, sum, p50/p95/p99 and cumulative
+// bucket counts.
 //
 // It is the network face of the Figure-1 agent: LAN clients (other
 // household devices) query the personal LLM that PAC keeps fine-tuning.
@@ -108,7 +114,19 @@ func Handler(s *Server) http.Handler {
 	})
 
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]int64{"served": s.Served(), "swaps": s.Swaps()})
+		writeJSON(w, map[string]interface{}{
+			"served":           s.Served(),
+			"swaps":            s.Swaps(),
+			"batches":          s.batches.Value(),
+			"batch_size":       s.batchSize.Summary(),
+			"classify_seconds": s.latClassify.Summary(),
+			"generate_seconds": s.latGenerate.Summary(),
+		})
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
 	})
 
 	return mux

@@ -3,9 +3,11 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pac/internal/checkpoint"
@@ -146,11 +148,65 @@ func TestHTTPSwapAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer statsResp.Body.Close()
-	var stats map[string]int64
+	var stats map[string]interface{}
 	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if stats["swaps"] != 1 {
+	if stats["swaps"] != float64(1) {
 		t.Fatalf("stats %v", stats)
+	}
+	for _, key := range []string{"batch_size", "classify_seconds", "generate_seconds"} {
+		sum, ok := stats[key].(map[string]interface{})
+		if !ok {
+			t.Fatalf("stats[%q] = %v, want summary object", key, stats[key])
+		}
+		for _, q := range []string{"count", "p50", "p95", "p99"} {
+			if _, ok := sum[q]; !ok {
+				t.Fatalf("stats[%q] missing %q: %v", key, q, sum)
+			}
+		}
+	}
+}
+
+func TestHTTPStatsLatencyAndMetrics(t *testing.T) {
+	ts, srv, _ := httpServer(t, false)
+	resp := post(t, ts.URL+"/classify", map[string]interface{}{
+		"tokens": [][]int{{2, 3, 4, 5}},
+	})
+	resp.Body.Close()
+
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]interface{}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	classify := stats["classify_seconds"].(map[string]interface{})
+	if classify["count"] != float64(1) {
+		t.Fatalf("classify count %v", classify["count"])
+	}
+	if classify["p95"].(float64) <= 0 {
+		t.Fatalf("classify p95 %v", classify["p95"])
+	}
+
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metricsResp.Body.Close()
+	blob, _ := io.ReadAll(metricsResp.Body)
+	for _, want := range []string{
+		"pac_serve_served_total 1",
+		`pac_serve_request_seconds_count{op="classify"} 1`,
+	} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, blob)
+		}
+	}
+	if srv.Registry() == nil {
+		t.Fatal("nil registry")
 	}
 }

@@ -9,7 +9,6 @@ package serve
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pac/internal/checkpoint"
@@ -17,28 +16,59 @@ import (
 	"pac/internal/model"
 	"pac/internal/nn"
 	"pac/internal/peft"
+	"pac/internal/telemetry"
 	"pac/internal/tensor"
 )
 
 // Server hosts one technique replica behind a read-write lock: requests
 // take the read side, weight swaps the write side.
+//
+// Serving metrics live in a per-server registry (not the process-wide
+// telemetry.Default()) so each server's /stats and /metrics report only
+// its own traffic — several servers can coexist in one process without
+// cross-talk.
 type Server struct {
 	mu   sync.RWMutex
 	tech peft.Technique
 	cfg  model.Config
 
-	served  int64
-	swapped int64
+	reg         *telemetry.Registry
+	served      *telemetry.Counter
+	swapped     *telemetry.Counter
+	batches     *telemetry.Counter
+	batchSize   *telemetry.Histogram
+	latClassify *telemetry.Histogram
+	latGenerate *telemetry.Histogram
 }
 
 // NewServer wraps a technique for serving. The technique's model must
 // match cfg.
 func NewServer(tech peft.Technique, cfg model.Config) *Server {
-	return &Server{tech: tech, cfg: cfg}
+	reg := telemetry.NewRegistry()
+	reg.Help("pac_serve_served_total", "Sequences answered.")
+	reg.Help("pac_serve_swaps_total", "Adapter hot-swaps performed.")
+	reg.Help("pac_serve_request_seconds", "Model-invocation latency per API request.")
+	s := &Server{
+		tech:        tech,
+		cfg:         cfg,
+		reg:         reg,
+		served:      reg.Counter("pac_serve_served_total"),
+		swapped:     reg.Counter("pac_serve_swaps_total"),
+		batches:     reg.Counter("pac_serve_batches_total"),
+		batchSize:   reg.Histogram("pac_serve_batch_size", telemetry.ExpBuckets(1, 2, 9)),
+		latClassify: reg.Histogram("pac_serve_request_seconds", nil, "op", "classify"),
+		latGenerate: reg.Histogram("pac_serve_request_seconds", nil, "op", "generate"),
+	}
+	return s
 }
+
+// Registry exposes the server's metric registry (for /metrics exposition
+// and the debug mux).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Classify returns the argmax class per input sequence.
 func (s *Server) Classify(enc [][]int, lens []int) []int {
+	t0 := time.Now()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	dec := make([][]int, len(enc))
@@ -46,7 +76,8 @@ func (s *Server) Classify(enc [][]int, lens []int) []int {
 		dec[i] = []int{0}
 	}
 	res := s.tech.Forward(enc, dec, lens, false)
-	atomic.AddInt64(&s.served, int64(len(enc)))
+	s.served.Add(int64(len(enc)))
+	s.latClassify.Observe(time.Since(t0).Seconds())
 	return tensor.ArgMaxRows(res.Logits.Value)
 }
 
@@ -55,10 +86,12 @@ func (s *Server) Generate(enc [][]int, lens []int, opts generate.Options) ([][]i
 	if !s.cfg.LM {
 		return nil, fmt.Errorf("serve: model is not LM-configured")
 	}
+	t0 := time.Now()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := generate.Decode(s.tech, enc, lens, opts)
-	atomic.AddInt64(&s.served, int64(len(enc)))
+	s.served.Add(int64(len(enc)))
+	s.latGenerate.Observe(time.Since(t0).Seconds())
 	return out, nil
 }
 
@@ -69,7 +102,7 @@ func (s *Server) UpdateWeights(flat []float32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	nn.UnflattenParams(s.tech.Trainable(), flat)
-	atomic.AddInt64(&s.swapped, 1)
+	s.swapped.Inc()
 }
 
 // SwapCheckpoint hot-loads adapters from a checkpoint file.
@@ -79,15 +112,15 @@ func (s *Server) SwapCheckpoint(path string) error {
 	if _, err := checkpoint.Load(path, s.tech, s.cfg); err != nil {
 		return err
 	}
-	atomic.AddInt64(&s.swapped, 1)
+	s.swapped.Inc()
 	return nil
 }
 
 // Served returns the number of sequences answered.
-func (s *Server) Served() int64 { return atomic.LoadInt64(&s.served) }
+func (s *Server) Served() int64 { return s.served.Value() }
 
 // Swaps returns the number of weight swaps performed.
-func (s *Server) Swaps() int64 { return atomic.LoadInt64(&s.swapped) }
+func (s *Server) Swaps() int64 { return s.swapped.Value() }
 
 // request is one queued classification request.
 type request struct {
@@ -107,8 +140,6 @@ type Batcher struct {
 	queue   chan request
 	done    chan struct{}
 	stopped sync.Once
-
-	batches int64
 }
 
 // NewBatcher starts the batching loop.
@@ -159,7 +190,8 @@ func (b *Batcher) loop() {
 		for i, r := range batch {
 			r.resp <- preds[i]
 		}
-		atomic.AddInt64(&b.batches, 1)
+		b.srv.batches.Inc()
+		b.srv.batchSize.Observe(float64(len(batch)))
 	}
 }
 
@@ -171,7 +203,7 @@ func (b *Batcher) Classify(enc []int, length int) int {
 }
 
 // Batches returns how many model invocations served all requests so far.
-func (b *Batcher) Batches() int64 { return atomic.LoadInt64(&b.batches) }
+func (b *Batcher) Batches() int64 { return b.srv.batches.Value() }
 
 // Close drains and stops the batching loop.
 func (b *Batcher) Close() {

@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"encoding/json"
 	"fmt"
 	"sort"
+
+	"pac/internal/telemetry"
 )
 
 // TraceEvent is one scheduled activity in a simulated pipeline run.
@@ -40,27 +41,22 @@ func (t *Trace) Sorted() []TraceEvent {
 	return out
 }
 
-// chromeEvent is the chrome://tracing "complete event" record.
-type chromeEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
-}
+// ChromeEvent re-exports the shared Chrome tracing record so existing
+// sim users keep compiling; the encoder itself lives in telemetry and
+// is shared with the runtime tracer, so simulated and measured
+// timelines are directly comparable in one viewer.
+type ChromeEvent = telemetry.ChromeEvent
 
 // ChromeJSON renders the trace in the Chrome tracing / Perfetto JSON
 // array format: one thread per pipeline stage plus a network thread.
 func (t *Trace) ChromeJSON() ([]byte, error) {
-	evs := make([]chromeEvent, 0, len(t.Events))
+	evs := make([]ChromeEvent, 0, len(t.Events))
 	for _, e := range t.Events {
 		tid := e.Stage
 		if e.Stage < 0 {
 			tid = 1 << 16 // network track
 		}
-		evs = append(evs, chromeEvent{
+		evs = append(evs, ChromeEvent{
 			Name: fmt.Sprintf("%s%d", e.Kind, e.Micro),
 			Cat:  e.Kind,
 			Ph:   "X",
@@ -70,7 +66,7 @@ func (t *Trace) ChromeJSON() ([]byte, error) {
 			Tid:  tid,
 		})
 	}
-	return json.MarshalIndent(evs, "", " ")
+	return telemetry.EncodeChromeJSON(evs)
 }
 
 // Utilization returns per-stage busy fraction over the trace's span.

@@ -1,0 +1,26 @@
+package telemetry
+
+import "encoding/json"
+
+// ChromeEvent is one record of the Chrome tracing / Perfetto JSON
+// array format (the "Trace Event Format"): complete events carry
+// Ph "X" with microsecond Ts/Dur, metadata events carry Ph "M" with
+// a name payload in Args. Both the simulator's virtual-time traces and
+// the runtime tracer's wall-clock traces encode through this one type,
+// so measured and simulated timelines load side by side in one viewer.
+type ChromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`  // microseconds
+	Dur  float64                `json:"dur"` // microseconds
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// EncodeChromeJSON renders events as the JSON array chrome://tracing
+// and ui.perfetto.dev accept directly.
+func EncodeChromeJSON(evs []ChromeEvent) ([]byte, error) {
+	return json.MarshalIndent(evs, "", " ")
+}

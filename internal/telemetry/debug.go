@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the shared live-introspection mux:
+//
+//	GET /metrics       Prometheus text exposition of reg
+//	GET /debug/vars    the same registry as JSON (expvar-style)
+//	GET /debug/pprof/* the standard Go profiling endpoints
+//	GET /debug/trace   the Chrome JSON trace so far (when tr non-nil)
+//
+// Both pac-train and pac-serve hang this off -telemetry-addr.
+func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(reg.Vars())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if tr != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			blob, err := tr.ChromeJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(blob)
+		})
+	}
+	return mux
+}
+
+// Serve listens on addr and serves mux on a background goroutine,
+// returning the listener (close it to stop; its Addr() reports the
+// bound port when addr used :0).
+func Serve(addr string, mux http.Handler) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
+}

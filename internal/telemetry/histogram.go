@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram buckets observations by configurable upper bounds (the
+// Prometheus cumulative-le model) and tracks total sum and count.
+// Observe is lock-free: one atomic add per bucket/count plus a CAS loop
+// for the float sum.
+type Histogram struct {
+	bounds []float64 // sorted finite upper bounds
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// DefBuckets are the default duration buckets in seconds: 1 ms to 10 s,
+// roughly ×2.5 per step — sized for training steps, collectives, cache
+// I/O and snapshot writes alike.
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// ExpBuckets returns n buckets growing geometrically from start by
+// factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n buckets from start in steps of width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets()
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	// Drop a trailing +Inf: the overflow bucket is implicit.
+	for len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
+		bounds = bounds[:len(bounds)-1]
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// snapshot reads a consistent-enough view of the histogram: per-bucket
+// counts, sum, and total count. Concurrent Observes may skew the
+// moments by the in-flight samples, which exposition tolerates.
+func (h *Histogram) snapshot() (counts []int64, sum float64, count int64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, math.Float64frombits(h.sum.Load()), h.count.Load()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the bucket holding the target rank — the same
+// estimate Prometheus' histogram_quantile computes. An empty histogram
+// returns 0. Ranks landing in the overflow bucket are clamped to the
+// highest finite bound (there is no upper edge to interpolate toward).
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _, total := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) { // overflow bucket
+			if len(h.bounds) == 0 {
+				return h.Sum() / float64(total) // no bounds at all: mean
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (h.bounds[i]-lo)*frac
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Summary returns the JSON-friendly digest used by /debug/vars and the
+// serving /stats endpoint: count, sum, p50/p95/p99, and the cumulative
+// bucket counts keyed by upper bound.
+func (h *Histogram) Summary() map[string]interface{} {
+	counts, sum, count := h.snapshot()
+	buckets := map[string]int64{}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		buckets[le] = cum
+	}
+	return map[string]interface{}{
+		"count":   count,
+		"sum":     sum,
+		"p50":     h.Quantile(0.50),
+		"p95":     h.Quantile(0.95),
+		"p99":     h.Quantile(0.99),
+		"buckets": buckets,
+	}
+}

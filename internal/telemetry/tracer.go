@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Trace process-id conventions used by the instrumented runtime:
+// hybrid lanes trace as pid 0..lanes-1 (tid = pipeline stage), the
+// cached-epoch data-parallel group as PidDP (tid = replica rank), and
+// orchestration work — whole steps, snapshot capture/restore, cache
+// salvage — as PidOrch. The tracer emits process_name metadata so the
+// viewer labels the tracks.
+const (
+	PidDP   = 1000
+	PidOrch = 2000
+)
+
+// Tracer records wall-clock spans as Chrome trace events. All methods
+// are safe on a nil receiver (they no-op), so instrumented code passes
+// a *Tracer through unchanged and pays only a nil check when tracing
+// is off. Recording is a timestamp pair plus one mutex-guarded append,
+// cheap relative to the micro-batch-level work it brackets.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []ChromeEvent
+}
+
+// NewTracer starts an empty trace; timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+func (t *Tracer) since(at time.Time) float64 {
+	return float64(at.Sub(t.start).Nanoseconds()) / 1e3 // microseconds
+}
+
+func (t *Tracer) add(ev ChromeEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Span opens a complete event and returns the closure that ends it:
+//
+//	defer tr.Span("compute", "F3", lane, stage)()
+func (t *Tracer) Span(cat, name string, pid, tid int) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		t.add(ChromeEvent{
+			Name: name, Cat: cat, Ph: "X",
+			Ts: t.since(begin), Dur: float64(time.Since(begin).Nanoseconds()) / 1e3,
+			Pid: pid, Tid: tid,
+		})
+	}
+}
+
+// Instant records a zero-duration marker event.
+func (t *Tracer) Instant(cat, name string, pid, tid int) {
+	if t == nil {
+		return
+	}
+	t.add(ChromeEvent{Name: name, Cat: cat, Ph: "X", Ts: t.since(time.Now()), Pid: pid, Tid: tid})
+}
+
+// SetProcessName labels a pid track in the viewer.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(ChromeEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]interface{}{"name": name}})
+}
+
+// SetThreadName labels a (pid, tid) track in the viewer.
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(ChromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]interface{}{"name": name}})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []ChromeEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]ChromeEvent(nil), t.events...)
+}
+
+// ChromeJSON renders the trace as a Chrome/Perfetto JSON array.
+func (t *Tracer) ChromeJSON() ([]byte, error) {
+	return EncodeChromeJSON(t.Events())
+}
+
+// WriteFile writes the Chrome JSON trace to path.
+func (t *Tracer) WriteFile(path string) error {
+	blob, err := t.ChromeJSON()
+	if err != nil {
+		return fmt.Errorf("telemetry: encode trace: %w", err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return fmt.Errorf("telemetry: write trace: %w", err)
+	}
+	return nil
+}
