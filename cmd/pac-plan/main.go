@@ -5,8 +5,17 @@
 //
 // Usage:
 //
-//	pac-plan [-model t5-base|bart-large|t5-large] [-devices N] [-batch N]
+//	pac-plan [-model tiny|t5-base|bart-large|t5-large] [-devices N] [-batch N]
 //	         [-technique full|adapters|lora|parallel] [-seq N]
+//	         [-compare [-stages N]]
+//
+// -compare validates the analytic cost model against this machine: it
+// instantiates the model, profiles a calibration batch for real, and
+// prints analytic vs measured per-stage seconds with the percent error
+// — the same comparison the online health monitor makes continuously
+// during training, so the printed worst-case error suggests a floor for
+// pac-train's drift threshold. Use -model tiny unless you have the
+// memory (and patience) to instantiate the full model on this host.
 package main
 
 import (
@@ -18,9 +27,12 @@ import (
 
 	"pac/internal/cluster"
 	"pac/internal/costmodel"
+	"pac/internal/data"
 	"pac/internal/model"
+	"pac/internal/parallel"
 	"pac/internal/peft"
 	"pac/internal/planner"
+	"pac/internal/profiler"
 )
 
 func main() {
@@ -32,17 +44,21 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pac-plan", flag.ContinueOnError)
-	modelName := fs.String("model", "t5-base", "model: t5-base, bart-large, t5-large")
+	modelName := fs.String("model", "t5-base", "model: tiny, t5-base, bart-large, t5-large")
 	devices := fs.Int("devices", 8, "number of Jetson Nano devices")
 	batch := fs.Int("batch", 16, "mini-batch size")
 	techName := fs.String("technique", "parallel", "technique: full, adapters, lora, parallel")
 	seq := fs.Int("seq", 128, "encoder sequence length")
+	compare := fs.Bool("compare", false, "profile the model on this host and compare analytic vs measured per-stage costs")
+	compareStages := fs.Int("stages", 2, "pipeline stages for the -compare per-stage breakdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	var cfg model.Config
 	switch *modelName {
+	case "tiny":
+		cfg = model.Tiny()
 	case "t5-base":
 		cfg = model.T5Base()
 	case "bart-large":
@@ -79,8 +95,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "PAC (hybrid):  %s\n", p)
 		if ev, ok := planner.Evaluate(p, in); ok {
 			for k, st := range p.Stages {
-				fmt.Fprintf(out, "  stage %d: blocks [%d,%d) on %d device(s), peak %.2f GiB, inflight ≤%d\n",
-					k, st.StartBlock, st.EndBlock, len(st.Devices),
+				busy := ""
+				if k < len(ev.StageSec) {
+					busy = fmt.Sprintf("busy %.3fs/step, ", ev.StageSec[k])
+				}
+				fmt.Fprintf(out, "  stage %d: blocks [%d,%d) on %d device(s), %speak %.2f GiB, inflight ≤%d\n",
+					k, st.StartBlock, st.EndBlock, len(st.Devices), busy,
 					float64(ev.PeakMemory[k].Total())/(1<<30), ev.PeakInflight[k])
 			}
 		}
@@ -98,5 +118,65 @@ func run(args []string, out io.Writer) error {
 	} else {
 		fmt.Fprintf(out, "EDDL (DP):     step %.3fs (full replica per device)\n", dp.StepSec)
 	}
+
+	if *compare {
+		return runCompare(out, cfg, kind, *compareStages, *batch, *seq)
+	}
+	return nil
+}
+
+// runCompare instantiates the model for real, profiles a calibration
+// batch on this host, and prints analytic vs measured per-stage seconds
+// side by side. Both columns use the host's calibrated throughput as
+// the device baseline, so the residual error is purely the analytic
+// model's FLOP distribution vs where the time was actually spent — the
+// same comparison pac-train's health monitor makes online, which makes
+// the printed worst-case error a floor for its drift threshold.
+func runCompare(out io.Writer, cfg model.Config, kind peft.Kind, stages, batch, seq int) error {
+	if stages < 1 {
+		return fmt.Errorf("compare needs at least 1 stage, got %d", stages)
+	}
+	if seq > cfg.MaxSeq {
+		seq = cfg.MaxSeq
+	}
+	vocab := cfg.Vocab
+	if vocab > 64 {
+		vocab = 64 // calibration tokens only need to be in range
+	}
+	ds := data.Generate(data.GenConfig{Task: data.SST2, Size: batch, SeqLen: seq, Vocab: vocab, Seed: 7})
+	b := data.BatchOf(ds.Examples[:min(batch, len(ds.Examples))])
+
+	m := model.New(cfg)
+	tech := peft.New(kind, m, peft.Options{Reduction: 2})
+	prof := profiler.Measure(m, tech, b, 2)
+
+	costs := costmodel.Costs{Cfg: cfg, Kind: kind, EncSeq: len(b.Enc[0]), DecSeq: len(b.Dec[0])}
+	analytic := costs.Blocks()
+	nano := cluster.JetsonNano()
+	dev := prof.CalibrateDevice("this-host", nano.MemoryBytes, nano.LinkMbps)
+	measuredBlocks, err := prof.ToBlockCosts(analytic, dev)
+	if err != nil {
+		return err
+	}
+	bounds := parallel.EvenBoundaries(len(analytic), stages)
+	pred := costmodel.StageSeconds(analytic, bounds, b.Size(), dev)
+	meas := costmodel.StageSeconds(measuredBlocks, bounds, b.Size(), dev)
+
+	fmt.Fprintf(out, "\ncost-model comparison: %d stage(s), batch %d, %.1f effective GFLOPS on this host\n",
+		stages, b.Size(), prof.EffectiveGFLOPS)
+	fmt.Fprintf(out, "%8s %14s %14s %10s\n", "stage", "analytic (s)", "measured (s)", "error")
+	worst := 0.0
+	for s := range pred {
+		errPct := 0.0
+		if meas[s] > 0 {
+			errPct = (pred[s] - meas[s]) / meas[s] * 100
+		}
+		if a := math.Abs(errPct); a > worst {
+			worst = a
+		}
+		fmt.Fprintf(out, "%8d %14.4f %14.4f %9.1f%%\n", s, pred[s], meas[s], errPct)
+	}
+	fmt.Fprintf(out, "worst per-stage error %.1f%%: drift thresholds below %.2f× would false-alarm on model error alone\n",
+		worst, 1+worst/100)
 	return nil
 }

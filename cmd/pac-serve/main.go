@@ -5,12 +5,13 @@
 // Usage:
 //
 //	pac-serve [-addr :8080] [-lm] [-vocab N] [-adapters FILE]
-//	          [-telemetry-addr HOST:PORT]
+//	          [-telemetry-addr HOST:PORT] [-flight-size N]
 //
 // Endpoints: POST /classify, POST /generate, POST /swap, GET /stats,
 // GET /metrics (Prometheus text). -telemetry-addr additionally serves
-// the debug mux (/metrics, /debug/vars, /debug/pprof) on a separate
-// address, keeping profiling off the public API port.
+// the debug mux (/metrics, /debug/vars, /debug/pprof and /debug/flight
+// — the flight-recorder ring of recent weight swaps as JSON) on a
+// separate address, keeping profiling off the public API port.
 //
 // Example session:
 //
@@ -26,6 +27,7 @@ import (
 	"os"
 
 	"pac/internal/checkpoint"
+	"pac/internal/health"
 	"pac/internal/model"
 	"pac/internal/peft"
 	"pac/internal/serve"
@@ -37,8 +39,14 @@ func main() {
 	lm := flag.Bool("lm", false, "serve a language model (enables /generate)")
 	vocab := flag.Int("vocab", 64, "vocabulary size")
 	adapters := flag.String("adapters", "", "checkpoint to load at startup")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve the debug mux (/metrics, /debug/vars, /debug/pprof) on this address (empty disables)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve the debug mux (/metrics, /debug/vars, /debug/pprof, /debug/flight) on this address (empty disables)")
+	flightSize := flag.Int("flight-size", 128, "flight-recorder ring capacity in events (0 disables)")
 	flag.Parse()
+
+	if *flightSize > 0 {
+		health.Enable(*flightSize)
+		defer health.Disable()
+	}
 
 	cfg := model.Tiny()
 	cfg.Vocab = *vocab
@@ -60,7 +68,9 @@ func main() {
 	}
 
 	if *telemetryAddr != "" {
-		ln, err := telemetry.Serve(*telemetryAddr, telemetry.NewDebugMux(srv.Registry(), nil))
+		mux := telemetry.NewDebugMux(srv.Registry(), nil,
+			telemetry.Extra{Path: "/debug/flight", Handler: health.Flight()})
+		ln, err := telemetry.Serve(*telemetryAddr, mux)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pac-serve: telemetry: %v\n", err)
 			os.Exit(1)

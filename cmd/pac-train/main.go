@@ -23,13 +23,29 @@
 //	          [-snapshot-every N] [-snapshot-dir DIR] [-resume]
 //	          [-crash-device N] [-crash-after OPS] [-crash-phase hybrid|cached]
 //	          [-max-recoveries N] [-step-timeout D] [-fault-drop P]
+//	          [-slow-lane N] [-slow-delay D]
+//	          [-replan-on-drift] [-straggler-factor F]
+//	          [-flight-size N] [-flight-out FILE]
 //	          [-telemetry-addr HOST:PORT] [-trace-out FILE]
 //
 // -telemetry-addr serves live introspection over HTTP while the run is
-// in flight: /metrics (Prometheus text), /debug/vars (JSON) and
-// /debug/pprof. -trace-out writes the run's real timeline — per-stage
+// in flight: /metrics (Prometheus text), /debug/vars (JSON),
+// /debug/pprof and /debug/flight (the flight-recorder ring as JSON).
+// -trace-out writes the run's real timeline — per-stage
 // forward/backward micro-batch spans, AllReduce rounds, snapshot and
 // salvage events — as Chrome/Perfetto JSON (load it at ui.perfetto.dev).
+//
+// An online health monitor watches every attempt: engines report
+// per-step timings, the monitor compares lanes and ranks against the
+// healthy median and against the planner's analytic per-stage
+// predictions, and prints an ALERT when one straggles or drifts. With
+// -replan-on-drift an alert additionally quarantines the slow lane and
+// triggers a re-plan fed by the measured per-stage profile (inject a
+// deterministic straggler with -slow-lane / -slow-delay to watch this
+// happen). A crash flight recorder keeps the last -flight-size
+// structured events (steps, retries, faults, alerts, snapshots,
+// re-plans) and dumps them on panic, on unrecoverable failure, to
+// -flight-out, and live over /debug/flight.
 package main
 
 import (
@@ -40,6 +56,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pac/internal/acache"
@@ -48,17 +65,72 @@ import (
 	"pac/internal/core"
 	"pac/internal/costmodel"
 	"pac/internal/data"
+	"pac/internal/health"
 	"pac/internal/model"
 	"pac/internal/parallel"
 	"pac/internal/peft"
 	"pac/internal/planner"
+	"pac/internal/profiler"
 	"pac/internal/telemetry"
 )
 
-// mReplans counts supervisor re-planning rounds after an attributed
-// device failure — the top-level resilience signal next to the
-// transport-level retry and fault counters.
-var mReplans = telemetry.Default().Counter("pac_replans_total")
+// Re-plan decisions and their outcomes, by trigger: "failure" is the
+// liveness path (a device died), "drift" is the health-monitor path (a
+// straggler or stale profile). Outcomes compare the whole-step EWMA
+// before the first re-plan against after the last one.
+var (
+	mReplansFailure = telemetry.Default().Counter("pac_replans_total", "trigger", "failure")
+	mReplansDrift   = telemetry.Default().Counter("pac_replans_total", "trigger", "drift")
+	mReplanImproved = telemetry.Default().Counter("pac_replan_outcomes_total", "outcome", "improved")
+	mReplanRegressd = telemetry.Default().Counter("pac_replan_outcomes_total", "outcome", "regressed")
+)
+
+// replanGuard is the single guarded entry point both re-plan triggers
+// go through: the liveness path (device failure) and the health path
+// (straggler/drift alert) race to request a re-plan, the first request
+// of an attempt wins and cancels the attempt's context, and later
+// requests coalesce into the winner instead of double-re-planning.
+type replanGuard struct {
+	mu      sync.Mutex
+	cancel  context.CancelFunc
+	pending string
+	alert   health.Alert
+}
+
+// arm resets the guard for a new attempt whose context cancel is given.
+func (g *replanGuard) arm(cancel context.CancelFunc) {
+	g.mu.Lock()
+	g.cancel = cancel
+	g.pending = ""
+	g.alert = health.Alert{}
+	g.mu.Unlock()
+}
+
+// request asks for a re-plan. It returns true for exactly one caller
+// per attempt — the winner, whose trigger drives the re-plan — and
+// cancels the attempt so training unwinds promptly.
+func (g *replanGuard) request(trigger string, a health.Alert) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pending != "" {
+		return false
+	}
+	g.pending = trigger
+	g.alert = a
+	if g.cancel != nil {
+		g.cancel()
+	}
+	return true
+}
+
+// take consumes the pending trigger ("" when none fired).
+func (g *replanGuard) take() (string, health.Alert) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t, a := g.pending, g.alert
+	g.pending = ""
+	return t, a
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -90,19 +162,42 @@ func run(args []string, out io.Writer) error {
 	crashPhase := fs.String("crash-phase", "hybrid", "phase the injected crash targets: hybrid (epoch 1) or cached (epochs ≥2)")
 	maxRecoveries := fs.Int("max-recoveries", 3, "in-process recovery attempts before giving up (0 = fail fast)")
 	stepTimeout := fs.Duration("step-timeout", 5*time.Second, "per-step liveness deadline for failure detection")
-	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/flight on this address (empty disables)")
 	traceOut := fs.String("trace-out", "", "write the run's Chrome/Perfetto JSON trace to this file")
 	faultDrop := fs.Float64("fault-drop", 0, "per-send probability of an injected transient drop (0 disables)")
+	replanOnDrift := fs.Bool("replan-on-drift", false, "let health-monitor straggler/drift alerts trigger a re-plan (quarantine + profile feedback)")
+	stragglerFactor := fs.Float64("straggler-factor", 3, "flag a lane/rank as a straggler when slower than the healthy median by this factor")
+	flightSize := fs.Int("flight-size", 256, "flight-recorder ring capacity in events (0 disables)")
+	flightOut := fs.String("flight-out", "", "write the flight-recorder dump to this file at exit")
+	slowLane := fs.Int("slow-lane", -1, "inject a persistent per-send delay into every stage of this lane's pipeline fabric (-1 disables)")
+	slowDelay := fs.Duration("slow-delay", 25*time.Millisecond, "injected per-send delay for -slow-lane")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// The flight recorder runs for the whole process: a fixed-size
+	// lock-free ring every subsystem appends structured events to, dumped
+	// as JSON on panic, on unrecoverable failure, via -flight-out, or live
+	// over /debug/flight. Disabling it (size 0) makes every Record a no-op.
+	if *flightSize > 0 {
+		health.Enable(*flightSize)
+		defer health.Disable()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight(os.Stderr, "panic", *flightOut)
+			panic(r)
+		}
+	}()
 
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
 		tracer = telemetry.NewTracer()
 	}
 	if *telemetryAddr != "" {
-		ln, err := telemetry.Serve(*telemetryAddr, telemetry.NewDebugMux(telemetry.Default(), tracer))
+		mux := telemetry.NewDebugMux(telemetry.Default(), tracer,
+			telemetry.Extra{Path: "/debug/flight", Handler: health.Flight()})
+		ln, err := telemetry.Serve(*telemetryAddr, mux)
 		if err != nil {
 			return fmt.Errorf("telemetry: %w", err)
 		}
@@ -232,6 +327,10 @@ func run(args []string, out io.Writer) error {
 		coreCfg.Faults = &parallel.FaultConfig{Seed: 1, Drop: *faultDrop}
 		fmt.Fprintf(out, "fault injection: %.0f%% transient send drops\n", *faultDrop*100)
 	}
+	// Fault injection: crash and straggler shapers compose into one
+	// transport wrapper so a run can combine, say, a slow lane with
+	// background drops.
+	var shapers []func(id parallel.FabricID, fc *parallel.FaultConfig)
 	if *crashDevice >= 0 {
 		if *crashDevice >= pool.Size() {
 			return fmt.Errorf("crash-device %d out of range (pool has %d devices)", *crashDevice, pool.Size())
@@ -241,28 +340,48 @@ func run(args []string, out io.Writer) error {
 		case "hybrid":
 			crashLane := *crashDevice / *stages
 			crashStage := *crashDevice % *stages
-			coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
-				fc := parallel.FaultConfig{Seed: 1, Drop: *faultDrop}
+			shapers = append(shapers, func(id parallel.FabricID, fc *parallel.FaultConfig) {
 				if id.Kind == "pipe" && id.Index == crashLane {
 					fc.Crash = map[int]int{crashStage: after}
 				}
-				return parallel.WrapFaulty(eps, fc)
-			}
+			})
 			fmt.Fprintf(out, "fault injection: device %d (%s, lane %d stage %d) crashes after %d transport ops in the hybrid phase\n",
 				*crashDevice, pool.Devices[*crashDevice].Name, crashLane, crashStage, after)
 		case "cached":
 			crashRank := *crashDevice
-			coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
-				fc := parallel.FaultConfig{Seed: 1, Drop: *faultDrop}
+			shapers = append(shapers, func(id parallel.FabricID, fc *parallel.FaultConfig) {
 				if id.Kind == "dp" {
 					fc.Crash = map[int]int{crashRank: after}
 				}
-				return parallel.WrapFaulty(eps, fc)
-			}
+			})
 			fmt.Fprintf(out, "fault injection: device %d (%s, DP rank %d) crashes after %d transport ops in the cached phase\n",
 				*crashDevice, pool.Devices[*crashDevice].Name, crashRank, after)
 		default:
 			return fmt.Errorf("unknown crash-phase %q (want hybrid or cached)", *crashPhase)
+		}
+	}
+	if *slowLane >= 0 {
+		if *slowLane >= *lanes {
+			return fmt.Errorf("slow-lane %d out of range (%d lanes)", *slowLane, *lanes)
+		}
+		lane, delay, nStages := *slowLane, *slowDelay, *stages
+		shapers = append(shapers, func(id parallel.FabricID, fc *parallel.FaultConfig) {
+			if id.Kind == "pipe" && id.Index == lane {
+				fc.SlowRank = map[int]time.Duration{}
+				for s := 0; s < nStages; s++ {
+					fc.SlowRank[s] = delay
+				}
+			}
+		})
+		fmt.Fprintf(out, "fault injection: lane %d delayed %v per send (persistent straggler)\n", lane, delay)
+	}
+	if len(shapers) > 0 {
+		coreCfg.WrapTransport = func(id parallel.FabricID, eps []parallel.Transport) []parallel.Transport {
+			fc := parallel.FaultConfig{Seed: 1, Drop: *faultDrop}
+			for _, shape := range shapers {
+				shape(id, &fc)
+			}
+			return parallel.WrapFaulty(eps, fc)
 		}
 	}
 
@@ -310,6 +429,41 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Health monitoring: every attempt gets a fresh monitor fed per-step
+	// by the engines, with per-stage expectations from the analytic cost
+	// model (the planner's view of how long each stage should take).
+	// Alerts print immediately; with -replan-on-drift a lane-attributable
+	// alert also requests a re-plan through the same guard the liveness
+	// path uses, so concurrent triggers cannot double-re-plan.
+	var guard replanGuard
+	var driftEnabled atomic.Bool
+	driftEnabled.Store(*replanOnDrift)
+	var monitors []*health.Monitor
+	newMonitor := func() *health.Monitor {
+		perLane := *batch / coreCfg.Lanes
+		if perLane < 1 {
+			perLane = 1
+		}
+		costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
+		blocks := costs.Blocks()
+		expected := costmodel.StageSeconds(blocks,
+			parallel.EvenBoundaries(len(blocks), coreCfg.Stages), perLane, pool.Devices[0])
+		mon := health.NewMonitor(health.Config{
+			StragglerFactor:  *stragglerFactor,
+			ExpectedStageSec: expected,
+			Flight:           health.Flight(),
+			OnAlert: func(a health.Alert) {
+				fmt.Fprintf(out, "ALERT: %s\n", a)
+				if a.Lane >= 0 && driftEnabled.Load() {
+					guard.request("drift", a)
+				}
+			},
+		})
+		monitors = append(monitors, mon)
+		return mon
+	}
+
+	coreCfg.Health = newMonitor()
 	f, cursor, err := buildFramework(coreCfg, startSnap)
 	if err != nil {
 		return err
@@ -321,49 +475,120 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "before: loss %.4f, metric %.2f\n", before.Loss, before.Metric(task))
 
 	start := time.Now()
-	// The supervisor loop: train; on a device failure, attribute it, mark
-	// the device dead, re-plan on the survivors, restore the latest
-	// snapshot, salvage the cache, and resume from the cursor — no
-	// restart from scratch as long as a snapshot exists.
+	// The supervisor loop: train; on a device failure or a health-monitor
+	// drift request — both funneled through replanGuard — attribute the
+	// cause, re-plan, restore the latest snapshot, salvage the cache, and
+	// resume from the cursor. No restart from scratch as long as a
+	// snapshot exists.
 	recoveries := 0
+	driftReplans := 0
 	var loss float64
 	for {
-		loss, err = f.FineTuneFromCtx(context.Background(), trainDS, *batch, *epochs, 1, cursor)
+		ctx, cancel := context.WithCancel(context.Background())
+		guard.arm(cancel)
+		loss, err = f.FineTuneFromCtx(ctx, trainDS, *batch, *epochs, 1, cursor)
+		cancel()
+		trigger, alert := guard.take()
+		if err == nil {
+			break // finished; a late drift request has nothing left to re-plan
+		}
 		rf, failed := parallel.AsRankFailed(err)
-		if !failed {
-			break
-		}
-		if recoveries >= *maxRecoveries {
-			return fmt.Errorf("device failure after %d recoveries: %w", recoveries, err)
-		}
-		recoveries++
-
-		devIdx, known := attributeDevice(rf, coreCfg.Stages, pool.Size())
-		if known {
-			failedName := pool.Devices[devIdx].Name
-			live.MarkDead(failedName)
-			fmt.Fprintf(out, "FAILURE: device %s detected dead (%v)\n", failedName, rf)
-
-			survivors := live.Survivors(pool)
-			mReplans.Inc()
-			fmt.Fprintf(out, "re-planning on %d surviving device(s): %v\n", survivors.Size(), deviceNames(survivors))
-			costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
-			in := planner.Input{Blocks: costs.Blocks(), Cluster: survivors, MiniBatch: *batch}
-			if plan, perr := planner.New(in); perr != nil {
-				fmt.Fprintf(out, "re-plan: no feasible configuration on survivors (%v)\n", perr)
-			} else {
-				fmt.Fprintf(out, "re-plan: %s\n", plan)
+		switch {
+		case failed:
+			// Liveness path. A concurrent drift request loses the race: a
+			// dead device supersedes a slow one.
+			if recoveries >= *maxRecoveries {
+				dumpFlight(out, "unrecoverable failure", *flightOut)
+				return fmt.Errorf("device failure after %d recoveries: %w", recoveries, err)
 			}
-			// The crashed lane's surviving devices are reassigned; shrink
-			// the lane count to fit the smaller pool.
+			recoveries++
+
+			devIdx, known := attributeDevice(rf, coreCfg.Stages, pool.Size())
+			if known {
+				failedName := pool.Devices[devIdx].Name
+				live.MarkDead(failedName)
+				fmt.Fprintf(out, "FAILURE: device %s detected dead (%v)\n", failedName, rf)
+
+				survivors := live.Survivors(pool)
+				mReplansFailure.Inc()
+				health.Flight().Record("replan", rf.Lane, rf.Rank, "failure", 0)
+				tracer.Instant("replan", "replan:failure", 0, 0)
+				fmt.Fprintf(out, "re-planning on %d surviving device(s): %v\n", survivors.Size(), deviceNames(survivors))
+				costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
+				in := planner.Input{Blocks: costs.Blocks(), Cluster: survivors, MiniBatch: *batch}
+				if plan, perr := planner.New(in); perr != nil {
+					fmt.Fprintf(out, "re-plan: no feasible configuration on survivors (%v)\n", perr)
+				} else {
+					fmt.Fprintf(out, "re-plan: %s\n", plan)
+				}
+				// The crashed lane's surviving devices are reassigned; shrink
+				// the lane count to fit the smaller pool.
+				if coreCfg.Lanes > 1 {
+					coreCfg.Lanes--
+				}
+			} else {
+				// The failure could not be attributed to a concrete device
+				// (collective-level fault): keep the pool intact rather than
+				// blaming an arbitrary member.
+				fmt.Fprintf(out, "FAILURE: unknown device (rank %d, lane %d): %v — pool unchanged\n", rf.Rank, rf.Lane, rf)
+			}
+		case trigger == "drift":
+			// Health path: the monitor flagged a straggling lane and won the
+			// guard. The lane is quarantined — sidelined, not dead — and the
+			// re-plan runs on the monitor's measured per-stage profile
+			// instead of analytic costs. Drift re-plans do not consume the
+			// failure-recovery budget; they stop when there is nothing left
+			// to shed.
+			mReplansDrift.Inc()
+			driftReplans++
+			health.Flight().Record("replan", alert.Lane, alert.Rank, "drift", alert.Ratio)
+			tracer.Instant("replan", "replan:drift", 0, 0)
+			fmt.Fprintf(out, "re-planning on drift: %s\n", alert)
+			if alert.Lane >= 0 && coreCfg.Lanes > 1 {
+				for s := 0; s < coreCfg.Stages; s++ {
+					if idx := alert.Lane*coreCfg.Stages + s; idx < pool.Size() {
+						live.Quarantine(pool.Devices[idx].Name)
+					}
+				}
+				fmt.Fprintf(out, "quarantined lane %d: %v\n", alert.Lane, live.Quarantined())
+			}
+			survivors := live.Survivors(pool)
+			costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
+			analytic := costs.Blocks()
+			planBlocks, planCluster := analytic, survivors
+			// Profile feedback: fold measured per-stage times into the
+			// profiler's calibration machinery so the new plan reflects the
+			// host this run actually executes on.
+			if fwd, bwd, ok := monitors[len(monitors)-1].StageFwdBwdSeconds(); ok {
+				perLane := *batch / coreCfg.Lanes
+				if perLane < 1 {
+					perLane = 1
+				}
+				bounds := parallel.EvenBoundaries(len(analytic), coreCfg.Stages)
+				if prof, ferr := profiler.FromStageSeconds(cfg, analytic, bounds, fwd, bwd, perLane); ferr == nil {
+					dev := prof.CalibrateDevice("measured", pool.Devices[0].MemoryBytes, pool.Devices[0].LinkMbps)
+					if mb, merr := prof.ToBlockCosts(analytic, dev); merr == nil {
+						planBlocks = mb
+						planCluster = cluster.Homogeneous(dev, survivors.Size())
+						fmt.Fprintf(out, "profile feedback: measured %.1f effective GFLOPS over %d stage(s)\n",
+							prof.EffectiveGFLOPS, len(fwd))
+					}
+				}
+			}
+			in := planner.Input{Blocks: planBlocks, Cluster: planCluster, MiniBatch: *batch}
+			if plan, perr := planner.New(in); perr != nil {
+				fmt.Fprintf(out, "re-plan (drift): no feasible configuration (%v)\n", perr)
+			} else {
+				fmt.Fprintf(out, "re-plan (drift): %s\n", plan)
+			}
 			if coreCfg.Lanes > 1 {
 				coreCfg.Lanes--
 			}
-		} else {
-			// The failure could not be attributed to a concrete device
-			// (collective-level fault): keep the pool intact rather than
-			// blaming an arbitrary member.
-			fmt.Fprintf(out, "FAILURE: unknown device (rank %d, lane %d): %v — pool unchanged\n", rf.Rank, rf.Lane, rf)
+			if coreCfg.Lanes == 1 {
+				driftEnabled.Store(false) // nothing left to shed
+			}
+		default:
+			return err
 		}
 		coreCfg.WrapTransport = nil // the injected fault has fired
 
@@ -375,15 +600,33 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "no snapshot captured yet: restarting from scratch (%d stages × %d lanes, cache preserved)\n",
 				coreCfg.Stages, coreCfg.Lanes)
 		}
+		coreCfg.Health = newMonitor()
 		f, cursor, err = buildFramework(coreCfg, snap)
 		if err != nil {
 			return err
 		}
 	}
-	if err != nil {
-		return err
-	}
 	elapsed := time.Since(start)
+
+	totalReports, totalAlerts := 0, 0
+	for _, m := range monitors {
+		totalReports += m.Reports()
+		totalAlerts += len(m.Alerts())
+	}
+	fmt.Fprintf(out, "health: %d step reports, %d alerts, %d drift re-plan(s) across %d attempt(s)\n",
+		totalReports, totalAlerts, driftReplans, len(monitors))
+	if len(monitors) > 1 {
+		first, last := monitors[0].StepEWMASec(), monitors[len(monitors)-1].StepEWMASec()
+		if first > 0 && last > 0 {
+			if last < first {
+				mReplanImproved.Inc()
+			} else {
+				mReplanRegressd.Inc()
+			}
+			fmt.Fprintf(out, "health: step EWMA %.4fs before first re-plan, %.4fs after last re-plan\n", first, last)
+		}
+	}
+	dumpFlight(out, "run complete", *flightOut)
 
 	after := f.Evaluate(evalDS, *batch)
 	st := f.Cache().Stats()
@@ -408,6 +651,33 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "saved adapters to %s\n", *savePath)
 	}
 	return nil
+}
+
+// dumpFlight serializes the flight-recorder ring: to path when one was
+// given, otherwise inline on w for failure reasons so the last events
+// before death land in the log ("run complete" stays quiet without a
+// path). A nil or empty recorder dumps nothing.
+func dumpFlight(w io.Writer, reason, path string) {
+	rec := health.Flight()
+	if rec == nil || rec.Recorded() == 0 {
+		return
+	}
+	blob, err := rec.Dump()
+	if err != nil {
+		return
+	}
+	if path != "" {
+		if werr := os.WriteFile(path, blob, 0o644); werr != nil {
+			fmt.Fprintf(w, "WARNING: flight dump failed: %v\n", werr)
+			return
+		}
+		fmt.Fprintf(w, "flight recorder: %d event(s) (%s) written to %s\n", len(rec.Events()), reason, path)
+		return
+	}
+	if reason == "run complete" {
+		return // a clean exit dumps only when a path was asked for
+	}
+	fmt.Fprintf(w, "flight recorder (%s, last %d event(s)):\n%s\n", reason, len(rec.Events()), blob)
 }
 
 // attributeDevice maps a rank failure to a concrete pool index: phase-1

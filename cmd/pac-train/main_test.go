@@ -6,8 +6,10 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
+	"pac/internal/health"
 	"pac/internal/parallel"
 )
 
@@ -197,5 +199,112 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(tinyArgs("-resume"), &sb); err == nil {
 		t.Fatal("expected error for -resume without -snapshot-dir")
+	}
+	if err := run(tinyArgs("-slow-lane", "5"), &sb); err == nil {
+		t.Fatal("expected error for out-of-range slow lane")
+	}
+}
+
+// TestReplanGuardSingleWinner is the regression test for the
+// double-re-plan bug: when many triggers fire concurrently within one
+// attempt — a liveness failure racing a drift alert, or several alerts
+// at once — exactly one request may win, and the attempt must be
+// canceled exactly once.
+func TestReplanGuardSingleWinner(t *testing.T) {
+	var g replanGuard
+	for attempt := 0; attempt < 3; attempt++ {
+		cancels := 0
+		g.arm(func() { cancels++ })
+
+		const callers = 16
+		wins := make(chan string, callers)
+		var wg sync.WaitGroup
+		for i := 0; i < callers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				trigger := "drift"
+				if i%2 == 0 {
+					trigger = "failure"
+				}
+				if g.request(trigger, health.Alert{Lane: i}) {
+					wins <- trigger
+				}
+			}()
+		}
+		wg.Wait()
+		close(wins)
+
+		var winners []string
+		for w := range wins {
+			winners = append(winners, w)
+		}
+		if len(winners) != 1 {
+			t.Fatalf("attempt %d: %d winners (%v), want exactly 1", attempt, len(winners), winners)
+		}
+		if cancels != 1 {
+			t.Fatalf("attempt %d: attempt canceled %d times, want exactly 1", attempt, cancels)
+		}
+		trigger, _ := g.take()
+		if trigger != winners[0] {
+			t.Fatalf("attempt %d: take() = %q, want the winner %q", attempt, trigger, winners[0])
+		}
+		if trigger, _ := g.take(); trigger != "" {
+			t.Fatalf("attempt %d: second take() = %q, want empty", attempt, trigger)
+		}
+	}
+}
+
+// ewmaBeforeAfter parses the supervisor's before/after re-plan summary.
+func ewmaBeforeAfter(t *testing.T, out string) (before, after float64) {
+	t.Helper()
+	m := regexp.MustCompile(`step EWMA ([0-9.]+)s before first re-plan, ([0-9.]+)s after last re-plan`).
+		FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no step-EWMA summary in output:\n%s", out)
+	}
+	before, _ = strconv.ParseFloat(m[1], 64)
+	after, _ = strconv.ParseFloat(m[2], 64)
+	return before, after
+}
+
+// TestRunStragglerDriftReplan drives the full health loop end to end: a
+// persistent per-send delay injected into lane 1 makes it a straggler,
+// the monitor's lane comparison fires an Alert, the alert wins the
+// re-plan guard, the supervisor quarantines the slow lane (not dead —
+// sidelined), re-plans on the measured profile, resumes from the latest
+// snapshot without the slow lane, and the post-re-plan step time
+// improves.
+func TestRunStragglerDriftReplan(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-task", "sst-2", "-samples", "64", "-epochs", "1",
+		"-pretrain", "0", "-stages", "2", "-lanes", "2", "-batch", "8",
+		"-snapshot-every", "1", "-step-timeout", "10s",
+		"-slow-lane", "1", "-slow-delay", "30ms",
+		"-replan-on-drift", "-straggler-factor", "3",
+	}, &sb)
+	out := sb.String()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"fault injection: lane 1 delayed",
+		"ALERT:",
+		"straggler",
+		"re-planning on drift:",
+		"quarantined lane 1",
+		"re-plan (drift):",
+		"after:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	before, after := ewmaBeforeAfter(t, out)
+	if after >= before {
+		t.Errorf("step EWMA did not improve after the drift re-plan: %.4fs -> %.4fs\n%s",
+			before, after, out)
 	}
 }

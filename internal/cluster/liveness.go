@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"pac/internal/health"
 )
 
 // Liveness tracks device heartbeats for one pool. A device is alive
@@ -12,16 +14,18 @@ import (
 // RankFailedError — drops out of the surviving set, which the
 // orchestrator feeds back into the planner to re-plan around the loss.
 type Liveness struct {
-	mu    sync.Mutex
-	ttl   time.Duration
-	now   func() time.Time
-	beats map[string]time.Time
-	dead  map[string]bool
+	mu         sync.Mutex
+	ttl        time.Duration
+	now        func() time.Time
+	beats      map[string]time.Time
+	dead       map[string]bool
+	quarantine map[string]bool
 }
 
 // NewLiveness builds a tracker with the given heartbeat TTL.
 func NewLiveness(ttl time.Duration) *Liveness {
-	return &Liveness{ttl: ttl, now: time.Now, beats: map[string]time.Time{}, dead: map[string]bool{}}
+	return &Liveness{ttl: ttl, now: time.Now, beats: map[string]time.Time{},
+		dead: map[string]bool{}, quarantine: map[string]bool{}}
 }
 
 // SetClock overrides the time source (tests).
@@ -48,6 +52,40 @@ func (l *Liveness) MarkDead(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.dead[name] = true
+	health.Flight().Record("dead", -1, -1, name, 0)
+}
+
+// Quarantine sidelines a device the health monitor flagged as a
+// straggler: it is excluded from Survivors (and thus from the next
+// plan) but is not dead — it still heartbeats, and crucially a
+// heartbeat does NOT lift quarantine; slow is not the same fault as
+// silent. Only Reinstate readmits it.
+func (l *Liveness) Quarantine(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.quarantine[name] = true
+	health.Flight().Record("quarantine", -1, -1, name, 0)
+}
+
+// Reinstate readmits a quarantined device to the schedulable pool (the
+// operator cleared it, or a probe showed it recovered).
+func (l *Liveness) Reinstate(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.quarantine, name)
+	health.Flight().Record("reinstate", -1, -1, name, 0)
+}
+
+// Quarantined returns the sorted names currently sidelined.
+func (l *Liveness) Quarantined() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.quarantine))
+	for name := range l.quarantine {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Alive reports whether the device has a fresh heartbeat and has not
@@ -59,7 +97,7 @@ func (l *Liveness) Alive(name string) bool {
 }
 
 func (l *Liveness) aliveLocked(name string) bool {
-	if l.dead[name] {
+	if l.dead[name] || l.quarantine[name] {
 		return false
 	}
 	last, ok := l.beats[name]
@@ -70,12 +108,13 @@ func (l *Liveness) aliveLocked(name string) bool {
 }
 
 // Dead returns the sorted names of tracked devices that are not alive.
+// Quarantined devices are excluded: they are sidelined, not failed.
 func (l *Liveness) Dead() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var out []string
 	for name := range l.beats {
-		if !l.aliveLocked(name) {
+		if !l.aliveLocked(name) && !l.quarantine[name] {
 			out = append(out, name)
 		}
 	}

@@ -88,3 +88,46 @@ func TestClusterWithout(t *testing.T) {
 		t.Fatal("Without mutated the original cluster")
 	}
 }
+
+func TestQuarantineSemantics(t *testing.T) {
+	l := NewLiveness(time.Minute)
+	now := time.Unix(1000, 0)
+	l.SetClock(func() time.Time { return now })
+
+	pool := Nanos(4)
+	for _, d := range pool.Devices {
+		l.Heartbeat(d.Name)
+	}
+	slow := pool.Devices[2].Name
+	l.Quarantine(slow)
+
+	if l.Alive(slow) {
+		t.Fatal("quarantined device must not count as alive")
+	}
+	if s := l.Survivors(pool); s.Size() != 3 {
+		t.Fatalf("survivors: %d, want 3", s.Size())
+	}
+	if q := l.Quarantined(); len(q) != 1 || q[0] != slow {
+		t.Fatalf("quarantined = %v", q)
+	}
+	// Quarantined is not dead: it must not appear in Dead().
+	for _, d := range l.Dead() {
+		if d == slow {
+			t.Fatal("quarantined device listed as dead")
+		}
+	}
+	// A heartbeat does NOT lift quarantine — slow is a different fault
+	// than silent, and a straggler keeps heartbeating the whole time.
+	l.Heartbeat(slow)
+	if l.Alive(slow) {
+		t.Fatal("heartbeat must not lift quarantine")
+	}
+	// Only Reinstate readmits the device.
+	l.Reinstate(slow)
+	if !l.Alive(slow) {
+		t.Fatal("reinstated device must be alive again")
+	}
+	if len(l.Quarantined()) != 0 {
+		t.Fatalf("quarantine list not empty after reinstate: %v", l.Quarantined())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"pac/internal/autograd"
 	"pac/internal/checkpoint"
 	"pac/internal/data"
+	"pac/internal/health"
 	"pac/internal/model"
 	"pac/internal/nn"
 	"pac/internal/parallel"
@@ -88,6 +89,10 @@ type Config struct {
 	// snapshot captures/restores, cache salvage) on telemetry.PidOrch —
 	// in the same Chrome/Perfetto JSON format the simulator emits.
 	Trace *telemetry.Tracer
+	// Health, when non-nil, receives per-stage/per-rank/per-step reports
+	// from every engine (typically a *health.Monitor) — the input to
+	// straggler and drift detection. Nil disables health sampling.
+	Health health.Sink
 }
 
 // Cursor pinpoints where a resumed run continues: Step completed steps
@@ -180,10 +185,13 @@ func New(cfg Config) *Framework {
 		e.OnTap = f.builder.observe // the builder dedups by sample id
 		e.Trace = cfg.Trace
 		e.TracePID = lane
+		e.Health = cfg.Health
+		e.HealthLane = lane
 		cfg.Trace.SetProcessName(lane, fmt.Sprintf("lane %d (pipeline)", lane))
 		return e
 	})
 	f.hybrid.Trace = cfg.Trace
+	f.hybrid.Health = cfg.Health
 	cfg.Trace.SetProcessName(telemetry.PidOrch, "orchestrator")
 
 	f.hybrid.StepTimeout = cfg.StepTimeout
@@ -361,6 +369,7 @@ func (f *Framework) CachedEpochsFromCtx(ctx context.Context, loader *data.Loader
 	g.StepTimeout = f.cfg.StepTimeout
 	g.Trace = f.cfg.Trace
 	g.TracePID = telemetry.PidDP
+	g.Health = f.cfg.Health
 	f.cfg.Trace.SetProcessName(telemetry.PidDP, "dp group (cached epochs)")
 	if f.cfg.WrapTransport != nil {
 		g.Endpoints = f.cfg.WrapTransport(parallel.FabricID{Kind: "dp", Index: 0}, g.Endpoints)
@@ -561,6 +570,7 @@ func (f *Framework) maybeSnapshot(epoch, step int, g *parallel.DPGroup) {
 		f.cfg.OnSnapshot(f.captureHybrid(epoch, step))
 	}
 	mSnapCaptures.Inc()
+	health.Flight().Record("snapshot-capture", -1, -1, fmt.Sprintf("epoch %d step %d", epoch, step), 0)
 }
 
 func cloneTensors(ts []*tensor.Tensor) []*tensor.Tensor {
@@ -692,6 +702,7 @@ func (f *Framework) RestoreSnapshot(s *checkpoint.Snapshot) error {
 		f.phase1Done = true
 	}
 	mSnapRestores.Inc()
+	health.Flight().Record("snapshot-restore", -1, -1, fmt.Sprintf("epoch %d step %d", s.Epoch, s.Step), 0)
 	return nil
 }
 
@@ -733,5 +744,10 @@ func (f *Framework) SalvageCache(ds *data.Dataset, batch int, seed int64, from C
 		res := f.reference.Forward(b.Enc, b.Dec, b.Lens, false)
 		return acache.Entry(res.Taps), nil
 	}
-	return acache.Salvage(f.cache, want, f.manifest, recompute)
+	rep, err := acache.Salvage(f.cache, want, f.manifest, recompute)
+	if err == nil {
+		health.Flight().Record("salvage", -1, -1,
+			fmt.Sprintf("%d verified %d recomputed", rep.Verified, rep.Recomputed), 0)
+	}
+	return rep, err
 }

@@ -68,6 +68,23 @@ func BwdSec(blocks []BlockCost, batch int, dev cluster.DeviceSpec) float64 {
 	return (t.BwdTraverseFLOPs + t.BwdTrainFLOPs) * float64(batch) / dev.FLOPSPerSec()
 }
 
+// StageSeconds returns the per-stage fwd+bwd compute time for batch
+// samples when blocks are partitioned at boundaries (len(boundaries) =
+// stages+1, stage s hosting [boundaries[s], boundaries[s+1])) — the
+// analytic per-stage prediction the health monitor compares measured
+// stage times against.
+func StageSeconds(blocks []BlockCost, boundaries []int, batch int, dev cluster.DeviceSpec) []float64 {
+	if len(boundaries) < 2 {
+		return nil
+	}
+	out := make([]float64, len(boundaries)-1)
+	for s := range out {
+		rng := blocks[boundaries[s]:boundaries[s+1]]
+		out[s] = FwdSec(rng, batch, dev) + BwdSec(rng, batch, dev)
+	}
+	return out
+}
+
 // FLOPsBreakdown returns (forward, backward) FLOPs per sample for the
 // whole block list — the quantities behind the paper's Figure 3.
 func FLOPsBreakdown(blocks []BlockCost) (fwd, bwd float64) {

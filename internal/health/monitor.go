@@ -1,0 +1,473 @@
+package health
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StepStats is one engine report: what a lane/stage/rank just spent on
+// a training step. Engines fill the locating fields they have and leave
+// the rest -1:
+//
+//   - hybrid whole step:   Engine "hybrid", Lane -1, Stage -1, Rank -1
+//   - pipeline stage:      Engine "pp", Lane l, Stage s, Rank -1
+//   - DP replica:          Engine "dp", Lane -1, Stage -1, Rank r
+//   - DP whole step:       Engine "dp", Lane -1, Stage -1, Rank -1
+type StepStats struct {
+	Engine string
+	Lane   int
+	Stage  int
+	Rank   int
+	// FwdSec and BwdSec are the compute seconds of the step's forward
+	// and backward work (excluding collective waits when the engine can
+	// separate them).
+	FwdSec, BwdSec float64
+	// StepSec is the wall time of the whole step as this reporter saw
+	// it, including communication.
+	StepSec float64
+	// Bytes is the boundary/collective traffic this reporter sent.
+	Bytes int64
+}
+
+// Sink receives engine reports. The engines hold a Sink field (nil =
+// monitoring off) rather than a *Monitor so tests can inject fakes.
+type Sink interface {
+	ReportStep(StepStats)
+}
+
+// AlertKind classifies monitor alerts.
+type AlertKind string
+
+const (
+	// Straggler: one lane (hybrid phase) or rank (cached phase) is
+	// persistently slower than the group median by the configured
+	// factor.
+	Straggler AlertKind = "straggler"
+	// Drift: a stage's measured time share diverged from the planner's
+	// prediction, or a series drifted from its own early baseline,
+	// beyond the configured factor — the plan's profile is stale.
+	Drift AlertKind = "drift"
+)
+
+// Alert is a typed health finding. Lane/Stage/Rank locate the subject
+// (-1 when not applicable); Measured, Baseline and Ratio quantify it
+// (Ratio = Measured/Baseline at firing time).
+type Alert struct {
+	Kind   AlertKind
+	Engine string
+	Lane   int
+	Stage  int
+	Rank   int
+	// Measured is the offending rolling value in seconds; Baseline is
+	// what it was compared against (group median, predicted share, or
+	// the series' own early baseline).
+	Measured, Baseline, Ratio float64
+	At                        time.Time
+}
+
+func (a Alert) String() string {
+	who := ""
+	switch {
+	case a.Lane >= 0 && a.Stage >= 0:
+		who = fmt.Sprintf("lane %d stage %d", a.Lane, a.Stage)
+	case a.Lane >= 0:
+		who = fmt.Sprintf("lane %d", a.Lane)
+	case a.Rank >= 0:
+		who = fmt.Sprintf("rank %d", a.Rank)
+	case a.Stage >= 0:
+		who = fmt.Sprintf("stage %d", a.Stage)
+	default:
+		who = "group"
+	}
+	return fmt.Sprintf("%s [%s] %s: %.4fs vs baseline %.4fs (%.1f×)",
+		a.Kind, a.Engine, who, a.Measured, a.Baseline, a.Ratio)
+}
+
+// Config tunes a Monitor. The zero value is usable: defaults are
+// applied by NewMonitor.
+type Config struct {
+	// StragglerFactor flags a lane/rank whose rolling compute time
+	// exceeds the group median by this factor (default 3).
+	StragglerFactor float64
+	// DriftFactor flags a stage whose measured time share exceeds the
+	// predicted share — or a series exceeding its own early baseline —
+	// by this factor (default 2.5).
+	DriftFactor float64
+	// Alpha is the EWMA weight of the newest sample (default 0.4).
+	Alpha float64
+	// MinSamples is how many reports a series needs before it takes
+	// part in comparisons (default 3).
+	MinSamples int
+	// Cooldown suppresses repeat alerts for the same subject for this
+	// many subsequent reports (default 16).
+	Cooldown int
+	// ExpectedStageSec is the planner's predicted per-stage busy time
+	// for one mini-batch (planner.Eval.StageSec). Only the *shares*
+	// are compared — measured wall-clock on this host and the device
+	// model's absolute scale need not agree. Empty disables the
+	// plan-drift check.
+	ExpectedStageSec []float64
+	// MemEvery samples runtime.ReadMemStats into the health gauges
+	// every N reports (default 64; negative disables).
+	MemEvery int
+	// OnAlert observes every raised alert. It is called synchronously
+	// with the monitor's lock held — it must be quick and must not call
+	// back into the Monitor.
+	OnAlert func(Alert)
+	// Flight, when non-nil, receives an "alert" event per alert.
+	Flight *Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.StragglerFactor <= 0 {
+		c.StragglerFactor = 3
+	}
+	if c.DriftFactor <= 0 {
+		c.DriftFactor = 2.5
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.4
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 16
+	}
+	if c.MemEvery == 0 {
+		c.MemEvery = 64
+	}
+	return c
+}
+
+// series is one rolling measurement stream (per lane×stage or per
+// rank): EWMAs of forward and backward seconds plus an early baseline
+// for self-drift detection.
+type series struct {
+	n        int
+	fwd, bwd float64
+	baseline float64
+	bytes    int64
+}
+
+func (s *series) observe(alpha, fwd, bwd float64) {
+	if s.n == 0 {
+		s.fwd, s.bwd = fwd, bwd
+	} else {
+		s.fwd += alpha * (fwd - s.fwd)
+		s.bwd += alpha * (bwd - s.bwd)
+	}
+	s.n++
+}
+
+func (s *series) total() float64 { return s.fwd + s.bwd }
+
+type laneStage struct{ lane, stage int }
+
+// Monitor derives straggler and drift alerts from engine reports. It is
+// safe for concurrent reporters; a nil *Monitor is a no-op Sink.
+type Monitor struct {
+	cfg Config
+
+	mu        sync.Mutex
+	lanes     map[laneStage]*series
+	ranks     map[int]*series
+	stepE     float64
+	stepN     int
+	reports   int
+	lastAlert map[string]int
+	alerts    []Alert
+	numStages int
+}
+
+// NewMonitor builds a monitor; see Config for the knobs.
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{
+		cfg:       cfg.withDefaults(),
+		lanes:     map[laneStage]*series{},
+		ranks:     map[int]*series{},
+		lastAlert: map[string]int{},
+	}
+}
+
+// ReportStep ingests one engine report (nil-safe no-op when the monitor
+// is disabled). Detection runs inline — a handful of map lookups and a
+// small sort per report, far off the per-send hot path.
+func (m *Monitor) ReportStep(s StepStats) {
+	if m == nil {
+		return
+	}
+	mReports.Inc()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reports++
+
+	switch {
+	case s.Stage >= 0 && s.Lane >= 0:
+		key := laneStage{s.Lane, s.Stage}
+		sr := m.lanes[key]
+		if sr == nil {
+			sr = &series{}
+			m.lanes[key] = sr
+		}
+		sr.observe(m.cfg.Alpha, s.FwdSec, s.BwdSec)
+		sr.bytes += s.Bytes
+		if s.Stage+1 > m.numStages {
+			m.numStages = s.Stage + 1
+		}
+		m.checkSelfDrift(s.Engine, s.Lane, s.Stage, sr)
+		m.checkLaneStraggler(s.Engine)
+		m.checkPlanDrift(s.Engine)
+	case s.Rank >= 0:
+		sr := m.ranks[s.Rank]
+		if sr == nil {
+			sr = &series{}
+			m.ranks[s.Rank] = sr
+		}
+		compute := s.FwdSec + s.BwdSec
+		if compute == 0 {
+			compute = s.StepSec
+		}
+		sr.observe(m.cfg.Alpha, compute, 0)
+		sr.bytes += s.Bytes
+		m.checkRankStraggler(s.Engine)
+	default:
+		if m.stepN == 0 {
+			m.stepE = s.StepSec
+		} else {
+			m.stepE += m.cfg.Alpha * (s.StepSec - m.stepE)
+		}
+		m.stepN++
+	}
+
+	if m.cfg.MemEvery > 0 && m.reports%m.cfg.MemEvery == 1 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mHeapBytes.Set(float64(ms.HeapAlloc))
+		mGoroutines.Set(float64(runtime.NumGoroutine()))
+	}
+}
+
+// laneTotals returns per-lane summed stage EWMAs, only for lanes whose
+// every observed stage has MinSamples reports.
+func (m *Monitor) laneTotals() map[int]float64 {
+	totals := map[int]float64{}
+	ready := map[int]bool{}
+	for k, sr := range m.lanes {
+		if _, seen := ready[k.lane]; !seen {
+			ready[k.lane] = true
+		}
+		if sr.n < m.cfg.MinSamples {
+			ready[k.lane] = false
+		}
+		totals[k.lane] += sr.total()
+	}
+	for l, ok := range ready {
+		if !ok {
+			delete(totals, l)
+		}
+	}
+	return totals
+}
+
+// lowerMedian returns the lower median of vs (the faster half's edge),
+// so a single slow member in a group of two is compared against the
+// fast one, not against itself.
+func lowerMedian(vs []float64) float64 {
+	sort.Float64s(vs)
+	return vs[(len(vs)-1)/2]
+}
+
+func (m *Monitor) checkLaneStraggler(engine string) {
+	totals := m.laneTotals()
+	if len(totals) < 2 {
+		return
+	}
+	vals := make([]float64, 0, len(totals))
+	for _, v := range totals {
+		vals = append(vals, v)
+	}
+	med := lowerMedian(vals)
+	if med <= 0 {
+		return
+	}
+	for lane, v := range totals {
+		if v > med*m.cfg.StragglerFactor {
+			m.fire(Alert{Kind: Straggler, Engine: engine, Lane: lane, Stage: -1, Rank: -1,
+				Measured: v, Baseline: med, Ratio: v / med, At: time.Now()})
+		}
+	}
+}
+
+func (m *Monitor) checkRankStraggler(engine string) {
+	vals := make([]float64, 0, len(m.ranks))
+	for _, sr := range m.ranks {
+		if sr.n < m.cfg.MinSamples {
+			return // compare only once every rank has settled
+		}
+		vals = append(vals, sr.total())
+	}
+	if len(vals) < 2 {
+		return
+	}
+	med := lowerMedian(vals)
+	if med <= 0 {
+		return
+	}
+	for rank, sr := range m.ranks {
+		if v := sr.total(); v > med*m.cfg.StragglerFactor {
+			m.fire(Alert{Kind: Straggler, Engine: engine, Lane: -1, Stage: -1, Rank: rank,
+				Measured: v, Baseline: med, Ratio: v / med, At: time.Now()})
+		}
+	}
+}
+
+// stageMedians returns the per-stage lower-median across lanes of the
+// (fwd, bwd) EWMAs — the healthy-lane view of each stage's cost. ok is
+// false until every stage of some lane has MinSamples reports.
+func (m *Monitor) stageMedians() (fwd, bwd []float64, ok bool) {
+	if m.numStages == 0 {
+		return nil, nil, false
+	}
+	fwd = make([]float64, m.numStages)
+	bwd = make([]float64, m.numStages)
+	for s := 0; s < m.numStages; s++ {
+		var fs, bs []float64
+		for k, sr := range m.lanes {
+			if k.stage == s && sr.n >= m.cfg.MinSamples {
+				fs = append(fs, sr.fwd)
+				bs = append(bs, sr.bwd)
+			}
+		}
+		if len(fs) == 0 {
+			return nil, nil, false
+		}
+		fwd[s] = lowerMedian(fs)
+		bwd[s] = lowerMedian(bs)
+	}
+	return fwd, bwd, true
+}
+
+// checkPlanDrift compares per-stage measured/predicted time ratios
+// against their own lower median. Scale-free: goroutine wall time on
+// the host and the planner's device model disagree on absolute scale,
+// so a uniformly slow (or fast) host shifts every ratio together and
+// stays quiet — only a stage diverging from the plan's *proportions*
+// sticks out.
+func (m *Monitor) checkPlanDrift(engine string) {
+	exp := m.cfg.ExpectedStageSec
+	if len(exp) == 0 || m.numStages != len(exp) {
+		return
+	}
+	fwd, bwd, ok := m.stageMedians()
+	if !ok {
+		return
+	}
+	ratios := make([]float64, len(exp))
+	meas := make([]float64, len(exp))
+	for s := range exp {
+		if exp[s] <= 0 {
+			return
+		}
+		meas[s] = fwd[s] + bwd[s]
+		ratios[s] = meas[s] / exp[s]
+	}
+	base := lowerMedian(append([]float64(nil), ratios...))
+	if base <= 0 {
+		return
+	}
+	for s := range exp {
+		if ratios[s] > base*m.cfg.DriftFactor {
+			m.fire(Alert{Kind: Drift, Engine: engine, Lane: -1, Stage: s, Rank: -1,
+				Measured: meas[s], Baseline: exp[s] * base, Ratio: ratios[s] / base, At: time.Now()})
+		}
+	}
+}
+
+// checkSelfDrift compares a series against its own baseline captured
+// after MinSamples reports — the thermal-throttling signal: a stage
+// that was fine early in the run and slowed down later.
+func (m *Monitor) checkSelfDrift(engine string, lane, stage int, sr *series) {
+	if sr.n == m.cfg.MinSamples {
+		sr.baseline = sr.total()
+		return
+	}
+	if sr.n > m.cfg.MinSamples && sr.baseline > 0 && sr.total() > sr.baseline*m.cfg.DriftFactor {
+		m.fire(Alert{Kind: Drift, Engine: engine, Lane: lane, Stage: stage, Rank: -1,
+			Measured: sr.total(), Baseline: sr.baseline, Ratio: sr.total() / sr.baseline, At: time.Now()})
+	}
+}
+
+// fire records an alert, applying the per-subject cooldown. Called with
+// m.mu held.
+func (m *Monitor) fire(a Alert) {
+	key := fmt.Sprintf("%s|%s|%d|%d|%d", a.Kind, a.Engine, a.Lane, a.Stage, a.Rank)
+	if last, ok := m.lastAlert[key]; ok && m.reports-last < m.cfg.Cooldown {
+		return
+	}
+	m.lastAlert[key] = m.reports
+	m.alerts = append(m.alerts, a)
+	switch a.Kind {
+	case Straggler:
+		mAlertStraggler.Inc()
+	default:
+		mAlertDrift.Inc()
+	}
+	m.cfg.Flight.Record("alert", a.Lane, a.Rank, string(a.Kind), a.Ratio)
+	if m.cfg.OnAlert != nil {
+		m.cfg.OnAlert(a)
+	}
+}
+
+// Alerts returns a copy of every alert raised so far (nil-safe).
+func (m *Monitor) Alerts() []Alert {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}
+
+// Reports returns how many reports were ingested (nil-safe).
+func (m *Monitor) Reports() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reports
+}
+
+// StepEWMASec returns the whole-step EWMA in seconds, 0 before the
+// first whole-step report (nil-safe). The supervisor compares this
+// across re-plans to judge whether adaptation helped.
+func (m *Monitor) StepEWMASec() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stepN == 0 {
+		return 0
+	}
+	return m.stepE
+}
+
+// StageFwdBwdSeconds returns the measured per-stage forward and
+// backward seconds (healthy-lane medians), or ok=false before every
+// stage has settled — the input to profiler.FromStageSeconds for
+// profile-guided re-planning. Nil-safe.
+func (m *Monitor) StageFwdBwdSeconds() (fwd, bwd []float64, ok bool) {
+	if m == nil {
+		return nil, nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stageMedians()
+}

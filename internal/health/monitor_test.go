@@ -1,0 +1,200 @@
+package health
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// report is a shorthand for a per-stage pipeline report.
+func stageReport(lane, stage int, fwd, bwd float64) StepStats {
+	return StepStats{Engine: "pp", Lane: lane, Stage: stage, Rank: -1, FwdSec: fwd, BwdSec: bwd}
+}
+
+func TestMonitorNilSafe(t *testing.T) {
+	var m *Monitor
+	m.ReportStep(StepStats{}) // must not panic
+	if m.Alerts() != nil || m.Reports() != 0 || m.StepEWMASec() != 0 {
+		t.Fatal("nil monitor must be empty")
+	}
+	if _, _, ok := m.StageFwdBwdSeconds(); ok {
+		t.Fatal("nil monitor must report no stage data")
+	}
+}
+
+func TestLaneStragglerAlert(t *testing.T) {
+	var alerts []Alert
+	m := NewMonitor(Config{
+		StragglerFactor: 3, MinSamples: 3, MemEvery: -1,
+		OnAlert: func(a Alert) { alerts = append(alerts, a) },
+	})
+	// Two lanes, two stages. Lane 1 is ~10x slower on both stages.
+	for i := 0; i < 5; i++ {
+		m.ReportStep(stageReport(0, 0, 0.010, 0.020))
+		m.ReportStep(stageReport(0, 1, 0.010, 0.020))
+		m.ReportStep(stageReport(1, 0, 0.100, 0.200))
+		m.ReportStep(stageReport(1, 1, 0.100, 0.200))
+	}
+	if len(alerts) == 0 {
+		t.Fatal("expected a straggler alert for lane 1")
+	}
+	a := alerts[0]
+	if a.Kind != Straggler || a.Lane != 1 {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.Ratio < 3 {
+		t.Fatalf("ratio = %.2f, want >= 3", a.Ratio)
+	}
+	if !strings.Contains(a.String(), "straggler") || !strings.Contains(a.String(), "lane 1") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestNoAlertWhenBalanced(t *testing.T) {
+	m := NewMonitor(Config{MemEvery: -1})
+	for i := 0; i < 20; i++ {
+		for lane := 0; lane < 2; lane++ {
+			for stage := 0; stage < 2; stage++ {
+				m.ReportStep(stageReport(lane, stage, 0.010, 0.020))
+			}
+		}
+	}
+	if got := m.Alerts(); len(got) != 0 {
+		t.Fatalf("balanced lanes raised alerts: %+v", got)
+	}
+}
+
+func TestRankStragglerAlert(t *testing.T) {
+	m := NewMonitor(Config{StragglerFactor: 3, MinSamples: 3, MemEvery: -1})
+	for i := 0; i < 5; i++ {
+		m.ReportStep(StepStats{Engine: "dp", Lane: -1, Stage: -1, Rank: 0, StepSec: 0.010})
+		m.ReportStep(StepStats{Engine: "dp", Lane: -1, Stage: -1, Rank: 1, StepSec: 0.010})
+		m.ReportStep(StepStats{Engine: "dp", Lane: -1, Stage: -1, Rank: 2, StepSec: 0.200})
+	}
+	alerts := m.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("expected a rank straggler alert")
+	}
+	if alerts[0].Rank != 2 || alerts[0].Kind != Straggler {
+		t.Fatalf("alert = %+v", alerts[0])
+	}
+}
+
+func TestPlanDriftAlert(t *testing.T) {
+	// Planner predicted balanced stages; stage 1 measures 10x its share.
+	m := NewMonitor(Config{
+		DriftFactor: 2.5, MinSamples: 3, MemEvery: -1,
+		ExpectedStageSec: []float64{1.0, 1.0},
+	})
+	for i := 0; i < 5; i++ {
+		m.ReportStep(stageReport(0, 0, 0.010, 0.010))
+		m.ReportStep(stageReport(0, 1, 0.100, 0.100))
+	}
+	var drift *Alert
+	for _, a := range m.Alerts() {
+		if a.Kind == Drift && a.Stage == 1 {
+			drift = &a
+			break
+		}
+	}
+	if drift == nil {
+		t.Fatalf("expected plan-drift alert for stage 1, got %+v", m.Alerts())
+	}
+}
+
+func TestSelfDriftAlert(t *testing.T) {
+	// One lane only (no group median to compare against): the stage is
+	// fast for its baseline window then slows 5x — thermal throttling.
+	m := NewMonitor(Config{DriftFactor: 2.5, MinSamples: 3, MemEvery: -1})
+	for i := 0; i < 3; i++ {
+		m.ReportStep(stageReport(0, 0, 0.010, 0.010))
+	}
+	for i := 0; i < 10; i++ {
+		m.ReportStep(stageReport(0, 0, 0.050, 0.050))
+	}
+	var drift bool
+	for _, a := range m.Alerts() {
+		if a.Kind == Drift && a.Lane == 0 && a.Stage == 0 {
+			drift = true
+		}
+	}
+	if !drift {
+		t.Fatalf("expected self-drift alert, got %+v", m.Alerts())
+	}
+}
+
+func TestAlertCooldown(t *testing.T) {
+	m := NewMonitor(Config{StragglerFactor: 3, MinSamples: 1, Cooldown: 1000, MemEvery: -1})
+	for i := 0; i < 50; i++ {
+		m.ReportStep(stageReport(0, 0, 0.010, 0.010))
+		m.ReportStep(stageReport(1, 0, 0.200, 0.200))
+	}
+	var stragglers int
+	for _, a := range m.Alerts() {
+		if a.Kind == Straggler {
+			stragglers++
+		}
+	}
+	if stragglers != 1 {
+		t.Fatalf("cooldown failed: %d straggler alerts, want 1", stragglers)
+	}
+}
+
+func TestStepEWMAAndStageAccessors(t *testing.T) {
+	m := NewMonitor(Config{MinSamples: 2, MemEvery: -1})
+	m.ReportStep(StepStats{Engine: "hybrid", Lane: -1, Stage: -1, Rank: -1, StepSec: 0.100})
+	m.ReportStep(StepStats{Engine: "hybrid", Lane: -1, Stage: -1, Rank: -1, StepSec: 0.100})
+	if e := m.StepEWMASec(); e < 0.099 || e > 0.101 {
+		t.Fatalf("step EWMA = %f, want ~0.1", e)
+	}
+	if _, _, ok := m.StageFwdBwdSeconds(); ok {
+		t.Fatal("stage data must not be ready before MinSamples per stage")
+	}
+	for i := 0; i < 3; i++ {
+		m.ReportStep(stageReport(0, 0, 0.010, 0.020))
+		m.ReportStep(stageReport(0, 1, 0.030, 0.040))
+	}
+	fwd, bwd, ok := m.StageFwdBwdSeconds()
+	if !ok || len(fwd) != 2 || len(bwd) != 2 {
+		t.Fatalf("stage data not ready: ok=%v fwd=%v bwd=%v", ok, fwd, bwd)
+	}
+	if fwd[0] < 0.009 || fwd[0] > 0.011 || bwd[1] < 0.039 || bwd[1] > 0.041 {
+		t.Fatalf("stage seconds off: fwd=%v bwd=%v", fwd, bwd)
+	}
+}
+
+func TestMonitorAlertsFeedFlight(t *testing.T) {
+	r := NewRecorder(16)
+	m := NewMonitor(Config{StragglerFactor: 3, MinSamples: 1, MemEvery: -1, Flight: r})
+	for i := 0; i < 5; i++ {
+		m.ReportStep(stageReport(0, 0, 0.010, 0.010))
+		m.ReportStep(stageReport(1, 0, 0.200, 0.200))
+	}
+	var found bool
+	for _, ev := range r.Events() {
+		if ev.Kind == "alert" && ev.Detail == "straggler" && ev.Lane == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alert not recorded in flight ring: %+v", r.Events())
+	}
+}
+
+func TestMonitorConcurrentReporters(t *testing.T) {
+	m := NewMonitor(Config{MemEvery: 8})
+	var wg sync.WaitGroup
+	for lane := 0; lane < 4; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.ReportStep(stageReport(lane, i%2, 0.001, 0.002))
+			}
+		}(lane)
+	}
+	wg.Wait()
+	if got := m.Reports(); got != 4*200 {
+		t.Fatalf("reports = %d, want %d", got, 4*200)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"pac/internal/health"
 )
 
 // RetryPolicy bounds how collectives and engines retry transient
@@ -45,6 +47,7 @@ func sendRetry(ctx context.Context, t Transport, to int, tag string, payload []b
 			return err
 		}
 		mSendRetries.Inc()
+		health.Flight().Record("retry", -1, t.Rank(), tag, float64(attempt+1))
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():

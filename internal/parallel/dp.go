@@ -8,6 +8,7 @@ import (
 
 	"pac/internal/autograd"
 	"pac/internal/data"
+	"pac/internal/health"
 	"pac/internal/nn"
 	"pac/internal/peft"
 	"pac/internal/telemetry"
@@ -55,6 +56,11 @@ type DPGroup struct {
 	// thread id is the replica rank.
 	Trace    *telemetry.Tracer
 	TracePID int
+
+	// Health, when non-nil, receives one StepStats per rank per step
+	// (compute seconds before the collective, gradient bytes reduced)
+	// plus a whole-step sample (Lane/Stage/Rank all -1).
+	Health health.Sink
 }
 
 // NewDPGroup builds a group over n fresh replicas created by factory
@@ -142,6 +148,7 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 		go func(r int) {
 			defer wg.Done()
 			defer g.Trace.Span("compute", "step", g.TracePID, r)()
+			rank0 := time.Now()
 			params := g.Techs[r].Trainable()
 			var flat []float32
 			if r < len(shards) && shards[r].Size() > 0 {
@@ -155,6 +162,10 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 				autograd.BackwardWithSeed(loss, tensor.FromSlice([]float32{w}, 1))
 				losses[r] = float64(loss.Value.Data[0]) * float64(w)
 			}
+			// Compute seconds stop before the collective — the AllReduce
+			// barrier waits on the slowest rank, so timing past it would
+			// smear a straggler across the whole group.
+			computeSec := time.Since(rank0).Seconds()
 			flat = nn.FlattenGrads(params)
 			if err := RingAllReduceCtx(ctx, g.Endpoints[r], flat, g.Retry); err != nil {
 				col.record(err)
@@ -162,6 +173,13 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 			}
 			nn.UnflattenGrads(params, flat)
 			g.Opts[r].Step()
+			if g.Health != nil {
+				g.Health.ReportStep(health.StepStats{
+					Engine: "dp", Lane: -1, Stage: -1, Rank: r,
+					FwdSec: computeSec, StepSec: time.Since(rank0).Seconds(),
+					Bytes: int64(4 * len(flat)),
+				})
+			}
 		}(r)
 	}
 	wg.Wait()
@@ -176,6 +194,12 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 	if elapsed > 0 {
 		mTokensPerSec.Set(float64(tok) / elapsed)
 	}
+	if g.Health != nil {
+		g.Health.ReportStep(health.StepStats{
+			Engine: "dp", Lane: -1, Stage: -1, Rank: -1, StepSec: elapsed,
+		})
+	}
+	health.Flight().Record("step", -1, -1, "dp", elapsed)
 	var total float64
 	for _, l := range losses {
 		total += l

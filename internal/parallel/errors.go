@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+
+	"pac/internal/health"
 )
 
 // Sentinel errors for the fault-tolerant transport paths.
@@ -75,6 +77,7 @@ func blamePeer(op string, peer int, err error) error {
 	}
 	if isDeadline(err) || errors.Is(err, ErrRankDead) {
 		mRankFailures.Inc()
+		health.Flight().Record("rank-failed", -1, peer, op, 0)
 		return &RankFailedError{Rank: peer, Lane: -1, Op: op, Err: err}
 	}
 	return err

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"pac/internal/health"
 )
 
 // FaultConfig describes a deterministic, seeded fault schedule injected
@@ -42,6 +44,13 @@ type FaultConfig struct {
 	// mid-epoch: its own operations fail with ErrRankDead, messages
 	// addressed to it vanish, and peers waiting on it time out.
 	Crash map[int]int
+
+	// SlowRank maps rank → a fixed extra latency added to every send
+	// that rank makes — a persistent straggler (thermally throttled or
+	// link-degraded device) rather than Delay's random spikes. The sleep
+	// happens under the pair lock so FIFO order, and hence numerics, are
+	// preserved.
+	SlowRank map[int]time.Duration
 
 	// Partition lists disjoint rank groups; messages between different
 	// groups vanish silently (the classic split-brain network
@@ -134,6 +143,7 @@ func (f *faultFabric) tick(r int) error {
 		if limit, ok := f.cfg.Crash[r]; ok && f.ops[r] > limit {
 			f.dead[r] = true
 			mFaultCrashes.Inc()
+			health.Flight().Record("fault", -1, r, "crash", float64(f.ops[r]))
 		}
 	}
 	if f.dead[r] {
@@ -216,6 +226,7 @@ func (e *faultyEndpoint) SendCtx(ctx context.Context, to int, tag string, payloa
 	if cfg.Drop > 0 && dropRoll < cfg.Drop && ps.consecDrops < cfg.maxConsecDrops() {
 		ps.consecDrops++
 		mFaultDrops.Inc()
+		health.Flight().Record("fault", -1, e.rank, "drop", 0)
 		return fmt.Errorf("parallel: injected drop %d→%d %q: %w", e.rank, to, tag, ErrTransient)
 	}
 	ps.consecDrops = 0
@@ -225,6 +236,11 @@ func (e *faultyEndpoint) SendCtx(ctx context.Context, to int, tag string, payloa
 		// preserving order (and therefore numerics).
 		mFaultDelays.Inc()
 		time.Sleep(time.Duration(delayFrac * float64(cfg.MaxDelay)))
+	}
+
+	if d, ok := cfg.SlowRank[e.rank]; ok && d > 0 {
+		mFaultSlow.Inc()
+		time.Sleep(d)
 	}
 
 	ps.sendSeq++

@@ -7,6 +7,7 @@ import (
 
 	"pac/internal/autograd"
 	"pac/internal/data"
+	"pac/internal/health"
 	"pac/internal/nn"
 	"pac/internal/telemetry"
 )
@@ -38,6 +39,11 @@ type HybridEngine struct {
 	// track (telemetry.PidOrch). Lane engines carry their own Trace/
 	// TracePID for the per-stage micro-batch spans.
 	Trace *telemetry.Tracer
+
+	// Health, when non-nil, receives one whole-step StepStats per global
+	// mini-batch (Lane/Stage/Rank all -1). Lane engines carry their own
+	// Health/HealthLane for the per-stage samples.
+	Health health.Sink
 
 	// cross[stage][lane] is the lane-to-lane fabric endpoint
 	// synchronizing that stage's gradients.
@@ -153,6 +159,12 @@ func (h *HybridEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, err
 	if elapsed > 0 {
 		mTokensPerSec.Set(float64(tok) / elapsed)
 	}
+	if h.Health != nil {
+		h.Health.ReportStep(health.StepStats{
+			Engine: "hybrid", Lane: -1, Stage: -1, Rank: -1, StepSec: elapsed,
+		})
+	}
+	health.Flight().Record("step", -1, -1, "hybrid", elapsed)
 	var total float64
 	for _, v := range losses {
 		total += v

@@ -23,6 +23,7 @@ var (
 	mFaultDelays     = telemetry.Default().Counter("pac_fault_injected_total", "kind", "delay")
 	mFaultDuplicates = telemetry.Default().Counter("pac_fault_injected_total", "kind", "duplicate")
 	mFaultCrashes    = telemetry.Default().Counter("pac_fault_injected_total", "kind", "crash")
+	mFaultSlow       = telemetry.Default().Counter("pac_fault_injected_total", "kind", "slow")
 
 	mStepsHybrid   = telemetry.Default().Counter("pac_train_steps_total", "engine", "hybrid")
 	mStepSecHybrid = telemetry.Default().Histogram("pac_train_step_seconds", nil, "engine", "hybrid")

@@ -8,6 +8,7 @@ import (
 
 	"pac/internal/autograd"
 	"pac/internal/data"
+	"pac/internal/health"
 	"pac/internal/model"
 	"pac/internal/peft"
 	"pac/internal/telemetry"
@@ -115,6 +116,14 @@ type PipelineEngine struct {
 	// the thread id is the stage index.
 	Trace    *telemetry.Tracer
 	TracePID int
+
+	// Health, when non-nil, receives one StepStats per stage per
+	// mini-batch: the stage's summed forward and backward seconds
+	// (including boundary transport waits, excluding SyncGrads) and the
+	// boundary bytes it sent. HealthLane locates this engine in the
+	// device grid (the hybrid engine assigns one per lane).
+	Health     health.Sink
+	HealthLane int
 }
 
 // Stages returns the stage count.
@@ -217,9 +226,12 @@ func (e *PipelineEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, e
 			if warmup > M {
 				warmup = M
 			}
+			var st stageStats
 			fwd, bwd := 0, 0
 			runFwd := func() error {
-				mc, err := e.stageForward(ctx, s, fwd, micros[fwd])
+				t0 := time.Now()
+				mc, err := e.stageForward(ctx, s, fwd, micros[fwd], &st)
+				st.fwdSec += time.Since(t0).Seconds()
 				if err != nil {
 					return err
 				}
@@ -228,7 +240,9 @@ func (e *PipelineEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, e
 				return nil
 			}
 			runBwd := func() error {
-				l, err := e.stageBackward(ctx, s, bwd, ctxs[bwd], denom)
+				t0 := time.Now()
+				l, err := e.stageBackward(ctx, s, bwd, ctxs[bwd], denom, &st)
+				st.bwdSec += time.Since(t0).Seconds()
 				if err != nil {
 					return err
 				}
@@ -269,6 +283,16 @@ func (e *PipelineEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, e
 				}
 			}
 			e.Opts[s].Step()
+			// Report compute+boundary time only — SyncGrads (the
+			// cross-lane AllReduce barrier) is excluded so a slow lane
+			// is visible in its own numbers, not smeared across all.
+			if e.Health != nil {
+				e.Health.ReportStep(health.StepStats{
+					Engine: "pp", Lane: e.HealthLane, Stage: s, Rank: -1,
+					FwdSec: st.fwdSec, BwdSec: st.bwdSec,
+					StepSec: st.fwdSec + st.bwdSec, Bytes: st.bytes,
+				})
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -278,8 +302,15 @@ func (e *PipelineEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, e
 	return lossTotal, nil
 }
 
+// stageStats accumulates one stage's per-mini-batch health sample:
+// forward/backward wall seconds and boundary bytes sent.
+type stageStats struct {
+	fwdSec, bwdSec float64
+	bytes          int64
+}
+
 // stageForward runs stage s's blocks for micro-batch m.
-func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Batch) (*microCtx, error) {
+func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Batch, st1 *stageStats) (*microCtx, error) {
 	defer e.Trace.Span("compute", fmt.Sprintf("F%d", m), e.TracePID, s)()
 	S := e.Stages()
 	pa := e.parallelTech()
@@ -360,7 +391,9 @@ func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Ba
 	if pa != nil && sideState != nil {
 		out.Side = sideState.Value
 	}
-	if err := sendRetry(ctx, e.Endpoints[s], s+1, fmt.Sprintf("f%d", m), encodeBundle(out), e.Retry); err != nil {
+	frame := encodeBundle(out)
+	st1.bytes += int64(len(frame))
+	if err := sendRetry(ctx, e.Endpoints[s], s+1, fmt.Sprintf("f%d", m), frame, e.Retry); err != nil {
 		return nil, err
 	}
 	return mc, nil
@@ -368,7 +401,7 @@ func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Ba
 
 // stageBackward runs stage s's backward for micro-batch m and returns
 // the micro-batch's weighted loss (last stage only).
-func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microCtx, denom int) (float64, error) {
+func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microCtx, denom int, st1 *stageStats) (float64, error) {
 	defer e.Trace.Span("compute", fmt.Sprintf("B%d", m), e.TracePID, s)()
 	S := e.Stages()
 	pa := e.parallelTech()
@@ -416,7 +449,9 @@ func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microC
 		if pa != nil && mc.sideIn != nil {
 			out.Side = gradOrZero(mc.sideIn)
 		}
-		if err := sendRetry(ctx, e.Endpoints[s], s-1, fmt.Sprintf("b%d", m), encodeBundle(out), e.Retry); err != nil {
+		frame := encodeBundle(out)
+		st1.bytes += int64(len(frame))
+		if err := sendRetry(ctx, e.Endpoints[s], s-1, fmt.Sprintf("b%d", m), frame, e.Retry); err != nil {
 			return 0, err
 		}
 	}

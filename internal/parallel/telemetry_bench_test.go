@@ -3,16 +3,18 @@ package parallel
 import (
 	"testing"
 
+	"pac/internal/health"
 	"pac/internal/model"
 	"pac/internal/peft"
 	"pac/internal/telemetry"
 )
 
-// benchHybridStep measures one hybrid 2×2 training step. Run the pair
-// to bound the telemetry cost (acceptance: tracing adds <5% step time):
+// benchHybridStep measures one hybrid 2×2 training step. Run the trio
+// to bound the observability cost (acceptance: tracing or health
+// monitoring each add <5% step time):
 //
-//	go test ./internal/parallel/ -bench HybridStepTelemetry -benchtime 20x
-func benchHybridStep(b *testing.B, tr *telemetry.Tracer) {
+//	go test ./internal/parallel/ -bench HybridStep -benchtime 20x
+func benchHybridStep(b *testing.B, tr *telemetry.Tracer, mon *health.Monitor) {
 	batch := makeBatch(8)
 	h := NewHybrid(2, 2, 2, lr, func(lane int) *PipelineEngine {
 		m := model.New(model.Tiny())
@@ -20,15 +22,32 @@ func benchHybridStep(b *testing.B, tr *telemetry.Tracer) {
 		e := NewPipeline(m, tech, 2, nil, 2, lr)
 		e.Trace = tr
 		e.TracePID = lane
+		if mon != nil {
+			e.Health = mon
+			e.HealthLane = lane
+		}
 		return e
 	})
 	h.Trace = tr
+	if mon != nil {
+		h.Health = mon
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Step(batch)
 	}
 }
 
-func BenchmarkHybridStepTelemetryOff(b *testing.B) { benchHybridStep(b, nil) }
+func BenchmarkHybridStepTelemetryOff(b *testing.B) { benchHybridStep(b, nil, nil) }
 
-func BenchmarkHybridStepTelemetryOn(b *testing.B) { benchHybridStep(b, telemetry.NewTracer()) }
+func BenchmarkHybridStepTelemetryOn(b *testing.B) { benchHybridStep(b, telemetry.NewTracer(), nil) }
+
+// BenchmarkHybridStepHealthOn runs with the full health path hot: a
+// monitor consuming every per-stage and whole-step report plus the
+// global flight recorder capturing step events.
+func BenchmarkHybridStepHealthOn(b *testing.B) {
+	health.Enable(256)
+	defer health.Disable()
+	mon := health.NewMonitor(health.Config{Flight: health.Flight()})
+	benchHybridStep(b, nil, mon)
+}

@@ -432,6 +432,12 @@ type Eval struct {
 	PeakMemory []costmodel.Memory
 	// PeakInflight is the simulated per-stage in-flight micro-batches.
 	PeakInflight []int
+	// StageSec is the predicted per-stage busy time for one mini-batch
+	// (worst-device fwd+bwd across all micro-batches plus intra-group
+	// AllReduce, excluding pipeline bubbles). The health monitor
+	// compares measured stage times against these — by proportion, not
+	// absolute value. For a PureDP plan it has one entry: StepSec.
+	StageSec []float64
 }
 
 // Evaluate simulates one mini-batch of the plan with the 1F1B pipeline
@@ -453,7 +459,8 @@ func EvaluateWithTrace(p Plan, in Input, tr *sim.Trace) (Eval, bool) {
 			}
 		}
 		dp := DataParallel(in)
-		return Eval{StepSec: dp.StepSec, PeakMemory: []costmodel.Memory{mem}, PeakInflight: []int{1}}, true
+		return Eval{StepSec: dp.StepSec, PeakMemory: []costmodel.Memory{mem},
+			PeakInflight: []int{1}, StageSec: []float64{dp.StepSec}}, true
 	}
 	S := len(p.Stages)
 	microSize := float64(p.MiniBatch) / float64(p.Micro)
@@ -513,6 +520,7 @@ func EvaluateWithTrace(p Plan, in Input, tr *sim.Trace) (Eval, bool) {
 			sc.AllReduce = sim.RingAllReduceTime(t.TrainBytes, g, bw, lat)
 		}
 		cfg.Stages = append(cfg.Stages, sc)
+		out.StageSec = append(out.StageSec, (worstFwd+worstBwd)*float64(p.Micro)+sc.AllReduce)
 	}
 	res := sim.Pipeline(cfg)
 	out.StepSec = res.MiniBatchTime

@@ -95,6 +95,50 @@ func Measure(m *model.Model, tech peft.Technique, b *data.Batch, iters int) *Pro
 	return p
 }
 
+// FromStageSeconds folds measured per-stage forward/backward times —
+// as the health monitor accumulates them during a live run — into a
+// Profile, distributing each stage's time across its blocks
+// proportionally to the analytic per-block forward FLOPs. This is the
+// profile-feedback path: a drift-triggered re-plan reuses the exact
+// ToBlockCosts/CalibrateDevice machinery startup profiling uses, but
+// fed by live measurements instead of a calibration batch. boundaries
+// has stages+1 entries covering all of analytic; stageFwd/stageBwd are
+// the measured seconds per stage for one batch-sized mini-batch.
+func FromStageSeconds(cfg model.Config, analytic []costmodel.BlockCost, boundaries []int, stageFwd, stageBwd []float64, batch int) (*Profile, error) {
+	S := len(boundaries) - 1
+	if S < 1 || len(stageFwd) != S || len(stageBwd) != S {
+		return nil, fmt.Errorf("profiler: %d boundaries vs %d fwd / %d bwd stage times",
+			len(boundaries), len(stageFwd), len(stageBwd))
+	}
+	if boundaries[0] != 0 || boundaries[S] != len(analytic) {
+		return nil, fmt.Errorf("profiler: boundaries %v do not cover %d blocks", boundaries, len(analytic))
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	p := &Profile{Cfg: cfg, Batch: batch, BlockFwdSec: make([]float64, len(analytic))}
+	for s := 0; s < S; s++ {
+		blocks := analytic[boundaries[s]:boundaries[s+1]]
+		var stageFLOPs float64
+		for _, b := range blocks {
+			stageFLOPs += b.FwdFLOPs
+		}
+		for bi := boundaries[s]; bi < boundaries[s+1]; bi++ {
+			w := 1.0 / float64(len(blocks))
+			if stageFLOPs > 0 {
+				w = analytic[bi].FwdFLOPs / stageFLOPs
+			}
+			p.BlockFwdSec[bi] = stageFwd[s] * w
+		}
+		p.FwdSec += stageFwd[s]
+		p.BwdSec += stageBwd[s]
+	}
+	if p.FwdSec > 0 {
+		p.EffectiveGFLOPS = sumFwd(analytic) * float64(batch) / p.FwdSec / 1e9
+	}
+	return p, nil
+}
+
 // CalibrateDevice returns a DeviceSpec describing this host, suitable
 // for planning runs that will execute here: measured throughput, plus
 // caller-supplied memory and link parameters.

@@ -13,6 +13,7 @@ import (
 
 	"pac/internal/checkpoint"
 	"pac/internal/generate"
+	"pac/internal/health"
 	"pac/internal/model"
 	"pac/internal/nn"
 	"pac/internal/peft"
@@ -103,6 +104,7 @@ func (s *Server) UpdateWeights(flat []float32) {
 	defer s.mu.Unlock()
 	nn.UnflattenParams(s.tech.Trainable(), flat)
 	s.swapped.Inc()
+	health.Flight().Record("swap", -1, -1, "weights", float64(len(flat)))
 }
 
 // SwapCheckpoint hot-loads adapters from a checkpoint file.
@@ -113,6 +115,7 @@ func (s *Server) SwapCheckpoint(path string) error {
 		return err
 	}
 	s.swapped.Inc()
+	health.Flight().Record("swap", -1, -1, "checkpoint "+path, 0)
 	return nil
 }
 

@@ -7,6 +7,14 @@ import (
 	"net/http/pprof"
 )
 
+// Extra is an additional endpoint to hang off the debug mux — callers
+// register subsystem handlers (e.g. the health flight recorder's
+// /debug/flight) without this package importing them.
+type Extra struct {
+	Path    string
+	Handler http.Handler
+}
+
 // NewDebugMux builds the shared live-introspection mux:
 //
 //	GET /metrics       Prometheus text exposition of reg
@@ -14,8 +22,9 @@ import (
 //	GET /debug/pprof/* the standard Go profiling endpoints
 //	GET /debug/trace   the Chrome JSON trace so far (when tr non-nil)
 //
-// Both pac-train and pac-serve hang this off -telemetry-addr.
-func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
+// plus any caller-supplied extras. Both pac-train and pac-serve hang
+// this off -telemetry-addr.
+func NewDebugMux(reg *Registry, tr *Tracer, extras ...Extra) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -42,6 +51,11 @@ func NewDebugMux(reg *Registry, tr *Tracer) *http.ServeMux {
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(blob)
 		})
+	}
+	for _, ex := range extras {
+		if ex.Path != "" && ex.Handler != nil {
+			mux.Handle(ex.Path, ex.Handler)
+		}
 	}
 	return mux
 }
