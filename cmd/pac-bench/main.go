@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	pac-bench [-exp all|table1|figure3|table2|table3|figure8|figure9|figure10|figure11|ablations]
+//	pac-bench [-exp all|table1|figure3|table2|table3|figure8|figure9|figure10|figure11|ablations|tensorbench]
 //	          [-quality-samples N] [-quality-epochs N]
+//	          [-workers N] [-pool-stats] [-bench-json FILE]
+//
+// The tensorbench experiment measures the pooled tensor runtime
+// (steady-state training step, serve request, hot kernels) and, with
+// -bench-json, writes the BENCH_tensor.json allocation baseline.
 package main
 
 import (
@@ -14,13 +19,21 @@ import (
 	"strings"
 
 	"pac/internal/bench"
+	"pac/internal/tensor"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma-separated): table1, figure3, table2, table3, figure8, figure9, figure10, figure11, ablations")
+	exp := flag.String("exp", "all", "experiment to run (comma-separated): table1, figure3, table2, table3, figure8, figure9, figure10, figure11, ablations, tensorbench")
 	qSamples := flag.Int("quality-samples", 320, "samples per task for the Table 3 real-training sweep")
 	qEpochs := flag.Int("quality-epochs", 8, "epochs for the Table 3 real-training sweep")
+	workers := flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS default)")
+	poolStats := flag.Bool("pool-stats", false, "print tensor pool statistics after the run")
+	benchJSON := flag.String("bench-json", "", "write the tensorbench report to FILE (implies -exp tensorbench if not selected)")
 	flag.Parse()
+
+	if *workers > 0 {
+		tensor.SetMaxWorkers(*workers)
+	}
 
 	run := map[string]func() *bench.Table{
 		"table1":   bench.Table1,
@@ -44,16 +57,39 @@ func main() {
 	default:
 		selected = strings.Split(*exp, ",")
 	}
+	if *benchJSON != "" {
+		found := false
+		for _, name := range selected {
+			if strings.TrimSpace(name) == "tensorbench" {
+				found = true
+			}
+		}
+		if !found {
+			selected = append(selected, "tensorbench")
+		}
+	}
 
 	for _, name := range selected {
 		name = strings.TrimSpace(name)
-		if name == "ablations" {
+		switch name {
+		case "ablations":
 			fmt.Println(bench.RedistributionAblation().Render())
 			fmt.Println(bench.ScheduleAblation().Render())
 			fmt.Println(bench.ReductionSweep().Render())
 			fmt.Println(bench.EpochSweep().Render())
 			fmt.Println(bench.CacheCompressionAblation().Render())
 			fmt.Println(bench.StragglerAblation().Render())
+			continue
+		case "tensorbench":
+			rep := bench.TensorBench()
+			fmt.Println(rep.RenderTable().Render())
+			if *benchJSON != "" {
+				if err := os.WriteFile(*benchJSON, rep.JSON(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "pac-bench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", *benchJSON)
+			}
 			continue
 		}
 		fn, ok := run[name]
@@ -62,5 +98,9 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(fn().Render())
+	}
+
+	if *poolStats {
+		fmt.Println(tensor.ReadPoolStats().String())
 	}
 }

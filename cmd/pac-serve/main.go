@@ -32,6 +32,7 @@ import (
 	"pac/internal/peft"
 	"pac/internal/serve"
 	"pac/internal/telemetry"
+	"pac/internal/tensor"
 )
 
 func main() {
@@ -41,8 +42,12 @@ func main() {
 	adapters := flag.String("adapters", "", "checkpoint to load at startup")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve the debug mux (/metrics, /debug/vars, /debug/pprof, /debug/flight) on this address (empty disables)")
 	flightSize := flag.Int("flight-size", 128, "flight-recorder ring capacity in events (0 disables)")
+	workers := flag.Int("workers", 0, "kernel worker goroutines for tensor ops (0 = GOMAXPROCS default)")
 	flag.Parse()
 
+	if *workers > 0 {
+		tensor.SetMaxWorkers(*workers)
+	}
 	if *flightSize > 0 {
 		health.Enable(*flightSize)
 		defer health.Disable()
@@ -68,7 +73,10 @@ func main() {
 	}
 
 	if *telemetryAddr != "" {
-		mux := telemetry.NewDebugMux(srv.Registry(), nil,
+		// The debug mux is the process-wide surface (tensor pool, GC,
+		// flight ring); per-request serving metrics stay on the API
+		// port's /metrics and /stats.
+		mux := telemetry.NewDebugMux(telemetry.Default(), nil,
 			telemetry.Extra{Path: "/debug/flight", Handler: health.Flight()})
 		ln, err := telemetry.Serve(*telemetryAddr, mux)
 		if err != nil {

@@ -72,6 +72,7 @@ import (
 	"pac/internal/planner"
 	"pac/internal/profiler"
 	"pac/internal/telemetry"
+	"pac/internal/tensor"
 )
 
 // Re-plan decisions and their outcomes, by trigger: "failure" is the
@@ -171,8 +172,16 @@ func run(args []string, out io.Writer) error {
 	flightOut := fs.String("flight-out", "", "write the flight-recorder dump to this file at exit")
 	slowLane := fs.Int("slow-lane", -1, "inject a persistent per-send delay into every stage of this lane's pipeline fabric (-1 disables)")
 	slowDelay := fs.Duration("slow-delay", 25*time.Millisecond, "injected per-send delay for -slow-lane")
+	workers := fs.Int("workers", 0, "kernel worker goroutines for tensor ops (0 = GOMAXPROCS default)")
+	poolStats := fs.Bool("pool-stats", false, "print tensor pool statistics when the run finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		tensor.SetMaxWorkers(*workers)
+	}
+	if *poolStats {
+		defer func() { fmt.Fprintln(out, tensor.ReadPoolStats().String()) }()
 	}
 
 	// The flight recorder runs for the whole process: a fixed-size

@@ -2,33 +2,64 @@
 // the tensor package. Operations build an implicit computation graph;
 // Backward walks it in reverse topological order accumulating gradients.
 //
-// Gradient tracking is lazy: an operation only records a backward closure
+// Gradient tracking is lazy: an operation only records a backward function
 // when at least one input requires gradients, so running a frozen model
 // (e.g. the PAC backbone) costs no tape memory — exactly the property the
 // Parallel Adapters technique exploits.
+//
+// The tape is allocation-free in steady state: nodes are flat structs
+// recycled through a pool (Release returns a finished graph's nodes and
+// tensors), backward passes are static functions reading their operands
+// from the node rather than closures, and every intermediate tensor comes
+// from the tensor package's size-class pool.
 package autograd
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pac/internal/tensor"
 )
 
+// maxInlineParents bounds the parents stored inline in a node; ops with
+// more (Concat, BackwardMulti roots) spill into the extra slice.
+const maxInlineParents = 3
+
 // Variable is a node in the computation graph: a value, an optional
-// gradient, and the backward closure that propagates its gradient to its
-// parents.
+// gradient, its parents, and the static backward function that
+// propagates its gradient to them. Op payload fields (auxT, auxF, …)
+// carry whatever the backward function needs, keeping it a plain
+// function instead of an allocating closure.
 type Variable struct {
 	Value *tensor.Tensor
 	Grad  *tensor.Tensor
 
 	requiresGrad bool
-	backFn       func()
-	parents      []*Variable
-	name         string
+	pooled       bool // from varPool; Release may recycle it
+	nparents     uint8
+	visited      atomic.Uint64 // traversal generation mark
+	parents      [maxInlineParents]*Variable
+	extra        []*Variable // overflow parents
+	backFn       func(out *Variable)
+
+	// Op payload:
+	auxT    *tensor.Tensor // op-owned tensor (pre-activation, mask, …)
+	auxT2   *tensor.Tensor
+	auxF    float32
+	auxI    int
+	auxI2   int
+	auxIs   []int
+	auxMean []float32 // layer-norm row stats (pooled)
+	auxInv  []float32
+	name    string
 }
 
+var varPool = sync.Pool{New: func() any { return &Variable{} }}
+
 // NewVar wraps a tensor as a graph leaf that does not require gradients
-// (an input or a frozen parameter).
+// (an input or a frozen parameter). Leaves are never recycled by
+// Release, so holding onto them (parameters!) is always safe.
 func NewVar(t *tensor.Tensor) *Variable { return &Variable{Value: t} }
 
 // NewParam wraps a tensor as a trainable leaf that accumulates gradients.
@@ -69,7 +100,7 @@ func (v *Variable) ZeroGrad() {
 	}
 }
 
-// ensureGrad allocates the gradient buffer on first use.
+// ensureGrad allocates the gradient buffer (pooled) on first use.
 func (v *Variable) ensureGrad() *tensor.Tensor {
 	if v.Grad == nil {
 		v.Grad = tensor.New(v.Value.Shape()...)
@@ -77,26 +108,162 @@ func (v *Variable) ensureGrad() *tensor.Tensor {
 	return v.Grad
 }
 
-// accumulate adds g into v's gradient buffer.
+// accumulate adds g into v's gradient buffer (shape-checked).
 func (v *Variable) accumulate(g *tensor.Tensor) {
 	tensor.AddInPlace(v.ensureGrad(), g)
 }
 
-// newOp constructs an interior node. backFn is only retained when a
-// parent requires gradients; otherwise the node is a dead end for
-// backward and the closure (and any tensors it captures) can be collected.
-func newOp(value *tensor.Tensor, backFn func(out *Variable), parents ...*Variable) *Variable {
-	out := &Variable{Value: value, parents: parents}
-	for _, p := range parents {
-		if p.requiresGrad {
-			out.requiresGrad = true
+// accFlat adds g into v's gradient buffer, matching element counts only
+// — gradients of matrix products arrive [rows, cols]-viewed while the
+// grad buffer keeps the operand's original (possibly 3-D) shape.
+func (v *Variable) accFlat(g *tensor.Tensor) {
+	tensor.AddFlat(v.ensureGrad(), g)
+}
+
+// accPut adds the pooled temporary g into v's gradient and returns g to
+// the pool — the backward-pass idiom replacing accumulate(freshTensor).
+func (v *Variable) accPut(g *tensor.Tensor) {
+	tensor.AddFlat(v.ensureGrad(), g)
+	tensor.PutTensor(g)
+}
+
+// numParents returns the parent count.
+func (v *Variable) numParents() int { return int(v.nparents) + len(v.extra) }
+
+// parent returns parent i.
+func (v *Variable) parent(i int) *Variable {
+	if i < maxInlineParents {
+		return v.parents[i]
+	}
+	return v.extra[i-maxInlineParents]
+}
+
+// addParent appends a parent, spilling past the inline array.
+func (v *Variable) addParent(p *Variable) {
+	if int(v.nparents) < maxInlineParents {
+		v.parents[v.nparents] = p
+		v.nparents++
+		return
+	}
+	v.extra = append(v.extra, p)
+}
+
+// newNode takes a recycled node from the pool and claims val as its
+// value.
+func newNode(val *tensor.Tensor) *Variable {
+	v := varPool.Get().(*Variable)
+	v.Value = val
+	v.pooled = true
+	return v
+}
+
+// reset clears every field so a recycled node carries nothing over. The
+// visited generation is deliberately kept: generations never repeat.
+func (v *Variable) reset() {
+	v.Value, v.Grad = nil, nil
+	v.requiresGrad, v.pooled = false, false
+	v.nparents = 0
+	v.parents = [maxInlineParents]*Variable{}
+	for i := range v.extra {
+		v.extra[i] = nil
+	}
+	v.extra = v.extra[:0]
+	v.backFn = nil
+	v.auxT, v.auxT2 = nil, nil
+	v.auxF, v.auxI, v.auxI2 = 0, 0, 0
+	v.auxIs = nil
+	v.auxMean, v.auxInv = nil, nil
+	v.name = ""
+}
+
+// finish wires the backward function if any parent tracks gradients
+// (parents must already be attached).
+func (v *Variable) finish(backFn func(*Variable)) *Variable {
+	n := v.numParents()
+	for i := 0; i < n; i++ {
+		if v.parent(i).requiresGrad {
+			v.requiresGrad = true
 			break
 		}
 	}
-	if out.requiresGrad && backFn != nil {
-		out.backFn = func() { backFn(out) }
+	if v.requiresGrad {
+		v.backFn = backFn
 	}
-	return out
+	return v
+}
+
+func newOp1(val *tensor.Tensor, backFn func(*Variable), a *Variable) *Variable {
+	out := newNode(val)
+	out.parents[0] = a
+	out.nparents = 1
+	return out.finish(backFn)
+}
+
+func newOp2(val *tensor.Tensor, backFn func(*Variable), a, b *Variable) *Variable {
+	out := newNode(val)
+	out.parents[0], out.parents[1] = a, b
+	out.nparents = 2
+	return out.finish(backFn)
+}
+
+func newOp3(val *tensor.Tensor, backFn func(*Variable), a, b, c *Variable) *Variable {
+	out := newNode(val)
+	out.parents[0], out.parents[1], out.parents[2] = a, b, c
+	out.nparents = 3
+	return out.finish(backFn)
+}
+
+func newOpN(val *tensor.Tensor, backFn func(*Variable), ps []*Variable) *Variable {
+	out := newNode(val)
+	for _, p := range ps {
+		out.addParent(p)
+	}
+	return out.finish(backFn)
+}
+
+// visitGen issues globally unique traversal generations; marking nodes
+// with the current generation replaces a per-traversal visited map.
+// Marks are atomic because concurrent traversals of disjoint graphs may
+// share leaf nodes (several serve requests walk graphs rooted in the
+// same parameters).
+var visitGen atomic.Uint64
+
+// frame is one step of the iterative DFS.
+type frame struct {
+	node *Variable
+	next int
+}
+
+// traversal holds reusable DFS state.
+type traversal struct {
+	order []*Variable
+	stack []frame
+}
+
+var travPool = sync.Pool{New: func() any { return &traversal{} }}
+
+// topo fills t.order with nodes reachable from root through
+// gradient-tracking parents, parents before children. Iterative DFS
+// keeps deep graphs (24-layer transformers unroll to thousands of
+// nodes) off the Go stack.
+func (t *traversal) topo(root *Variable, gen uint64) {
+	t.order = t.order[:0]
+	t.stack = append(t.stack[:0], frame{root, 0})
+	root.visited.Store(gen)
+	for len(t.stack) > 0 {
+		f := &t.stack[len(t.stack)-1]
+		if f.next < f.node.numParents() {
+			p := f.node.parent(f.next)
+			f.next++
+			if p.requiresGrad && p.visited.Load() != gen {
+				p.visited.Store(gen)
+				t.stack = append(t.stack, frame{p, 0})
+			}
+			continue
+		}
+		t.order = append(t.order, f.node)
+		t.stack = t.stack[:len(t.stack)-1]
+	}
 }
 
 // Backward runs reverse-mode differentiation from v, which must be a
@@ -106,59 +273,45 @@ func Backward(v *Variable) {
 	if v.Value.Numel() != 1 {
 		panic("autograd: Backward on non-scalar without explicit seed; use BackwardWithSeed")
 	}
-	seed := tensor.Ones(v.Value.Shape()...)
+	seed := tensor.GetTensor(v.Value.Shape()...)
+	seed.Fill(1)
 	BackwardWithSeed(v, seed)
+	tensor.PutTensor(seed)
 }
 
 // BackwardWithSeed runs backward from v with an explicit upstream
-// gradient (same shape as v.Value).
+// gradient (same shape as v.Value). The seed remains owned by the
+// caller.
 func BackwardWithSeed(v *Variable, seed *tensor.Tensor) {
 	if !tensor.SameShape(v.Value, seed) {
 		panic("autograd: seed shape mismatch")
 	}
-	order := topoSort(v)
+	tr := travPool.Get().(*traversal)
+	tr.topo(v, visitGen.Add(1))
 	v.accumulate(seed)
+	runBackward(tr.order)
+	travPool.Put(tr)
+}
+
+func runBackward(order []*Variable) {
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		if n.backFn != nil && n.Grad != nil {
-			n.backFn()
+			n.backFn(n)
 		}
 	}
-}
-
-// topoSort returns nodes reachable from root in topological order
-// (parents before children). Iterative DFS keeps deep graphs (24-layer
-// transformers unroll to thousands of nodes) off the Go stack.
-func topoSort(root *Variable) []*Variable {
-	var order []*Variable
-	visited := map[*Variable]bool{}
-	type frame struct {
-		node *Variable
-		next int
-	}
-	stack := []frame{{root, 0}}
-	visited[root] = true
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
-		if f.next < len(f.node.parents) {
-			p := f.node.parents[f.next]
-			f.next++
-			if !visited[p] && p.requiresGrad {
-				visited[p] = true
-				stack = append(stack, frame{p, 0})
-			}
-			continue
-		}
-		order = append(order, f.node)
-		stack = stack[:len(stack)-1]
-	}
-	return order
 }
 
 // GraphSize returns the number of gradient-tracking nodes reachable from
 // v. Tests use it to assert that frozen backbones contribute nothing to
 // the tape.
-func GraphSize(v *Variable) int { return len(topoSort(v)) }
+func GraphSize(v *Variable) int {
+	tr := travPool.Get().(*traversal)
+	tr.topo(v, visitGen.Add(1))
+	n := len(tr.order)
+	travPool.Put(tr)
+	return n
+}
 
 // BackwardMulti runs one reverse pass from several output roots at once,
 // seeding each with the matching gradient. Pipeline stages use it: a
@@ -177,9 +330,10 @@ func BackwardMulti(outs []*Variable, seeds []*tensor.Tensor) {
 		if !tensor.SameShape(o.Value, seeds[i]) {
 			panic("autograd: BackwardMulti seed shape mismatch")
 		}
-		root.parents = append(root.parents, o)
+		root.addParent(o)
 	}
-	order := topoSort(root)
+	tr := travPool.Get().(*traversal)
+	tr.topo(root, visitGen.Add(1))
 	for i, o := range outs {
 		if o == nil || seeds[i] == nil {
 			continue
@@ -188,10 +342,6 @@ func BackwardMulti(outs []*Variable, seeds []*tensor.Tensor) {
 			o.accumulate(seeds[i])
 		}
 	}
-	for i := len(order) - 1; i >= 0; i-- {
-		n := order[i]
-		if n.backFn != nil && n.Grad != nil {
-			n.backFn()
-		}
-	}
+	runBackward(tr.order)
+	travPool.Put(tr)
 }

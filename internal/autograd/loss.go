@@ -24,24 +24,36 @@ func SoftmaxCrossEntropy(logits *Variable, labels []int) *Variable {
 		loss -= float64(logp.Data[r*cols+y])
 	}
 	loss /= float64(rows)
-	val := tensor.FromSlice([]float32{float32(loss)}, 1)
-	labelsCopy := append([]int(nil), labels...)
-	return newOp(val, func(out *Variable) {
-		scale := out.Grad.Data[0] / float32(rows)
-		g := tensor.New(logits.Value.Shape()...)
-		for r, y := range labelsCopy {
-			base := r * cols
-			for c := 0; c < cols; c++ {
-				p := float32(math.Exp(float64(logp.Data[base+c])))
-				g.Data[base+c] = p * scale
-			}
-			g.Data[base+y] -= scale
-		}
-		logits.accumulate(g)
-	}, logits)
+	val := tensor.New(1)
+	val.Data[0] = float32(loss)
+	out := newOp1(val, backSoftmaxCrossEntropy, logits)
+	out.auxT = logp
+	out.auxIs = append([]int(nil), labels...)
+	return out
 }
 
-// MSE computes the mean squared error between pred and a constant target.
+func backSoftmaxCrossEntropy(out *Variable) {
+	logits := out.parents[0]
+	logp := out.auxT
+	_, cols := tensor.Rows(logits.Value)
+	scale := out.Grad.Data[0] / float32(len(out.auxIs))
+	g := tensor.New(logits.Value.Shape()...)
+	for r, y := range out.auxIs {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			p := float32(math.Exp(float64(logp.Data[base+c])))
+			g.Data[base+c] = p * scale
+		}
+		g.Data[base+y] -= scale
+	}
+	logits.accPut(g)
+	tensor.PutTensor(out.auxT)
+	out.auxT = nil
+}
+
+// MSE computes the mean squared error between pred and a constant
+// target. If target is pool-backed, graph teardown returns it to the
+// pool; caller-owned (FromSlice) targets are left untouched.
 func MSE(pred *Variable, target *tensor.Tensor) *Variable {
 	if !tensor.SameShape(pred.Value, target) {
 		panic("autograd: MSE shape mismatch")
@@ -53,15 +65,22 @@ func MSE(pred *Variable, target *tensor.Tensor) *Variable {
 		loss += d * d
 	}
 	loss /= n
-	val := tensor.FromSlice([]float32{float32(loss)}, 1)
-	return newOp(val, func(out *Variable) {
-		scale := out.Grad.Data[0] * 2 / float32(n)
-		g := tensor.New(pred.Value.Shape()...)
-		for i := range g.Data {
-			g.Data[i] = scale * (pred.Value.Data[i] - target.Data[i])
-		}
-		pred.accumulate(g)
-	}, pred)
+	val := tensor.New(1)
+	val.Data[0] = float32(loss)
+	out := newOp1(val, backMSE, pred)
+	out.auxT = target
+	return out
+}
+
+func backMSE(out *Variable) {
+	pred := out.parents[0]
+	target := out.auxT
+	scale := out.Grad.Data[0] * 2 / float32(pred.Value.Numel())
+	g := tensor.New(pred.Value.Shape()...)
+	for i := range g.Data {
+		g.Data[i] = scale * (pred.Value.Data[i] - target.Data[i])
+	}
+	pred.accPut(g)
 }
 
 // Accuracy returns the fraction of rows whose argmax matches the label.

@@ -6,134 +6,306 @@ import (
 	"pac/internal/tensor"
 )
 
+// Every op follows the same pattern: compute the value with a tensor
+// kernel, attach a *static* backward function (no closures — operands
+// are read back from the node), and free backward temporaries through
+// accPut as soon as they are consumed. Gradient arithmetic matches the
+// original composed implementations bit for bit: temporaries accumulate
+// into zeroed pooled buffers exactly like the fresh tensors they
+// replace, and fused forward kernels preserve per-element operation
+// order.
+
 // Add returns a + b (elementwise, same shapes).
 func Add(a, b *Variable) *Variable {
-	val := tensor.Add(a.Value, b.Value)
-	return newOp(val, func(out *Variable) {
-		if a.requiresGrad {
-			a.accumulate(out.Grad)
-		}
-		if b.requiresGrad {
-			b.accumulate(out.Grad)
-		}
-	}, a, b)
+	return newOp2(tensor.Add(a.Value, b.Value), backAdd, a, b)
+}
+
+func backAdd(out *Variable) {
+	a, b := out.parents[0], out.parents[1]
+	if a.requiresGrad {
+		a.accumulate(out.Grad)
+	}
+	if b.requiresGrad {
+		b.accumulate(out.Grad)
+	}
 }
 
 // Sub returns a - b.
 func Sub(a, b *Variable) *Variable {
-	val := tensor.Sub(a.Value, b.Value)
-	return newOp(val, func(out *Variable) {
-		if a.requiresGrad {
-			a.accumulate(out.Grad)
-		}
-		if b.requiresGrad {
-			b.accumulate(tensor.Scale(out.Grad, -1))
-		}
-	}, a, b)
+	return newOp2(tensor.Sub(a.Value, b.Value), backSub, a, b)
+}
+
+func backSub(out *Variable) {
+	a, b := out.parents[0], out.parents[1]
+	if a.requiresGrad {
+		a.accumulate(out.Grad)
+	}
+	if b.requiresGrad {
+		b.accPut(tensor.Scale(out.Grad, -1))
+	}
 }
 
 // Mul returns the elementwise product a * b.
 func Mul(a, b *Variable) *Variable {
-	val := tensor.Mul(a.Value, b.Value)
-	return newOp(val, func(out *Variable) {
-		if a.requiresGrad {
-			a.accumulate(tensor.Mul(out.Grad, b.Value))
-		}
-		if b.requiresGrad {
-			b.accumulate(tensor.Mul(out.Grad, a.Value))
-		}
-	}, a, b)
+	return newOp2(tensor.Mul(a.Value, b.Value), backMul, a, b)
+}
+
+func backMul(out *Variable) {
+	a, b := out.parents[0], out.parents[1]
+	if a.requiresGrad {
+		a.accPut(tensor.Mul(out.Grad, b.Value))
+	}
+	if b.requiresGrad {
+		b.accPut(tensor.Mul(out.Grad, a.Value))
+	}
 }
 
 // Scale returns s * a for a compile-time constant s.
 func Scale(a *Variable, s float32) *Variable {
-	val := tensor.Scale(a.Value, s)
-	return newOp(val, func(out *Variable) {
-		a.accumulate(tensor.Scale(out.Grad, s))
-	}, a)
+	out := newOp1(tensor.Scale(a.Value, s), backScale, a)
+	out.auxF = s
+	return out
+}
+
+func backScale(out *Variable) {
+	out.parents[0].accPut(tensor.Scale(out.Grad, out.auxF))
 }
 
 // AddBias returns m + bias where bias (a vector matching m's last
 // dimension) broadcasts across rows.
 func AddBias(m, bias *Variable) *Variable {
-	val := tensor.AddRowBroadcast(m.Value, bias.Value)
-	return newOp(val, func(out *Variable) {
-		if m.requiresGrad {
-			m.accumulate(out.Grad)
-		}
-		if bias.requiresGrad {
-			bias.accumulate(tensor.SumRows(out.Grad))
-		}
-	}, m, bias)
+	return newOp2(tensor.AddRowBroadcast(m.Value, bias.Value), backAddBias, m, bias)
+}
+
+func backAddBias(out *Variable) {
+	m, bias := out.parents[0], out.parents[1]
+	if m.requiresGrad {
+		m.accumulate(out.Grad)
+	}
+	if bias.requiresGrad {
+		bias.accPut(tensor.SumRows(out.Grad))
+	}
 }
 
 // MatMul returns a·b treating inputs as 2-D matrices [rows, lastDim].
 // The output shape is [a.rows, b.cols].
 func MatMul(a, b *Variable) *Variable {
-	val := tensor.MatMul(a.Value, b.Value)
-	return newOp(val, func(out *Variable) {
-		if a.requiresGrad {
-			a.accumulate(tensor.MatMulT(out.Grad, b.Value).Reshape(a.Value.Shape()...))
+	return newOp2(tensor.MatMul(a.Value, b.Value), backMatMul, a, b)
+}
+
+func backMatMul(out *Variable) {
+	a, b := out.parents[0], out.parents[1]
+	if a.requiresGrad {
+		a.accPut(tensor.MatMulT(out.Grad, b.Value))
+	}
+	if b.requiresGrad {
+		b.accPut(tensor.TMatMul(a.Value, out.Grad))
+	}
+}
+
+// Affine returns x·w + b with the output keeping x's leading dimensions
+// (last dimension becomes w's column count). bias may be nil for a pure
+// projection. This is the fused Linear/projection hot path: one node
+// and one output buffer instead of a MatMul/AddBias/Reshape chain.
+func Affine(x, w, bias *Variable) *Variable {
+	val := tensor.MatMul(x.Value, w.Value)
+	if bias != nil {
+		tensor.AddRowBroadcastInPlace(val, bias.Value)
+	}
+	reshapeLeading(val, x.Value, w.Value.Dim(1))
+	if bias == nil {
+		return newOp2(val, backAffine, x, w)
+	}
+	return newOp3(val, backAffine, x, w, bias)
+}
+
+func backAffine(out *Variable) {
+	x, w := out.parents[0], out.parents[1]
+	if x.requiresGrad {
+		x.accPut(tensor.MatMulT(out.Grad, w.Value))
+	}
+	if w.requiresGrad {
+		w.accPut(tensor.TMatMul(x.Value, out.Grad))
+	}
+	if out.nparents == 3 {
+		if bias := out.parents[2]; bias.requiresGrad {
+			bias.accPut(tensor.SumRows(out.Grad))
 		}
-		if b.requiresGrad {
-			b.accumulate(tensor.TMatMul(a.Value, out.Grad).Reshape(b.Value.Shape()...))
+	}
+}
+
+// reshapeLeading re-views t ([rows, cols]) in place so it keeps x's
+// leading dimensions with cols as the last dimension — the output-shape
+// rule shared by the fused affine ops.
+func reshapeLeading(t, x *tensor.Tensor, cols int) {
+	shape := x.Shape()
+	if len(shape) <= 2 {
+		return
+	}
+	if len(shape) == 3 {
+		t.SetShape(shape[0], shape[1], cols)
+		return
+	}
+	outShape := append(append([]int(nil), shape[:len(shape)-1]...), cols)
+	t.SetShape(outShape...)
+}
+
+// AffineGELU returns gelu(x·w + b) in one node, capturing the
+// pre-activation for the backward pass (fused FeedForward up-projection
+// and adapter bottleneck). bias may be nil.
+func AffineGELU(x, w, bias *Variable) *Variable {
+	pre := tensor.MatMul(x.Value, w.Value)
+	if bias != nil {
+		tensor.AddRowBroadcastInPlace(pre, bias.Value)
+	}
+	reshapeLeading(pre, x.Value, w.Value.Dim(1))
+	val := tensor.New(pre.Shape()...)
+	tensor.GELUInto(val, pre)
+	var out *Variable
+	if bias == nil {
+		out = newOp2(val, backAffineGELU, x, w)
+	} else {
+		out = newOp3(val, backAffineGELU, x, w, bias)
+	}
+	out.auxT = pre
+	return out
+}
+
+func backAffineGELU(out *Variable) {
+	x, w := out.parents[0], out.parents[1]
+	pre := out.auxT
+	dpre := tensor.New(pre.Shape()...)
+	tensor.GELUGradInto(dpre, pre, out.Grad)
+	if x.requiresGrad {
+		x.accPut(tensor.MatMulT(dpre, w.Value))
+	}
+	if w.requiresGrad {
+		w.accPut(tensor.TMatMul(x.Value, dpre))
+	}
+	if out.nparents == 3 {
+		if bias := out.parents[2]; bias.requiresGrad {
+			bias.accPut(tensor.SumRows(dpre))
 		}
-	}, a, b)
+	}
+	tensor.PutTensor(dpre)
+	tensor.PutTensor(out.auxT)
+	out.auxT = nil
+}
+
+// AddGELU returns gelu(a + b) in one node (the Parallel Adapters side
+// step: tap projection + recurrent mix, activated). The sum is captured
+// as the pre-activation for backward.
+func AddGELU(a, b *Variable) *Variable {
+	pre := tensor.Add(a.Value, b.Value)
+	val := tensor.New(pre.Shape()...)
+	tensor.GELUInto(val, pre)
+	out := newOp2(val, backAddGELU, a, b)
+	out.auxT = pre
+	return out
+}
+
+func backAddGELU(out *Variable) {
+	a, b := out.parents[0], out.parents[1]
+	dpre := tensor.New(out.auxT.Shape()...)
+	tensor.GELUGradInto(dpre, out.auxT, out.Grad)
+	if a.requiresGrad {
+		a.accFlat(dpre)
+	}
+	if b.requiresGrad {
+		b.accFlat(dpre)
+	}
+	tensor.PutTensor(dpre)
+	tensor.PutTensor(out.auxT)
+	out.auxT = nil
 }
 
 // BatchMatMul returns per-batch a[b]·b[b] for 3-D inputs.
 func BatchMatMul(a, b *Variable) *Variable {
-	val := tensor.BatchMatMul(a.Value, b.Value)
-	return newOp(val, func(out *Variable) {
-		if a.requiresGrad {
-			// dA = dOut·Bᵀ: BatchMatMulT contracts the last dims of
-			// dOut [batch,m,n] and B [batch,k,n], yielding [batch,m,k].
-			a.accumulate(tensor.BatchMatMulT(out.Grad, b.Value))
-		}
-		if b.requiresGrad {
-			// dB = Aᵀ·dOut ([batch,k,m]·[batch,m,n] → [batch,k,n]).
-			b.accumulate(tensor.BatchTMatMul(a.Value, out.Grad))
-		}
-	}, a, b)
+	return newOp2(tensor.BatchMatMul(a.Value, b.Value), backBatchMatMul, a, b)
+}
+
+func backBatchMatMul(out *Variable) {
+	a, b := out.parents[0], out.parents[1]
+	if a.requiresGrad {
+		// dA = dOut·Bᵀ: BatchMatMulT contracts the last dims of
+		// dOut [batch,m,n] and B [batch,k,n], yielding [batch,m,k].
+		a.accPut(tensor.BatchMatMulT(out.Grad, b.Value))
+	}
+	if b.requiresGrad {
+		// dB = Aᵀ·dOut ([batch,k,m]·[batch,m,n] → [batch,k,n]).
+		b.accPut(tensor.BatchTMatMul(a.Value, out.Grad))
+	}
 }
 
 // BatchMatMulT returns per-batch a[b]·b[b]ᵀ (attention scores Q·Kᵀ).
 func BatchMatMulT(a, b *Variable) *Variable {
-	val := tensor.BatchMatMulT(a.Value, b.Value)
-	return newOp(val, func(out *Variable) {
-		if a.requiresGrad {
-			// dA = dOut · B   ([batch,m,n]·[batch,n,k])
-			a.accumulate(tensor.BatchMatMul(out.Grad, b.Value))
-		}
-		if b.requiresGrad {
-			// dB = dOutᵀ · A  ([batch,n,m]·[batch,m,k])
-			b.accumulate(tensor.BatchTMatMul(out.Grad, a.Value))
-		}
-	}, a, b)
+	return newOp2(tensor.BatchMatMulT(a.Value, b.Value), backBatchMatMulT, a, b)
+}
+
+func backBatchMatMulT(out *Variable) {
+	a, b := out.parents[0], out.parents[1]
+	if a.requiresGrad {
+		// dA = dOut · B   ([batch,m,n]·[batch,n,k])
+		a.accPut(tensor.BatchMatMul(out.Grad, b.Value))
+	}
+	if b.requiresGrad {
+		// dB = dOutᵀ · A  ([batch,n,m]·[batch,m,k])
+		b.accPut(tensor.BatchTMatMul(out.Grad, a.Value))
+	}
+}
+
+// BatchMatMulTScaled returns per-batch alpha·a[b]·b[b]ᵀ — the fused
+// attention-score op (Q·Kᵀ/√dh in a single kernel pass, one node
+// instead of a BatchMatMulT/Scale chain).
+func BatchMatMulTScaled(a, b *Variable, alpha float32) *Variable {
+	out := newOp2(tensor.BatchMatMulTScaled(a.Value, b.Value, alpha), backBatchMatMulTScaled, a, b)
+	out.auxF = alpha
+	return out
+}
+
+func backBatchMatMulTScaled(out *Variable) {
+	a, b := out.parents[0], out.parents[1]
+	// Scale once, exactly like the Scale node the fusion replaced, so
+	// gradients stay bit-identical to the composed chain.
+	gs := tensor.Scale(out.Grad, out.auxF)
+	if a.requiresGrad {
+		a.accPut(tensor.BatchMatMul(gs, b.Value))
+	}
+	if b.requiresGrad {
+		b.accPut(tensor.BatchTMatMul(gs, a.Value))
+	}
+	tensor.PutTensor(gs)
 }
 
 // Reshape returns a view of a with a new shape.
 func Reshape(a *Variable, shape ...int) *Variable {
-	val := a.Value.Reshape(shape...)
-	return newOp(val, func(out *Variable) {
-		a.accumulate(out.Grad.Reshape(a.Value.Shape()...))
-	}, a)
+	return newOp1(a.Value.Reshape(shape...), backReshape, a)
+}
+
+func backReshape(out *Variable) {
+	out.parents[0].accFlat(out.Grad)
 }
 
 // SplitHeads rearranges [batch, seq, heads*dh] → [batch*heads, seq, dh].
 func SplitHeads(a *Variable, heads int) *Variable {
-	val := tensor.SplitHeads(a.Value, heads)
-	return newOp(val, func(out *Variable) {
-		a.accumulate(tensor.MergeHeads(out.Grad, heads))
-	}, a)
+	out := newOp1(tensor.SplitHeads(a.Value, heads), backSplitHeads, a)
+	out.auxI = heads
+	return out
+}
+
+func backSplitHeads(out *Variable) {
+	out.parents[0].accPut(tensor.MergeHeads(out.Grad, out.auxI))
 }
 
 // MergeHeads rearranges [batch*heads, seq, dh] → [batch, seq, heads*dh].
 func MergeHeads(a *Variable, heads int) *Variable {
-	val := tensor.MergeHeads(a.Value, heads)
-	return newOp(val, func(out *Variable) {
-		a.accumulate(tensor.SplitHeads(out.Grad, heads))
-	}, a)
+	out := newOp1(tensor.MergeHeads(a.Value, heads), backMergeHeads, a)
+	out.auxI = heads
+	return out
+}
+
+func backMergeHeads(out *Variable) {
+	out.parents[0].accPut(tensor.SplitHeads(out.Grad, out.auxI))
 }
 
 // ReLU applies max(0, x) elementwise.
@@ -144,36 +316,32 @@ func ReLU(a *Variable) *Variable {
 		}
 		return 0
 	})
-	return newOp(val, func(out *Variable) {
-		g := tensor.New(a.Value.Shape()...)
-		for i, v := range a.Value.Data {
-			if v > 0 {
-				g.Data[i] = out.Grad.Data[i]
-			}
+	return newOp1(val, backReLU, a)
+}
+
+func backReLU(out *Variable) {
+	a := out.parents[0]
+	g := tensor.New(a.Value.Shape()...)
+	for i, v := range a.Value.Data {
+		if v > 0 {
+			g.Data[i] = out.Grad.Data[i]
 		}
-		a.accumulate(g)
-	}, a)
+	}
+	a.accPut(g)
 }
 
 // GELU applies the tanh-approximated Gaussian error linear unit.
 func GELU(a *Variable) *Variable {
-	const c = 0.7978845608028654 // sqrt(2/pi)
-	val := tensor.Apply(a.Value, func(v float32) float32 {
-		x := float64(v)
-		return float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
-	})
-	return newOp(val, func(out *Variable) {
-		g := tensor.New(a.Value.Shape()...)
-		for i, v := range a.Value.Data {
-			x := float64(v)
-			u := c * (x + 0.044715*x*x*x)
-			t := math.Tanh(u)
-			du := c * (1 + 3*0.044715*x*x)
-			d := 0.5*(1+t) + 0.5*x*(1-t*t)*du
-			g.Data[i] = out.Grad.Data[i] * float32(d)
-		}
-		a.accumulate(g)
-	}, a)
+	val := tensor.New(a.Value.Shape()...)
+	tensor.GELUInto(val, a.Value)
+	return newOp1(val, backGELU, a)
+}
+
+func backGELU(out *Variable) {
+	a := out.parents[0]
+	g := tensor.New(a.Value.Shape()...)
+	tensor.GELUGradInto(g, a.Value, out.Grad)
+	a.accPut(g)
 }
 
 // Tanh applies tanh elementwise.
@@ -181,14 +349,17 @@ func Tanh(a *Variable) *Variable {
 	val := tensor.Apply(a.Value, func(v float32) float32 {
 		return float32(math.Tanh(float64(v)))
 	})
-	return newOp(val, func(out *Variable) {
-		g := tensor.New(a.Value.Shape()...)
-		for i := range g.Data {
-			y := float64(val.Data[i])
-			g.Data[i] = out.Grad.Data[i] * float32(1-y*y)
-		}
-		a.accumulate(g)
-	}, a)
+	return newOp1(val, backTanh, a)
+}
+
+func backTanh(out *Variable) {
+	a := out.parents[0]
+	g := tensor.New(a.Value.Shape()...)
+	for i := range g.Data {
+		y := float64(out.Value.Data[i])
+		g.Data[i] = out.Grad.Data[i] * float32(1-y*y)
+	}
+	a.accPut(g)
 }
 
 // Sigmoid applies the logistic function elementwise.
@@ -196,61 +367,112 @@ func Sigmoid(a *Variable) *Variable {
 	val := tensor.Apply(a.Value, func(v float32) float32 {
 		return float32(1 / (1 + math.Exp(-float64(v))))
 	})
-	return newOp(val, func(out *Variable) {
-		g := tensor.New(a.Value.Shape()...)
-		for i := range g.Data {
-			y := float64(val.Data[i])
-			g.Data[i] = out.Grad.Data[i] * float32(y*(1-y))
-		}
-		a.accumulate(g)
-	}, a)
+	return newOp1(val, backSigmoid, a)
+}
+
+func backSigmoid(out *Variable) {
+	a := out.parents[0]
+	g := tensor.New(a.Value.Shape()...)
+	for i := range g.Data {
+		y := float64(out.Value.Data[i])
+		g.Data[i] = out.Grad.Data[i] * float32(y*(1-y))
+	}
+	a.accPut(g)
 }
 
 // Softmax applies a row-wise softmax over the last dimension.
 func Softmax(a *Variable) *Variable {
-	val := tensor.Softmax(a.Value)
-	return newOp(val, func(out *Variable) {
-		rows, cols := tensor.Rows(val)
-		g := tensor.New(a.Value.Shape()...)
-		for r := 0; r < rows; r++ {
-			base := r * cols
-			var dot float64
-			for c := 0; c < cols; c++ {
-				dot += float64(out.Grad.Data[base+c]) * float64(val.Data[base+c])
-			}
-			for c := 0; c < cols; c++ {
-				g.Data[base+c] = val.Data[base+c] * (out.Grad.Data[base+c] - float32(dot))
-			}
+	return newOp1(tensor.Softmax(a.Value), backSoftmax, a)
+}
+
+// SoftmaxInPlace overwrites a's value with its row-wise softmax and
+// returns a node sharing that storage. Valid when no other op needs a's
+// raw value (attention scores feed only the softmax); saves one
+// [batch·heads, seq, seq] buffer per attention block.
+func SoftmaxInPlace(a *Variable) *Variable {
+	tensor.SoftmaxInPlace(a.Value)
+	return newOp1(a.Value, backSoftmax, a)
+}
+
+func backSoftmax(out *Variable) {
+	a := out.parents[0]
+	val := out.Value
+	rows, cols := tensor.Rows(val)
+	g := tensor.New(val.Shape()...)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		var dot float64
+		for c := 0; c < cols; c++ {
+			dot += float64(out.Grad.Data[base+c]) * float64(val.Data[base+c])
 		}
-		a.accumulate(g)
-	}, a)
+		for c := 0; c < cols; c++ {
+			g.Data[base+c] = val.Data[base+c] * (out.Grad.Data[base+c] - float32(dot))
+		}
+	}
+	a.accPut(g)
 }
 
 // AddConst adds a constant tensor (no gradient flows to it). Used for
-// additive attention masks.
+// additive attention masks. The graph owns c afterwards: Release frees
+// it with the rest of the graph, so pass a fresh (or cloned) tensor.
 func AddConst(a *Variable, c *tensor.Tensor) *Variable {
-	val := tensor.Add(a.Value, c)
-	return newOp(val, func(out *Variable) {
-		a.accumulate(out.Grad)
-	}, a)
+	out := newOp1(tensor.Add(a.Value, c), backPassThrough, a)
+	out.auxT = c
+	return out
+}
+
+// AddConstInPlace adds a constant tensor into a's value in place and
+// returns a node sharing that storage (the fused attention-mask path —
+// valid because score values are only consumed by the softmax). The
+// graph owns c afterwards, like AddConst.
+func AddConstInPlace(a *Variable, c *tensor.Tensor) *Variable {
+	tensor.AddInPlace(a.Value, c)
+	out := newOp1(a.Value, backPassThrough, a)
+	out.auxT = c
+	return out
+}
+
+func backPassThrough(out *Variable) {
+	out.parents[0].accFlat(out.Grad)
 }
 
 // LayerNorm normalizes rows of a over the last dimension and applies the
 // affine transform gamma*x + beta.
 func LayerNorm(a, gamma, beta *Variable, eps float32) *Variable {
-	val, stats := tensor.LayerNormForward(a.Value, gamma.Value, beta.Value, eps)
-	return newOp(val, func(out *Variable) {
-		dx, dGamma, dBeta := tensor.LayerNormBackward(a.Value, gamma.Value, out.Grad, stats)
-		if a.requiresGrad {
-			a.accumulate(dx)
-		}
-		if gamma.requiresGrad {
-			gamma.accumulate(dGamma)
-		}
-		if beta.requiresGrad {
-			beta.accumulate(dBeta)
-		}
-	}, a, gamma, beta)
+	rows := a.Value.Numel() / a.Value.Dim(a.Value.Dims()-1)
+	stats := tensor.LayerNormStats{Mean: tensor.Get(rows), InvStd: tensor.Get(rows)}
+	val := tensor.LayerNormForwardStats(a.Value, gamma.Value, beta.Value, eps, &stats)
+	out := newOp3(val, backLayerNorm, a, gamma, beta)
+	out.auxMean, out.auxInv = stats.Mean, stats.InvStd
+	return out
+}
+
+func backLayerNorm(out *Variable) {
+	a, gamma, beta := out.parents[0], out.parents[1], out.parents[2]
+	stats := tensor.LayerNormStats{Mean: out.auxMean, InvStd: out.auxInv}
+	cols := a.Value.Dim(a.Value.Dims() - 1)
+	dx := tensor.New(a.Value.Shape()...)
+	dGamma := tensor.New(cols)
+	dBeta := tensor.New(cols)
+	tensor.LayerNormBackwardInto(dx, dGamma, dBeta, a.Value, gamma.Value, out.Grad, &stats)
+	if a.requiresGrad {
+		a.accPut(dx)
+	} else {
+		tensor.PutTensor(dx)
+	}
+	if gamma.requiresGrad {
+		gamma.accPut(dGamma)
+	} else {
+		tensor.PutTensor(dGamma)
+	}
+	if beta.requiresGrad {
+		beta.accPut(dBeta)
+	} else {
+		tensor.PutTensor(dBeta)
+	}
+	tensor.Put(out.auxMean)
+	tensor.Put(out.auxInv)
+	out.auxMean, out.auxInv = nil, nil
 }
 
 // Embedding gathers rows of table (shape [vocab, dim]) for each id in
@@ -264,17 +486,22 @@ func Embedding(table *Variable, ids []int) *Variable {
 		}
 		copy(val.Data[i*dim:(i+1)*dim], table.Value.Data[id*dim:(id+1)*dim])
 	}
-	idsCopy := append([]int(nil), ids...)
-	return newOp(val, func(out *Variable) {
-		g := table.ensureGrad()
-		for i, id := range idsCopy {
-			row := g.Data[id*dim : (id+1)*dim]
-			src := out.Grad.Data[i*dim : (i+1)*dim]
-			for j := range row {
-				row[j] += src[j]
-			}
+	out := newOp1(val, backEmbedding, table)
+	out.auxIs = append([]int(nil), ids...)
+	return out
+}
+
+func backEmbedding(out *Variable) {
+	table := out.parents[0]
+	dim := table.Value.Dim(1)
+	g := table.ensureGrad()
+	for i, id := range out.auxIs {
+		row := g.Data[id*dim : (id+1)*dim]
+		src := out.Grad.Data[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] += src[j]
 		}
-	}, table)
+	}
 }
 
 // Concat concatenates along dimension 0.
@@ -283,64 +510,83 @@ func Concat(vs ...*Variable) *Variable {
 	for i, v := range vs {
 		vals[i] = v.Value
 	}
-	val := tensor.Concat(vals...)
-	return newOp(val, func(out *Variable) {
-		off := 0
-		for _, v := range vs {
-			n := v.Value.Dim(0)
-			if v.requiresGrad {
-				v.accumulate(tensor.SliceRows(out.Grad, off, off+n))
-			}
-			off += n
+	return newOpN(tensor.Concat(vals...), backConcat, vs)
+}
+
+func backConcat(out *Variable) {
+	off := 0
+	n := out.numParents()
+	for i := 0; i < n; i++ {
+		v := out.parent(i)
+		rows := v.Value.Dim(0)
+		if v.requiresGrad {
+			v.accPut(tensor.SliceRows(out.Grad, off, off+rows))
 		}
-	}, vs...)
+		off += rows
+	}
 }
 
 // SliceRows takes rows [start, end) along dimension 0.
 func SliceRows(a *Variable, start, end int) *Variable {
-	val := tensor.SliceRows(a.Value, start, end)
-	return newOp(val, func(out *Variable) {
-		g := tensor.New(a.Value.Shape()...)
-		inner := a.Value.Numel() / a.Value.Dim(0)
-		copy(g.Data[start*inner:end*inner], out.Grad.Data)
-		a.accumulate(g)
-	}, a)
+	out := newOp1(tensor.SliceRows(a.Value, start, end), backSliceRows, a)
+	out.auxI, out.auxI2 = start, end
+	return out
+}
+
+func backSliceRows(out *Variable) {
+	a := out.parents[0]
+	g := tensor.New(a.Value.Shape()...)
+	inner := a.Value.Numel() / a.Value.Dim(0)
+	copy(g.Data[out.auxI*inner:out.auxI2*inner], out.Grad.Data)
+	a.accPut(g)
 }
 
 // Mean reduces to a scalar mean of all elements.
 func Mean(a *Variable) *Variable {
-	val := tensor.FromSlice([]float32{tensor.Mean(a.Value)}, 1)
+	val := tensor.New(1)
+	val.Data[0] = tensor.Mean(a.Value)
+	return newOp1(val, backMean, a)
+}
+
+func backMean(out *Variable) {
+	a := out.parents[0]
 	n := float32(a.Value.Numel())
-	return newOp(val, func(out *Variable) {
-		a.accumulate(tensor.Full(out.Grad.Data[0]/n, a.Value.Shape()...))
-	}, a)
+	a.accPut(tensor.Full(out.Grad.Data[0]/n, a.Value.Shape()...))
 }
 
 // Sum reduces to a scalar sum of all elements.
 func Sum(a *Variable) *Variable {
-	val := tensor.FromSlice([]float32{tensor.Sum(a.Value)}, 1)
-	return newOp(val, func(out *Variable) {
-		a.accumulate(tensor.Full(out.Grad.Data[0], a.Value.Shape()...))
-	}, a)
+	val := tensor.New(1)
+	val.Data[0] = tensor.Sum(a.Value)
+	return newOp1(val, backSum, a)
+}
+
+func backSum(out *Variable) {
+	a := out.parents[0]
+	a.accPut(tensor.Full(out.Grad.Data[0], a.Value.Shape()...))
 }
 
 // MeanRows reduces [rows, cols] (rows = prod of leading dims) to [cols]
 // by averaging across rows. Used for mean pooling over sequence
 // positions.
 func MeanRows(a *Variable) *Variable {
+	rows, _ := tensor.Rows(a.Value)
+	val := tensor.SumRows(a.Value)
+	tensor.ScaleInPlace(val, 1/float32(rows))
+	return newOp1(val, backMeanRows, a)
+}
+
+func backMeanRows(out *Variable) {
+	a := out.parents[0]
 	rows, cols := tensor.Rows(a.Value)
-	val := tensor.Scale(tensor.SumRows(a.Value), 1/float32(rows))
-	_ = cols
-	return newOp(val, func(out *Variable) {
-		g := tensor.New(a.Value.Shape()...)
-		inv := 1 / float32(rows)
-		for r := 0; r < rows; r++ {
-			for c := 0; c < cols; c++ {
-				g.Data[r*cols+c] = out.Grad.Data[c] * inv
-			}
+	g := tensor.New(a.Value.Shape()...)
+	inv := 1 / float32(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.Data[r*cols+c] = out.Grad.Data[c] * inv
 		}
-		a.accumulate(g)
-	}, a)
+	}
+	a.accPut(g)
 }
 
 // Dropout zeroes each element with probability p during training and
@@ -356,10 +602,15 @@ func Dropout(a *Variable, p float32, train bool, rng *tensor.RNG) *Variable {
 			mask.Data[i] = scale
 		}
 	}
-	val := tensor.Mul(a.Value, mask)
-	return newOp(val, func(out *Variable) {
-		a.accumulate(tensor.Mul(out.Grad, mask))
-	}, a)
+	out := newOp1(tensor.Mul(a.Value, mask), backDropout, a)
+	out.auxT = mask
+	return out
+}
+
+func backDropout(out *Variable) {
+	out.parents[0].accPut(tensor.Mul(out.Grad, out.auxT))
+	tensor.PutTensor(out.auxT)
+	out.auxT = nil
 }
 
 // MeanSeq reduces [batch, seq, d] → [batch, d] by averaging over the
@@ -377,19 +628,23 @@ func MeanSeq(a *Variable) *Variable {
 		}
 	}
 	tensor.ScaleInPlace(val, 1/float32(seq))
-	return newOp(val, func(out *Variable) {
-		g := tensor.New(a.Value.Shape()...)
-		inv := 1 / float32(seq)
-		for b := 0; b < batch; b++ {
-			for s := 0; s < seq; s++ {
-				base := (b*seq + s) * d
-				for c := 0; c < d; c++ {
-					g.Data[base+c] = out.Grad.Data[b*d+c] * inv
-				}
+	return newOp1(val, backMeanSeq, a)
+}
+
+func backMeanSeq(out *Variable) {
+	a := out.parents[0]
+	batch, seq, d := a.Value.Dim(0), a.Value.Dim(1), a.Value.Dim(2)
+	g := tensor.New(a.Value.Shape()...)
+	inv := 1 / float32(seq)
+	for b := 0; b < batch; b++ {
+		for s := 0; s < seq; s++ {
+			base := (b*seq + s) * d
+			for c := 0; c < d; c++ {
+				g.Data[base+c] = out.Grad.Data[b*d+c] * inv
 			}
 		}
-		a.accumulate(g)
-	}, a)
+	}
+	a.accPut(g)
 }
 
 // BroadcastSeq expands [batch, d] → [batch, seq, d] by repeating each
@@ -403,16 +658,23 @@ func BroadcastSeq(a *Variable, seq int) *Variable {
 			copy(val.Data[(b*seq+s)*d:(b*seq+s+1)*d], src)
 		}
 	}
-	return newOp(val, func(out *Variable) {
-		g := tensor.New(batch, d)
-		for b := 0; b < batch; b++ {
-			for s := 0; s < seq; s++ {
-				base := (b*seq + s) * d
-				for c := 0; c < d; c++ {
-					g.Data[b*d+c] += out.Grad.Data[base+c]
-				}
+	out := newOp1(val, backBroadcastSeq, a)
+	out.auxI = seq
+	return out
+}
+
+func backBroadcastSeq(out *Variable) {
+	a := out.parents[0]
+	batch, d := a.Value.Dim(0), a.Value.Dim(1)
+	seq := out.auxI
+	g := tensor.New(batch, d)
+	for b := 0; b < batch; b++ {
+		for s := 0; s < seq; s++ {
+			base := (b*seq + s) * d
+			for c := 0; c < d; c++ {
+				g.Data[b*d+c] += out.Grad.Data[base+c]
 			}
 		}
-		a.accumulate(g)
-	}, a)
+	}
+	a.accPut(g)
 }

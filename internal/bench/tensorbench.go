@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"pac/internal/core"
+	"pac/internal/data"
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/serve"
+	"pac/internal/tensor"
+	"pac/internal/train"
+)
+
+// BenchResult is one measured (or recorded baseline) benchmark row.
+type BenchResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// TensorBenchReport is the BENCH_tensor.json payload: the measured
+// allocation/latency profile of the pooled tensor runtime next to the
+// pre-pool seed baseline, so regressions show up as a diff against a
+// committed file rather than a number someone has to remember.
+type TensorBenchReport struct {
+	GoVersion    string           `json:"go_version"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	Workers      int              `json:"workers"`
+	SeedBaseline []BenchResult    `json:"seed_baseline"`
+	Results      []BenchResult    `json:"results"`
+	Pool         tensor.PoolStats `json:"pool"`
+}
+
+// seedBaseline is the profile of the same two benchmarks at the commit
+// before the memory-pooled runtime landed (per-op values, GOMAXPROCS=1).
+var seedBaseline = []BenchResult{
+	{Name: "cached_adapter_step", NsPerOp: 762152, BytesPerOp: 238554, AllocsPerOp: 817},
+	{Name: "serve_classify_request", NsPerOp: 362072, BytesPerOp: 154904, AllocsPerOp: 1770},
+}
+
+func row(name string, r testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// TensorBench measures the steady-state training step, one serving
+// request, and two representative kernels through testing.Benchmark,
+// and returns the report. The end-to-end cases mirror the package
+// benchmarks (BenchmarkCachedAdapterStep, BenchmarkServeClassifyRequest)
+// via the same exported entry points, so the numbers are comparable.
+func TensorBench() *TensorBenchReport {
+	rep := &TensorBenchReport{
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      tensor.MaxWorkers(),
+		SeedBaseline: seedBaseline,
+	}
+
+	// Steady-state cached-activation training step.
+	ds := data.Generate(data.GenConfig{Task: data.SST2, Size: 8, SeqLen: 16, Vocab: 64, Seed: 33})
+	f := core.New(core.Config{Model: model.Tiny(), Opts: peft.Options{Reduction: 4},
+		Stages: 1, Lanes: 1, LR: 0.01, Adam: true})
+	loader := data.NewLoader(ds, 8, 1)
+	f.Phase1Epoch(loader, 0)
+	if err := f.Redistribute(ds); err != nil {
+		panic(err)
+	}
+	pa := f.Reference()
+	opt := train.NewAdam(pa.Trainable(), 0.01)
+	mb := loader.Epoch(1)[0]
+	for i := 0; i < 3; i++ { // warm the pool and the activation cache
+		f.SteadyStep(pa, opt, mb)
+	}
+	rep.Results = append(rep.Results, row("cached_adapter_step", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.SteadyStep(pa, opt, mb)
+		}
+	})))
+
+	// One batched classification request end to end.
+	cfg := model.Tiny()
+	srv := serve.NewServer(peft.New(peft.ParallelAdapters, model.New(cfg), peft.Options{Reduction: 4}), cfg)
+	enc := [][]int{{2, 3, 4, 5, 6, 7, 8, 9}, {9, 8, 7, 6, 5, 4, 3, 2}}
+	lens := []int{8, 8}
+	for i := 0; i < 3; i++ {
+		srv.Classify(enc, lens)
+	}
+	rep.Results = append(rep.Results, row("serve_classify_request", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			srv.Classify(enc, lens)
+		}
+	})))
+
+	// Kernel microbenchmarks: the blocked transposed matmul and the
+	// in-place softmax, the two hottest fused paths.
+	ma := tensor.New(128, 128)
+	mb2 := tensor.New(128, 128)
+	for i := range ma.Data {
+		ma.Data[i] = float32(i%13) * 0.1
+		mb2.Data[i] = float32(i%7) * 0.1
+	}
+	rep.Results = append(rep.Results, row("matmult_128_pooled", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.PutTensor(tensor.MatMulT(ma, mb2))
+		}
+	})))
+	sm := tensor.New(64, 256)
+	for i := range sm.Data {
+		sm.Data[i] = float32(i%17) * 0.05
+	}
+	rep.Results = append(rep.Results, row("softmax_inplace_64x256", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.SoftmaxInPlace(sm)
+		}
+	})))
+
+	rep.Pool = tensor.ReadPoolStats()
+	return rep
+}
+
+// RenderTable formats the report as a bench.Table with the seed
+// baseline alongside for at-a-glance speedups.
+func (r *TensorBenchReport) RenderTable() *Table {
+	t := &Table{
+		Title:  "Tensor runtime allocation profile",
+		Header: []string{"benchmark", "ns/op", "B/op", "allocs/op", "seed allocs/op", "alloc ratio"},
+	}
+	base := map[string]BenchResult{}
+	for _, b := range r.SeedBaseline {
+		base[b.Name] = b
+	}
+	for _, res := range r.Results {
+		seedAllocs, ratio := "-", "-"
+		if b, ok := base[res.Name]; ok && res.AllocsPerOp > 0 {
+			seedAllocs = itoa(b.AllocsPerOp)
+			ratio = ftoa(float64(b.AllocsPerOp)/float64(res.AllocsPerOp), 1) + "x"
+		}
+		t.AddRow(res.Name, itoa(res.NsPerOp), itoa(res.BytesPerOp), itoa(res.AllocsPerOp), seedAllocs, ratio)
+	}
+	t.Notes = append(t.Notes,
+		"seed = pre-pool runtime; ratio = seed allocs / current allocs",
+		r.Pool.String())
+	return t
+}
+
+func itoa(v int64) string          { return strconv.FormatInt(v, 10) }
+func ftoa(v float64, p int) string { return strconv.FormatFloat(v, 'f', p, 64) }
+
+// JSON marshals the report with indentation for committing as
+// BENCH_tensor.json.
+func (r *TensorBenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(out, '\n')
+}

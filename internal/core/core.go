@@ -394,9 +394,18 @@ func (f *Framework) CachedEpochsFromCtx(ctx context.Context, loader *data.Loader
 	if f.cfg.OnSnapshot != nil && f.cfg.SnapshotEvery > 0 {
 		g.OnStep = func(epoch, step int) { f.maybeSnapshot(epoch, step, g) }
 	}
+	// Each rank's gathered tap tensors are pooled; recycle the previous
+	// step's set when the next one is assembled (after Release the old
+	// leaves are dead, only the batched tap buffers remain checked out).
+	prevTaps := make([][]*tensor.Tensor, workers)
 	g.Forward = func(rank int, mb *data.Batch, trainMode bool) *autograd.Variable {
 		pa := g.Techs[rank].(*peft.Parallel)
-		return pa.ForwardFromTaps(f.gatherTaps(pa, mb))
+		for _, t := range prevTaps[rank] {
+			tensor.PutTensor(t)
+		}
+		taps := f.gatherTaps(pa, mb)
+		prevTaps[rank] = taps
+		return pa.ForwardFromTaps(taps)
 	}
 	var loss float64
 	for e := 0; e < n; e++ {
@@ -442,15 +451,42 @@ func (f *Framework) gatherTaps(pa *peft.Parallel, mb *data.Batch) []*tensor.Tens
 			atomic.AddInt64(&f.recomputed, 1)
 			mCacheRecomputed.Inc()
 		}
-		for ti := range out {
+		// Copy the sample's rows into pooled batch tensors: one buffer
+		// per tap reused across steps via the pool, instead of a
+		// Clone+Concat chain that reallocates the batch once per sample.
+		for ti, t := range entry {
 			if out[ti] == nil {
-				out[ti] = entry[ti].Clone()
-			} else {
-				out[ti] = tensor.Concat(out[ti], entry[ti])
+				sh := t.Shape()
+				bshape := append([]int{len(mb.IDs)}, sh[1:]...)
+				out[ti] = tensor.GetTensor(bshape...)
 			}
+			n := t.Numel()
+			copy(out[ti].Data[i*n:(i+1)*n], t.Data)
 		}
 	}
 	return out
+}
+
+// SteadyStep runs one steady-state cached-activation training step on
+// a replica: batched tap gathering from the cache, side-network
+// forward, loss, backward, gradient clip, optimizer update, then graph
+// teardown and tap-buffer recycling. It is the per-worker inner loop of
+// CachedEpochs, exported so the allocation benchmarks (testing.B and
+// pac-bench's BENCH_tensor.json emitter) measure exactly the code the
+// epoch ≥ 2 path runs.
+func (f *Framework) SteadyStep(pa *peft.Parallel, opt train.Optimizer, mb *data.Batch) float64 {
+	taps := f.gatherTaps(pa, mb)
+	logits := pa.ForwardFromTaps(taps)
+	loss := train.Loss(logits, mb, false)
+	autograd.Backward(loss)
+	train.ClipGradNorm(opt.Params(), 1)
+	opt.Step()
+	v := float64(loss.Value.Data[0])
+	autograd.Release(loss)
+	for _, t := range taps {
+		tensor.PutTensor(t)
+	}
+	return v
 }
 
 // Recomputed returns how many cache misses were served by re-running

@@ -43,11 +43,13 @@ func (m *MultiHeadAttention) Forward(query, context *autograd.Variable, mask *te
 	v := autograd.SplitHeads(m.V.Forward(context), m.Heads)
 
 	dh := m.dim / m.Heads
-	scores := autograd.Scale(autograd.BatchMatMulT(q, k), float32(1/math.Sqrt(float64(dh))))
+	// Fused score path: Q·Kᵀ/√dh in one kernel, mask and softmax applied
+	// in place (raw scores are consumed only by the softmax).
+	scores := autograd.BatchMatMulTScaled(q, k, float32(1/math.Sqrt(float64(dh))))
 	if mask != nil {
-		scores = autograd.AddConst(scores, mask)
+		scores = autograd.AddConstInPlace(scores, mask)
 	}
-	probs := autograd.Softmax(scores)
+	probs := autograd.SoftmaxInPlace(scores)
 	ctx := autograd.BatchMatMul(probs, v) // [b*h, qLen, dh]
 	return m.O.Forward(autograd.MergeHeads(ctx, m.Heads))
 }

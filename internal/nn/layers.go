@@ -41,12 +41,14 @@ func NewLinear(in, out int, rng *tensor.RNG) *Linear {
 // Forward applies the layer. x may have any leading dimensions; the last
 // dimension must equal in. The output keeps the leading dimensions.
 func (l *Linear) Forward(x *autograd.Variable) *autograd.Variable {
+	if l.LoraA == nil {
+		// Fused hot path: one node, one buffer, no reshape views.
+		return autograd.Affine(x, l.W, l.B)
+	}
 	shape := x.Value.Shape()
 	y := autograd.AddBias(autograd.MatMul(x, l.W), l.B)
-	if l.LoraA != nil {
-		bypass := autograd.MatMul(autograd.MatMul(x, l.LoraA), l.LoraB)
-		y = autograd.Add(y, autograd.Scale(bypass, l.LoraScale))
-	}
+	bypass := autograd.MatMul(autograd.MatMul(x, l.LoraA), l.LoraB)
+	y = autograd.Add(y, autograd.Scale(bypass, l.LoraScale))
 	if len(shape) > 2 {
 		outShape := append(append([]int(nil), shape[:len(shape)-1]...), l.out)
 		y = autograd.Reshape(y, outShape...)
@@ -141,8 +143,12 @@ func NewFeedForward(dim, ffDim int, rng *tensor.RNG) *FeedForward {
 	}
 }
 
-// Forward applies the MLP.
+// Forward applies the MLP. Without LoRA bypasses both halves fuse:
+// gelu(x·W1 + b1) in one node, the down-projection in another.
 func (f *FeedForward) Forward(x *autograd.Variable) *autograd.Variable {
+	if f.Up.LoraA == nil && f.Down.LoraA == nil {
+		return autograd.Affine(autograd.AffineGELU(x, f.Up.W, f.Up.B), f.Down.W, f.Down.B)
+	}
 	return f.Down.Forward(autograd.GELU(f.Up.Forward(x)))
 }
 
@@ -170,11 +176,10 @@ func NewBottleneck(dim, r int, rng *tensor.RNG) *Bottleneck {
 	}
 }
 
-// Forward applies the residual bottleneck.
+// Forward applies the residual bottleneck (fused: bias-free AffineGELU
+// down, bias-free Affine up, residual add).
 func (b *Bottleneck) Forward(x *autograd.Variable) *autograd.Variable {
-	shape := x.Value.Shape()
-	h := autograd.MatMul(autograd.GELU(autograd.MatMul(x, b.Down)), b.Up)
-	h = autograd.Reshape(h, shape...)
+	h := autograd.Affine(autograd.AffineGELU(x, b.Down, nil), b.Up, nil)
 	return autograd.Add(x, h)
 }
 

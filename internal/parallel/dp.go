@@ -151,6 +151,7 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 			rank0 := time.Now()
 			params := g.Techs[r].Trainable()
 			var flat []float32
+			var graph *autograd.Variable
 			if r < len(shards) && shards[r].Size() > 0 {
 				shard := shards[r]
 				logits := g.forward(r, shard, true)
@@ -161,7 +162,17 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 				w := float32(shard.Size()) / float32(b.Size())
 				autograd.BackwardWithSeed(loss, tensor.FromSlice([]float32{w}, 1))
 				losses[r] = float64(loss.Value.Data[0]) * float64(w)
+				graph = loss
 			}
+			// The rank's graph is no longer needed once its gradients are
+			// flattened below (leaf grads survive teardown for the
+			// optimizer step); return its buffers to the pool even on the
+			// abort paths.
+			defer func() {
+				if graph != nil {
+					autograd.Release(graph)
+				}
+			}()
 			// Compute seconds stop before the collective — the AllReduce
 			// barrier waits on the slowest rank, so timing past it would
 			// smear a straggler across the whole group.

@@ -407,12 +407,14 @@ func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microC
 	pa := e.parallelTech()
 	needBackboneGrads := e.Tech.BackboneBackward()
 	var lossVal float64
+	var roots []*autograd.Variable
 
 	if s == S-1 {
 		loss := train.Loss(mc.logits, mc.mb, e.Regression)
 		w := float32(mc.mb.Size()) / float32(denom)
 		autograd.BackwardWithSeed(loss, tensor.FromSlice([]float32{w}, 1))
 		lossVal = float64(loss.Value.Data[0]) * float64(w)
+		roots = append(roots, loss)
 	} else {
 		raw, err := recvPeer(ctx, e.Endpoints[s], s+1, fmt.Sprintf("b%d", m))
 		if err != nil {
@@ -434,6 +436,7 @@ func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microC
 			seeds = append(seeds, in.Side)
 		}
 		autograd.BackwardMulti(outs, seeds)
+		roots = outs
 	}
 
 	if s > 0 {
@@ -455,6 +458,10 @@ func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microC
 			return 0, err
 		}
 	}
+	// The micro-batch is fully consumed (loss read, boundary gradient
+	// frames encoded): tear its graph down so the stage's intermediates
+	// go back to the pool before the next micro-batch allocates.
+	autograd.Release(roots...)
 	return lossVal, nil
 }
 

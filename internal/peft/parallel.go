@@ -113,6 +113,11 @@ func (p *Parallel) Forward(enc, dec [][]int, lens []int, train bool) *Result {
 	for i, t := range s.Taps {
 		taps[i] = t.Value
 	}
+	// The backbone's evaluation graph is dead weight once the taps are
+	// extracted: gradients never traverse it (the side network reads tap
+	// values through fresh leaves). Tear it down now, keeping only the
+	// tap tensors, so every backbone intermediate goes back to the pool.
+	autograd.ReleaseExcept(taps, s.Logits, s.Enc, s.Dec)
 	logits := p.ForwardFromTaps(taps)
 	return &Result{Logits: logits, Taps: taps}
 }
@@ -132,13 +137,11 @@ func (p *Parallel) SideInit(batch, seq int) *autograd.Variable {
 // matching [batch, seq, r] shape.
 func (p *Parallel) SideStep(i int, tap *tensor.Tensor, state *autograd.Variable) *autograd.Variable {
 	b := autograd.NewVar(tap)
-	u := autograd.MatMul(p.norms[i].Forward(b), p.down[i])
-	shape := tap.Shape()
-	u = autograd.Reshape(u, shape[0], shape[1], p.r)
-	flatState := autograd.Reshape(state, shape[0]*shape[1], p.r)
-	mixed := autograd.MatMul(flatState, p.mix[i])
-	u = autograd.Add(u, autograd.Reshape(mixed, shape[0], shape[1], p.r))
-	return autograd.GELU(u)
+	// Fused: both projections keep their 3-D shape (no reshape views) and
+	// the add+GELU lands in a single node.
+	u := autograd.Affine(p.norms[i].Forward(b), p.down[i], nil)
+	mixed := autograd.Affine(state, p.mix[i], nil)
+	return autograd.AddGELU(u, mixed)
 }
 
 // CrossOver converts the encoder-side state into the decoder-side

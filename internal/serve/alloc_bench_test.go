@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"testing"
+
+	"pac/internal/model"
+	"pac/internal/peft"
+)
+
+// BenchmarkServeClassifyRequest tracks allocations and latency of one
+// batched classification request end to end (frozen backbone + side
+// network + argmax). The CI bench-smoke job watches this number.
+func BenchmarkServeClassifyRequest(b *testing.B) {
+	cfg := model.Tiny()
+	m := model.New(cfg)
+	tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4})
+	s := NewServer(tech, cfg)
+	enc := [][]int{{2, 3, 4, 5, 6, 7, 8, 9}, {9, 8, 7, 6, 5, 4, 3, 2}}
+	lens := []int{8, 8}
+	for i := 0; i < 3; i++ { // warm the pool
+		s.Classify(enc, lens)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Classify(enc, lens)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"pac/internal/autograd"
 	"pac/internal/checkpoint"
 	"pac/internal/generate"
 	"pac/internal/health"
@@ -79,7 +80,14 @@ func (s *Server) Classify(enc [][]int, lens []int) []int {
 	res := s.tech.Forward(enc, dec, lens, false)
 	s.served.Add(int64(len(enc)))
 	s.latClassify.Observe(time.Since(t0).Seconds())
-	return tensor.ArgMaxRows(res.Logits.Value)
+	out := tensor.ArgMaxRows(res.Logits.Value)
+	// Request done: tear down the graph and recycle the per-request tap
+	// buffers (PutTensor is a no-op for taps the teardown already freed).
+	autograd.Release(res.Logits)
+	for _, tp := range res.Taps {
+		tensor.PutTensor(tp)
+	}
+	return out
 }
 
 // Generate decodes responses for the inputs (LM-configured models only).

@@ -126,6 +126,7 @@ type Registry struct {
 	series map[string]*series // key: name + canonical label string
 	kinds  map[string]kind    // name → kind (one kind per family)
 	help   map[string]string
+	hooks  []func() // run before each exposition (see OnScrape)
 }
 
 // NewRegistry returns an empty registry.
@@ -218,6 +219,28 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	return s.h
 }
 
+// OnScrape registers fn to run at the start of every exposition
+// (WritePrometheus, Vars), before the series snapshot is taken. It is
+// the pull-model bridge for sources whose state lives outside the
+// registry — e.g. the tensor pool counters and runtime.MemStats — so
+// they are sampled only when someone actually looks. Hooks must be
+// fast and must not call back into exposition.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// runHooks invokes the registered scrape hooks outside the lock.
+func (r *Registry) runHooks() {
+	r.mu.RLock()
+	hooks := r.hooks
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
 // Help attaches a # HELP line to a metric family.
 func (r *Registry) Help(name, text string) {
 	r.mu.Lock()
@@ -255,6 +278,7 @@ func formatFloat(v float64) string {
 // by label string, histograms expanded into cumulative _bucket series
 // plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.runHooks()
 	all := r.snapshotSeries()
 	r.mu.RLock()
 	kinds := make(map[string]kind, len(r.kinds))
@@ -302,6 +326,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 // /debug/vars payload. Histograms carry count/sum/quantiles and the
 // cumulative bucket counts.
 func (r *Registry) Vars() map[string]interface{} {
+	r.runHooks()
 	out := map[string]interface{}{}
 	for _, s := range r.snapshotSeries() {
 		key := s.name + labelString(s.labels)

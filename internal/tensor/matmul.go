@@ -44,21 +44,79 @@ func matShape(t *Tensor) (rows, cols int) {
 // The i-k-j loop order keeps the inner loop streaming over contiguous
 // rows of b and out.
 func matmulInto(out, a, b []float32, m, k, n int) {
-	parallelFor(m, func(start, end int) {
-		for i := start; i < end; i++ {
-			arow := a[i*k : (i+1)*k]
-			orow := out[i*n : (i+1)*n]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+	kr := getKern()
+	kr.fn = shardMatMul
+	kr.dst, kr.a, kr.b = out, a, b
+	kr.i0, kr.i1 = k, n
+	runKern(kr, m)
+}
+
+func shardMatMul(kr *kern, start, end int) {
+	k, n := kr.i0, kr.i1
+	for i := start; i < end; i++ {
+		arow := kr.a[i*k : (i+1)*k]
+		orow := kr.dst[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := kr.b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
 			}
 		}
-	})
+	}
+}
+
+// matmulTRows computes rows [i0,i1) of A·Bᵀ·alpha into o. The kernel is
+// register-blocked: four output columns share one streaming pass over
+// the A row, and the dot products unroll the reduction four-wide. Each
+// output element still accumulates its products in index order through a
+// single chain, so results are bit-identical to the naive dot product.
+func matmulTRows(o, a, b []float32, i0, i1, k, n int, alpha float32) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := o[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+				s0 = s0 + a0*b0[p] + a1*b0[p+1] + a2*b0[p+2] + a3*b0[p+3]
+				s1 = s1 + a0*b1[p] + a1*b1[p+1] + a2*b1[p+2] + a3*b1[p+3]
+				s2 = s2 + a0*b2[p] + a1*b2[p+1] + a2*b2[p+2] + a3*b2[p+3]
+				s3 = s3 + a0*b3[p] + a1*b3[p+1] + a2*b3[p+2] + a3*b3[p+3]
+			}
+			for ; p < k; p++ {
+				av := arow[p]
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			orow[j] = s0 * alpha
+			orow[j+1] = s1 * alpha
+			orow[j+2] = s2 * alpha
+			orow[j+3] = s3 * alpha
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				s = s + arow[p]*brow[p] + arow[p+1]*brow[p+1] + arow[p+2]*brow[p+2] + arow[p+3]*brow[p+3]
+			}
+			for ; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s * alpha
+		}
+	}
 }
 
 // MatMulT computes C = A·Bᵀ for A [m,k] and B [n,k]. This is the natural
@@ -71,21 +129,17 @@ func MatMulT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %v × %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	parallelFor(m, func(start, end int) {
-		for i := start; i < end; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var s float32
-				for p := range arow {
-					s += arow[p] * brow[p]
-				}
-				orow[j] = s
-			}
-		}
-	})
+	kr := getKern()
+	kr.fn = shardMatMulT
+	kr.dst, kr.a, kr.b = out.Data, a.Data, b.Data
+	kr.i0, kr.i1 = k, n
+	kr.f0 = 1
+	runKern(kr, m)
 	return out
+}
+
+func shardMatMulT(kr *kern, start, end int) {
+	matmulTRows(kr.dst, kr.a, kr.b, start, end, kr.i0, kr.i1, kr.f0)
 }
 
 // TMatMul computes C = Aᵀ·B for A [k,m] and B [k,n], i.e. the weight
@@ -98,22 +152,29 @@ func TMatMul(a, b *Tensor) *Tensor {
 	}
 	out := New(m, n)
 	// Shard over rows of the *output* to avoid write contention.
-	parallelFor(m, func(start, end int) {
-		for i := start; i < end; i++ {
-			orow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a.Data[p*m+i]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+	kr := getKern()
+	kr.fn = shardTMatMul
+	kr.dst, kr.a, kr.b = out.Data, a.Data, b.Data
+	kr.i0, kr.i1, kr.i2 = k, n, m
+	runKern(kr, m)
+	return out
+}
+
+func shardTMatMul(kr *kern, start, end int) {
+	k, n, m := kr.i0, kr.i1, kr.i2
+	for i := start; i < end; i++ {
+		orow := kr.dst[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := kr.a[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := kr.b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
 			}
 		}
-	})
-	return out
+	}
 }
 
 // BatchMatMul computes, for each batch index, C[b] = A[b]·B[b] where
@@ -125,27 +186,34 @@ func BatchMatMul(a, b *Tensor) *Tensor {
 	batch, m, k := a.shape[0], a.shape[1], a.shape[2]
 	n := b.shape[2]
 	out := New(batch, m, n)
-	parallelFor(batch, func(start, end int) {
-		for bi := start; bi < end; bi++ {
-			ab := a.Data[bi*m*k : (bi+1)*m*k]
-			bb := b.Data[bi*k*n : (bi+1)*k*n]
-			ob := out.Data[bi*m*n : (bi+1)*m*n]
-			for i := 0; i < m; i++ {
-				arow := ab[i*k : (i+1)*k]
-				orow := ob[i*n : (i+1)*n]
-				for p, av := range arow {
-					if av == 0 {
-						continue
-					}
-					brow := bb[p*n : (p+1)*n]
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
+	kr := getKern()
+	kr.fn = shardBatchMatMul
+	kr.dst, kr.a, kr.b = out.Data, a.Data, b.Data
+	kr.i0, kr.i1, kr.i2 = m, k, n
+	runKern(kr, batch)
+	return out
+}
+
+func shardBatchMatMul(kr *kern, start, end int) {
+	m, k, n := kr.i0, kr.i1, kr.i2
+	for bi := start; bi < end; bi++ {
+		ab := kr.a[bi*m*k : (bi+1)*m*k]
+		bb := kr.b[bi*k*n : (bi+1)*k*n]
+		ob := kr.dst[bi*m*n : (bi+1)*m*n]
+		for i := 0; i < m; i++ {
+			arow := ab[i*k : (i+1)*k]
+			orow := ob[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := bb[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
 // BatchMatMulT computes, for each batch index, C[b] = A[b]·B[b]ᵀ where
@@ -154,29 +222,43 @@ func BatchMatMulT(a, b *Tensor) *Tensor {
 	if len(a.shape) != 3 || len(b.shape) != 3 || a.shape[0] != b.shape[0] || a.shape[2] != b.shape[2] {
 		panic(fmt.Sprintf("tensor: BatchMatMulT shapes %v × %v", a.shape, b.shape))
 	}
-	batch, m, k := a.shape[0], a.shape[1], a.shape[2]
+	batch, m := a.shape[0], a.shape[1]
 	n := b.shape[1]
 	out := New(batch, m, n)
-	parallelFor(batch, func(start, end int) {
-		for bi := start; bi < end; bi++ {
-			ab := a.Data[bi*m*k : (bi+1)*m*k]
-			bb := b.Data[bi*n*k : (bi+1)*n*k]
-			ob := out.Data[bi*m*n : (bi+1)*m*n]
-			for i := 0; i < m; i++ {
-				arow := ab[i*k : (i+1)*k]
-				orow := ob[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					brow := bb[j*k : (j+1)*k]
-					var s float32
-					for p := range arow {
-						s += arow[p] * brow[p]
-					}
-					orow[j] = s
-				}
-			}
-		}
-	})
+	batchMatMulTScaled(out, a, b, 1)
 	return out
+}
+
+// BatchMatMulTScaled computes, per batch index, C[b] = alpha·A[b]·B[b]ᵀ
+// — the fused attention-score kernel (Q·Kᵀ/√dh in one pass).
+func BatchMatMulTScaled(a, b *Tensor, alpha float32) *Tensor {
+	if len(a.shape) != 3 || len(b.shape) != 3 || a.shape[0] != b.shape[0] || a.shape[2] != b.shape[2] {
+		panic(fmt.Sprintf("tensor: BatchMatMulTScaled shapes %v × %v", a.shape, b.shape))
+	}
+	out := New(a.shape[0], a.shape[1], b.shape[1])
+	batchMatMulTScaled(out, a, b, alpha)
+	return out
+}
+
+func batchMatMulTScaled(out, a, b *Tensor, alpha float32) {
+	batch, m, k := a.shape[0], a.shape[1], a.shape[2]
+	n := b.shape[1]
+	kr := getKern()
+	kr.fn = shardBatchMatMulT
+	kr.dst, kr.a, kr.b = out.Data, a.Data, b.Data
+	kr.i0, kr.i1, kr.i2 = m, k, n
+	kr.f0 = alpha
+	runKern(kr, batch)
+}
+
+func shardBatchMatMulT(kr *kern, start, end int) {
+	m, k, n := kr.i0, kr.i1, kr.i2
+	for bi := start; bi < end; bi++ {
+		ab := kr.a[bi*m*k : (bi+1)*m*k]
+		bb := kr.b[bi*n*k : (bi+1)*n*k]
+		ob := kr.dst[bi*m*n : (bi+1)*m*n]
+		matmulTRows(ob, ab, bb, 0, m, k, n, kr.f0)
+	}
 }
 
 // BatchTMatMul computes, for each batch index, C[b] = A[b]ᵀ·B[b] where
@@ -188,25 +270,32 @@ func BatchTMatMul(a, b *Tensor) *Tensor {
 	batch, k, m := a.shape[0], a.shape[1], a.shape[2]
 	n := b.shape[2]
 	out := New(batch, m, n)
-	parallelFor(batch, func(start, end int) {
-		for bi := start; bi < end; bi++ {
-			ab := a.Data[bi*k*m : (bi+1)*k*m]
-			bb := b.Data[bi*k*n : (bi+1)*k*n]
-			ob := out.Data[bi*m*n : (bi+1)*m*n]
-			for p := 0; p < k; p++ {
-				arow := ab[p*m : (p+1)*m]
-				brow := bb[p*n : (p+1)*n]
-				for i, av := range arow {
-					if av == 0 {
-						continue
-					}
-					orow := ob[i*n : (i+1)*n]
-					for j, bv := range brow {
-						orow[j] += av * bv
-					}
+	kr := getKern()
+	kr.fn = shardBatchTMatMul
+	kr.dst, kr.a, kr.b = out.Data, a.Data, b.Data
+	kr.i0, kr.i1, kr.i2 = k, m, n
+	runKern(kr, batch)
+	return out
+}
+
+func shardBatchTMatMul(kr *kern, start, end int) {
+	k, m, n := kr.i0, kr.i1, kr.i2
+	for bi := start; bi < end; bi++ {
+		ab := kr.a[bi*k*m : (bi+1)*k*m]
+		bb := kr.b[bi*k*n : (bi+1)*k*n]
+		ob := kr.dst[bi*m*n : (bi+1)*m*n]
+		for p := 0; p < k; p++ {
+			arow := ab[p*m : (p+1)*m]
+			brow := bb[p*n : (p+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := ob[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
 				}
 			}
 		}
-	})
-	return out
+	}
 }

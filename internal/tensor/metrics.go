@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+
+	"pac/internal/telemetry"
+)
+
+// The telemetry bridge: pool and GC state is sampled lazily, on scrape,
+// through a registry hook — the pool's own hot-path counters stay plain
+// atomics with no exposition coupling, and runtime.ReadMemStats (which
+// briefly stops the world) runs only when someone is actually looking
+// at /metrics or /debug/vars.
+func init() {
+	reg := telemetry.Default()
+	hits := reg.Counter("pac_pool_gets_total", "result", "hit")
+	misses := reg.Counter("pac_pool_gets_total", "result", "miss")
+	puts := reg.Counter("pac_pool_puts_total")
+	rejected := reg.Counter("pac_pool_put_rejected_total")
+	pooled := reg.Gauge("pac_pool_bytes")
+	heap := reg.Gauge("pac_gc_heap_alloc_bytes")
+	pause := reg.Gauge("pac_gc_pause_total_seconds")
+	cycles := reg.Counter("pac_gc_cycles_total")
+	reg.Help("pac_pool_gets_total", "Tensor pool checkouts by result (hit = recycled buffer).")
+	reg.Help("pac_pool_puts_total", "Buffers returned to the tensor pool.")
+	reg.Help("pac_pool_put_rejected_total", "Put calls rejected as foreign (non-pool) slices.")
+	reg.Help("pac_pool_bytes", "Bytes currently sitting on the pool free lists.")
+	reg.Help("pac_gc_heap_alloc_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc).")
+	reg.Help("pac_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.")
+	reg.Help("pac_gc_cycles_total", "Completed GC cycles.")
+
+	var mu sync.Mutex
+	var last PoolStats
+	var lastGC uint32
+	reg.OnScrape(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		s := ReadPoolStats()
+		hits.Add(s.Hits - last.Hits)
+		misses.Add(s.Misses - last.Misses)
+		puts.Add(s.Puts - last.Puts)
+		rejected.Add(s.Rejected - last.Rejected)
+		last = s
+		pooled.Set(float64(s.BytesPooled))
+
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapAlloc))
+		pause.Set(float64(ms.PauseTotalNs) / 1e9)
+		cycles.Add(int64(ms.NumGC - lastGC))
+		lastGC = ms.NumGC
+	})
+}

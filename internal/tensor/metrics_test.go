@@ -1,0 +1,27 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+
+	"pac/internal/telemetry"
+)
+
+func TestPoolTelemetryBridge(t *testing.T) {
+	Put(Get(64)) // ensure nonzero pool traffic
+	var sb strings.Builder
+	telemetry.Default().WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"pac_pool_gets_total{result=\"hit\"}",
+		"pac_pool_gets_total{result=\"miss\"}",
+		"pac_pool_puts_total",
+		"pac_pool_bytes",
+		"pac_gc_heap_alloc_bytes",
+		"pac_gc_pause_total_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -179,28 +179,35 @@ func Softmax(a *Tensor) *Tensor {
 	out := New(a.shape...)
 	cols := a.shape[len(a.shape)-1]
 	rows := a.Numel() / cols
-	parallelFor(rows, func(start, end int) {
-		for r := start; r < end; r++ {
-			base := r * cols
-			maxv := a.Data[base]
-			for c := 1; c < cols; c++ {
-				if a.Data[base+c] > maxv {
-					maxv = a.Data[base+c]
-				}
-			}
-			var sum float64
-			for c := 0; c < cols; c++ {
-				e := math.Exp(float64(a.Data[base+c] - maxv))
-				out.Data[base+c] = float32(e)
-				sum += e
-			}
-			inv := float32(1 / sum)
-			for c := 0; c < cols; c++ {
-				out.Data[base+c] *= inv
+	kr := getKern()
+	kr.fn = shardSoftmax
+	kr.dst, kr.a = out.Data, a.Data
+	kr.i0 = cols
+	runKern(kr, rows)
+	return out
+}
+
+func shardSoftmax(kr *kern, start, end int) {
+	cols := kr.i0
+	for r := start; r < end; r++ {
+		base := r * cols
+		maxv := kr.a[base]
+		for c := 1; c < cols; c++ {
+			if kr.a[base+c] > maxv {
+				maxv = kr.a[base+c]
 			}
 		}
-	})
-	return out
+		var sum float64
+		for c := 0; c < cols; c++ {
+			e := math.Exp(float64(kr.a[base+c] - maxv))
+			kr.dst[base+c] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for c := 0; c < cols; c++ {
+			kr.dst[base+c] *= inv
+		}
+	}
 }
 
 // LogSoftmax computes a numerically stable row-wise log-softmax over the
@@ -209,26 +216,33 @@ func LogSoftmax(a *Tensor) *Tensor {
 	out := New(a.shape...)
 	cols := a.shape[len(a.shape)-1]
 	rows := a.Numel() / cols
-	parallelFor(rows, func(start, end int) {
-		for r := start; r < end; r++ {
-			base := r * cols
-			maxv := a.Data[base]
-			for c := 1; c < cols; c++ {
-				if a.Data[base+c] > maxv {
-					maxv = a.Data[base+c]
-				}
-			}
-			var sum float64
-			for c := 0; c < cols; c++ {
-				sum += math.Exp(float64(a.Data[base+c] - maxv))
-			}
-			lse := float32(math.Log(sum)) + maxv
-			for c := 0; c < cols; c++ {
-				out.Data[base+c] = a.Data[base+c] - lse
+	kr := getKern()
+	kr.fn = shardLogSoftmax
+	kr.dst, kr.a = out.Data, a.Data
+	kr.i0 = cols
+	runKern(kr, rows)
+	return out
+}
+
+func shardLogSoftmax(kr *kern, start, end int) {
+	cols := kr.i0
+	for r := start; r < end; r++ {
+		base := r * cols
+		maxv := kr.a[base]
+		for c := 1; c < cols; c++ {
+			if kr.a[base+c] > maxv {
+				maxv = kr.a[base+c]
 			}
 		}
-	})
-	return out
+		var sum float64
+		for c := 0; c < cols; c++ {
+			sum += math.Exp(float64(kr.a[base+c] - maxv))
+		}
+		lse := float32(math.Log(sum)) + maxv
+		for c := 0; c < cols; c++ {
+			kr.dst[base+c] = kr.a[base+c] - lse
+		}
+	}
 }
 
 // LayerNormStats holds the per-row mean and inverse standard deviation
@@ -242,76 +256,65 @@ type LayerNormStats struct {
 // zero mean and unit variance, then applies the affine transform
 // gamma*x + beta. eps stabilizes the variance.
 func LayerNormForward(a, gamma, beta *Tensor, eps float32) (*Tensor, *LayerNormStats) {
+	rows := a.Numel() / a.shape[len(a.shape)-1]
+	stats := &LayerNormStats{Mean: make([]float32, rows), InvStd: make([]float32, rows)}
+	return LayerNormForwardStats(a, gamma, beta, eps, stats), stats
+}
+
+// LayerNormForwardStats is LayerNormForward writing row statistics into
+// caller-provided buffers (len == rows), so they can come from the pool.
+func LayerNormForwardStats(a, gamma, beta *Tensor, eps float32, stats *LayerNormStats) *Tensor {
 	cols := a.shape[len(a.shape)-1]
 	if gamma.Numel() != cols || beta.Numel() != cols {
 		panic("tensor: LayerNorm gamma/beta size mismatch")
 	}
 	rows := a.Numel() / cols
+	if len(stats.Mean) != rows || len(stats.InvStd) != rows {
+		panic("tensor: LayerNorm stats size mismatch")
+	}
 	out := New(a.shape...)
-	stats := &LayerNormStats{Mean: make([]float32, rows), InvStd: make([]float32, rows)}
-	parallelFor(rows, func(start, end int) {
-		for r := start; r < end; r++ {
-			base := r * cols
-			var mean float64
-			for c := 0; c < cols; c++ {
-				mean += float64(a.Data[base+c])
-			}
-			mean /= float64(cols)
-			var variance float64
-			for c := 0; c < cols; c++ {
-				d := float64(a.Data[base+c]) - mean
-				variance += d * d
-			}
-			variance /= float64(cols)
-			invStd := 1 / math.Sqrt(variance+float64(eps))
-			stats.Mean[r] = float32(mean)
-			stats.InvStd[r] = float32(invStd)
-			for c := 0; c < cols; c++ {
-				norm := (a.Data[base+c] - float32(mean)) * float32(invStd)
-				out.Data[base+c] = norm*gamma.Data[c] + beta.Data[c]
-			}
+	kr := getKern()
+	kr.fn = shardLayerNorm
+	kr.dst, kr.a, kr.b, kr.c = out.Data, a.Data, gamma.Data, beta.Data
+	kr.d, kr.e = stats.Mean, stats.InvStd
+	kr.i0 = cols
+	kr.f0 = eps
+	runKern(kr, rows)
+	return out
+}
+
+func shardLayerNorm(kr *kern, start, end int) {
+	cols := kr.i0
+	for r := start; r < end; r++ {
+		base := r * cols
+		var mean float64
+		for c := 0; c < cols; c++ {
+			mean += float64(kr.a[base+c])
 		}
-	})
-	return out, stats
+		mean /= float64(cols)
+		var variance float64
+		for c := 0; c < cols; c++ {
+			d := float64(kr.a[base+c]) - mean
+			variance += d * d
+		}
+		variance /= float64(cols)
+		invStd := 1 / math.Sqrt(variance+float64(kr.f0))
+		kr.d[r] = float32(mean)
+		kr.e[r] = float32(invStd)
+		for c := 0; c < cols; c++ {
+			norm := (kr.a[base+c] - float32(mean)) * float32(invStd)
+			kr.dst[base+c] = norm*kr.b[c] + kr.c[c]
+		}
+	}
 }
 
 // LayerNormBackward computes gradients for LayerNormForward. It returns
 // (dX, dGamma, dBeta) given the upstream gradient dOut.
 func LayerNormBackward(a, gamma, dOut *Tensor, stats *LayerNormStats) (dx, dGamma, dBeta *Tensor) {
 	cols := a.shape[len(a.shape)-1]
-	rows := a.Numel() / cols
 	dx = New(a.shape...)
 	dGamma = New(cols)
 	dBeta = New(cols)
-	// dGamma/dBeta accumulate across rows; keep that serial (cols is small)
-	// and parallelize dx by rows.
-	for r := 0; r < rows; r++ {
-		base := r * cols
-		mean, invStd := stats.Mean[r], stats.InvStd[r]
-		for c := 0; c < cols; c++ {
-			xn := (a.Data[base+c] - mean) * invStd
-			dBeta.Data[c] += dOut.Data[base+c]
-			dGamma.Data[c] += dOut.Data[base+c] * xn
-		}
-	}
-	parallelFor(rows, func(start, end int) {
-		for r := start; r < end; r++ {
-			base := r * cols
-			mean, invStd := stats.Mean[r], stats.InvStd[r]
-			var sumDy, sumDyXn float64
-			for c := 0; c < cols; c++ {
-				dy := float64(dOut.Data[base+c] * gamma.Data[c])
-				xn := float64((a.Data[base+c] - mean) * invStd)
-				sumDy += dy
-				sumDyXn += dy * xn
-			}
-			n := float64(cols)
-			for c := 0; c < cols; c++ {
-				dy := float64(dOut.Data[base+c] * gamma.Data[c])
-				xn := float64((a.Data[base+c] - mean) * invStd)
-				dx.Data[base+c] = float32(float64(invStd) * (dy - sumDy/n - xn*sumDyXn/n))
-			}
-		}
-	})
+	LayerNormBackwardInto(dx, dGamma, dBeta, a, gamma, dOut, stats)
 	return dx, dGamma, dBeta
 }

@@ -6,14 +6,21 @@ import "fmt"
 func Transpose2D(a *Tensor) *Tensor {
 	m, n := matShape(a)
 	out := New(n, m)
-	parallelFor(m, func(start, end int) {
-		for i := start; i < end; i++ {
-			for j := 0; j < n; j++ {
-				out.Data[j*m+i] = a.Data[i*n+j]
-			}
-		}
-	})
+	kr := getKern()
+	kr.fn = shardTranspose2D
+	kr.dst, kr.a = out.Data, a.Data
+	kr.i0, kr.i1 = m, n
+	runKern(kr, m)
 	return out
+}
+
+func shardTranspose2D(kr *kern, start, end int) {
+	m, n := kr.i0, kr.i1
+	for i := start; i < end; i++ {
+		for j := 0; j < n; j++ {
+			kr.dst[j*m+i] = kr.a[i*n+j]
+		}
+	}
 }
 
 // SplitHeads reshapes [batch, seq, heads*dh] into [batch*heads, seq, dh],
@@ -28,18 +35,27 @@ func SplitHeads(a *Tensor, heads int) *Tensor {
 	}
 	dh := d / heads
 	out := New(batch*heads, seq, dh)
-	parallelFor(batch, func(start, end int) {
-		for b := start; b < end; b++ {
-			for s := 0; s < seq; s++ {
-				src := a.Data[(b*seq+s)*d : (b*seq+s+1)*d]
-				for h := 0; h < heads; h++ {
-					dst := out.Data[((b*heads+h)*seq+s)*dh : ((b*heads+h)*seq+s+1)*dh]
-					copy(dst, src[h*dh:(h+1)*dh])
-				}
+	kr := getKern()
+	kr.fn = shardSplitHeads
+	kr.dst, kr.a = out.Data, a.Data
+	kr.i0, kr.i1 = seq, heads
+	kr.i2 = dh
+	runKern(kr, batch)
+	return out
+}
+
+func shardSplitHeads(kr *kern, start, end int) {
+	seq, heads, dh := kr.i0, kr.i1, kr.i2
+	d := heads * dh
+	for b := start; b < end; b++ {
+		for s := 0; s < seq; s++ {
+			src := kr.a[(b*seq+s)*d : (b*seq+s+1)*d]
+			for h := 0; h < heads; h++ {
+				dst := kr.dst[((b*heads+h)*seq+s)*dh : ((b*heads+h)*seq+s+1)*dh]
+				copy(dst, src[h*dh:(h+1)*dh])
 			}
 		}
-	})
-	return out
+	}
 }
 
 // MergeHeads inverts SplitHeads: [batch*heads, seq, dh] → [batch, seq, heads*dh].
@@ -51,18 +67,27 @@ func MergeHeads(a *Tensor, heads int) *Tensor {
 	seq, dh := a.shape[1], a.shape[2]
 	d := heads * dh
 	out := New(batch, seq, d)
-	parallelFor(batch, func(start, end int) {
-		for b := start; b < end; b++ {
-			for s := 0; s < seq; s++ {
-				dst := out.Data[(b*seq+s)*d : (b*seq+s+1)*d]
-				for h := 0; h < heads; h++ {
-					src := a.Data[((b*heads+h)*seq+s)*dh : ((b*heads+h)*seq+s+1)*dh]
-					copy(dst[h*dh:(h+1)*dh], src)
-				}
+	kr := getKern()
+	kr.fn = shardMergeHeads
+	kr.dst, kr.a = out.Data, a.Data
+	kr.i0, kr.i1 = seq, heads
+	kr.i2 = dh
+	runKern(kr, batch)
+	return out
+}
+
+func shardMergeHeads(kr *kern, start, end int) {
+	seq, heads, dh := kr.i0, kr.i1, kr.i2
+	d := heads * dh
+	for b := start; b < end; b++ {
+		for s := 0; s < seq; s++ {
+			dst := kr.dst[(b*seq+s)*d : (b*seq+s+1)*d]
+			for h := 0; h < heads; h++ {
+				src := kr.a[((b*heads+h)*seq+s)*dh : ((b*heads+h)*seq+s+1)*dh]
+				copy(dst[h*dh:(h+1)*dh], src)
 			}
 		}
-	})
-	return out
+	}
 }
 
 // Concat concatenates tensors along dimension 0. All inputs must share

@@ -19,10 +19,20 @@ type Tensor struct {
 	Data  []float32
 }
 
-// New returns a zero-filled tensor of the given shape.
+// New returns a zero-filled tensor of the given shape. The backing
+// buffer comes from the size-class pool (see pool.go): tensors that are
+// later handed to Put/PutTensor — directly, via Arena.Release, or via
+// autograd graph teardown — are recycled instead of becoming garbage.
+// Tensors that are never returned are simply collected by the GC, so
+// callers outside the training hot path need not care.
 func New(shape ...int) *Tensor {
-	n := numel(shape)
-	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float32, n)}
+	// Header and shape slice come from the shell pool too, so a fully
+	// recycled tensor (PutTensor or graph teardown) costs zero allocs
+	// the next time around.
+	t := shellPool.Get().(*Tensor)
+	t.shape = append(t.shape[:0], shape...)
+	t.Data = Get(numel(shape))
+	return t
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
@@ -84,6 +94,17 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
 	}
 	return &Tensor{shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// SetShape re-views t in place with a new shape of the same element
+// count, without allocating a view header. Only safe on tensors whose
+// header the caller exclusively owns (e.g. a kernel result it just
+// produced).
+func (t *Tensor) SetShape(shape ...int) {
+	if numel(shape) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	t.shape = append(t.shape[:0], shape...)
 }
 
 // At returns the element at the given multi-index.

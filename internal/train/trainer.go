@@ -81,7 +81,10 @@ func (t *Trainer) TrainBatch(b *data.Batch) float64 {
 		ClipGradNorm(t.Opt.Params(), t.ClipNorm)
 	}
 	t.Opt.Step()
-	return float64(loss.Value.Data[0])
+	v := float64(loss.Value.Data[0])
+	// The step is complete: return the graph's tensors to the pool.
+	autograd.Release(loss)
+	return v
 }
 
 // EvalResult aggregates evaluation metrics.
@@ -134,6 +137,7 @@ func Evaluate(tech peft.Technique, ds *data.Dataset, batchSize int) EvalResult {
 			preds = append(preds, tensor.ArgMaxRows(res.Logits.Value)...)
 			labels = append(labels, b.Labels...)
 		}
+		autograd.Release(loss)
 	}
 	out := EvalResult{N: n}
 	if n > 0 {
