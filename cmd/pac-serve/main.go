@@ -8,16 +8,23 @@
 //	          [-telemetry-addr HOST:PORT] [-flight-size N]
 //
 // Endpoints: POST /classify, POST /generate, POST /swap, GET /stats,
-// GET /metrics (Prometheus text). -telemetry-addr additionally serves
-// the debug mux (/metrics, /debug/vars, /debug/pprof and /debug/flight
-// — the flight-recorder ring of recent weight swaps as JSON) on a
-// separate address, keeping profiling off the public API port.
+// GET /metrics (Prometheus text). Requests may carry a "user" field for
+// per-user attribution (/stats reports the distinct user count); each
+// request runs under its connection context, so a client that
+// disconnects while queued behind a weight swap is dropped without
+// counting as served. -telemetry-addr additionally serves the debug mux
+// (/metrics, /debug/vars, /debug/pprof and /debug/flight — the
+// flight-recorder ring of recent weight swaps as JSON) on a separate
+// address, keeping profiling off the public API port.
+//
+// pac-loadgen replays seeded multi-user traces against this API and
+// gates latency/throughput SLOs (see BENCH_serve.json).
 //
 // Example session:
 //
 //	pac-train -save adapters.pack
 //	pac-serve -adapters adapters.pack &
-//	curl -d '{"tokens":[[17,33,21,54]]}' localhost:8080/classify
+//	curl -d '{"tokens":[[17,33,21,54]],"user":7}' localhost:8080/classify
 package main
 
 import (

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pac/internal/telemetry"
+)
+
+// OpStats is the measured serving profile of one request kind under a
+// replayed trace: issue/outcome counts, completed-request throughput
+// over the run's wall clock, and the latency digest.
+type OpStats struct {
+	Op            string              `json:"op"`
+	Issued        int64               `json:"issued"`
+	OK            int64               `json:"ok"`
+	Errors        int64               `json:"errors"`
+	Canceled      int64               `json:"canceled"`
+	ThroughputRPS float64             `json:"throughput_rps"`
+	Latency       telemetry.HistStats `json:"latency_seconds"`
+}
+
+// ServeBenchReport is the BENCH_serve.json payload — the system-level
+// counterpart of TensorBenchReport (BENCH_tensor.json). pac-loadgen
+// writes one per run; the CI loadgen-smoke job regenerates it under a
+// seeded trace and gates on the embedded SLO verdict.
+type ServeBenchReport struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Trace identity: the seed plus user population that produced the
+	// replayed request stream (diffable across runs).
+	Seed     int64   `json:"seed"`
+	Users    int     `json:"users"`
+	Requests int64   `json:"requests"`
+	Speedup  float64 `json:"speedup,omitempty"`
+
+	// IssueWallSeconds is how long the open-loop issue schedule took to
+	// drain — by construction (arrivals are precomputed) it tracks the
+	// trace duration, not server latency. WallSeconds additionally waits
+	// for the last in-flight request.
+	WallSeconds      float64 `json:"wall_seconds"`
+	IssueWallSeconds float64 `json:"issue_wall_seconds"`
+
+	Ops []OpStats `json:"ops"`
+
+	// SLO verdict, filled by the load harness when a budget was supplied.
+	SLOOk         *bool    `json:"slo_ok,omitempty"`
+	SLOViolations []string `json:"slo_violations,omitempty"`
+}
+
+// Op returns the stats for one request kind, or nil if the trace never
+// issued it.
+func (r *ServeBenchReport) Op(name string) *OpStats {
+	for i := range r.Ops {
+		if r.Ops[i].Op == name {
+			return &r.Ops[i]
+		}
+	}
+	return nil
+}
+
+// JSON marshals the report with indentation for committing as
+// BENCH_serve.json.
+func (r *ServeBenchReport) JSON() []byte {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// DecodeServeBench parses a BENCH_serve.json payload.
+func DecodeServeBench(blob []byte) (*ServeBenchReport, error) {
+	var r ServeBenchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("bench: decode serve report: %w", err)
+	}
+	return &r, nil
+}
+
+// RenderTable formats the report for terminal output.
+func (r *ServeBenchReport) RenderTable() *Table {
+	t := &Table{
+		Title:  "Serving under load",
+		Header: []string{"op", "issued", "ok", "errors", "canceled", "rps", "p50 ms", "p95 ms", "p99 ms"},
+	}
+	ms := func(s float64) string { return ftoa(s*1e3, 3) }
+	for _, op := range r.Ops {
+		t.AddRow(op.Op, itoa(op.Issued), itoa(op.OK), itoa(op.Errors), itoa(op.Canceled),
+			ftoa(op.ThroughputRPS, 1), ms(op.Latency.P50), ms(op.Latency.P95), ms(op.Latency.P99))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"seed %d, %d users, %d requests; issue wall %.2fs, total wall %.2fs",
+		r.Seed, r.Users, r.Requests, r.IssueWallSeconds, r.WallSeconds))
+	if r.SLOOk != nil {
+		if *r.SLOOk {
+			t.Notes = append(t.Notes, "SLO: all budgets met")
+		} else {
+			for _, v := range r.SLOViolations {
+				t.Notes = append(t.Notes, "SLO VIOLATION: "+v)
+			}
+		}
+	}
+	return t
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"runtime"
 	"strconv"
@@ -92,13 +93,18 @@ func TensorBench() *TensorBenchReport {
 	srv := serve.NewServer(peft.New(peft.ParallelAdapters, model.New(cfg), peft.Options{Reduction: 4}), cfg)
 	enc := [][]int{{2, 3, 4, 5, 6, 7, 8, 9}, {9, 8, 7, 6, 5, 4, 3, 2}}
 	lens := []int{8, 8}
+	ctx := context.Background()
 	for i := 0; i < 3; i++ {
-		srv.Classify(enc, lens)
+		if _, err := srv.Classify(ctx, enc, lens); err != nil {
+			panic(err)
+		}
 	}
 	rep.Results = append(rep.Results, row("serve_classify_request", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			srv.Classify(enc, lens)
+			if _, err := srv.Classify(ctx, enc, lens); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})))
 

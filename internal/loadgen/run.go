@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pac/internal/bench"
+	"pac/internal/generate"
+	"pac/internal/telemetry"
+)
+
+// RunOptions tunes trace replay.
+type RunOptions struct {
+	// Speedup compresses the trace timeline: 2 fires requests at twice
+	// the recorded rate. 0 or 1 replays in real time.
+	Speedup float64
+}
+
+// opRec accumulates one op's outcome counts and latency histogram.
+type opRec struct {
+	issued, ok, errs, canceled atomic.Int64
+	lat                        *telemetry.Histogram
+}
+
+// latBuckets spans 25µs to ~13s, ×2 per step — wide enough for an
+// in-process tiny-model hit and a badly overloaded HTTP server alike.
+func latBuckets() []float64 { return telemetry.ExpBuckets(25e-6, 2, 20) }
+
+// Run replays the trace against the target with open-loop timing: each
+// request fires at its recorded arrival offset (scaled by Speedup)
+// regardless of how slowly earlier requests complete, exactly like
+// independent users who do not wait for each other. It returns the
+// machine-readable report; canceling ctx stops issuing and drains
+// in-flight requests.
+func Run(ctx context.Context, tr *Trace, tgt Target, opts RunOptions) (*bench.ServeBenchReport, error) {
+	if len(tr.Requests) == 0 {
+		return nil, errors.New("loadgen: empty trace")
+	}
+	speed := opts.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+	reg := telemetry.NewRegistry()
+	recs := map[Op]*opRec{
+		OpClassify: {lat: reg.Histogram("loadgen_latency_seconds", latBuckets(), "op", string(OpClassify))},
+		OpGenerate: {lat: reg.Histogram("loadgen_latency_seconds", latBuckets(), "op", string(OpGenerate))},
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	issued := int64(0)
+issue:
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		due := start.Add(time.Duration(float64(req.ArrivalUS) / speed * float64(time.Microsecond)))
+		if wait := time.Until(due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				break issue
+			}
+		} else if ctx.Err() != nil {
+			break issue
+		}
+		rec, ok := recs[req.Op]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown op %q in request %d", req.Op, req.ID)
+		}
+		issued++
+		rec.issued.Add(1)
+		wg.Add(1)
+		go func(req *Request) {
+			defer wg.Done()
+			t0 := time.Now()
+			var err error
+			if req.Op == OpGenerate {
+				_, err = tgt.Generate(ctx, req.User, [][]int{req.Tokens}, []int{req.Len},
+					generate.Options{MaxLen: req.MaxLen})
+			} else {
+				_, err = tgt.Classify(ctx, req.User, [][]int{req.Tokens}, []int{req.Len})
+			}
+			switch {
+			case err == nil:
+				rec.ok.Add(1)
+				rec.lat.Observe(time.Since(t0).Seconds())
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				rec.canceled.Add(1)
+			default:
+				rec.errs.Add(1)
+			}
+		}(req)
+	}
+	issueWall := time.Since(start).Seconds()
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	rep := &bench.ServeBenchReport{
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Seed:             tr.Config.Seed,
+		Users:            tr.DistinctUsers(),
+		Requests:         issued,
+		Speedup:          speed,
+		WallSeconds:      wall,
+		IssueWallSeconds: issueWall,
+	}
+	for _, op := range []Op{OpClassify, OpGenerate} {
+		rec := recs[op]
+		if rec.issued.Load() == 0 {
+			continue
+		}
+		thr := 0.0
+		if wall > 0 {
+			thr = float64(rec.ok.Load()) / wall
+		}
+		rep.Ops = append(rep.Ops, bench.OpStats{
+			Op:            string(op),
+			Issued:        rec.issued.Load(),
+			OK:            rec.ok.Load(),
+			Errors:        rec.errs.Load(),
+			Canceled:      rec.canceled.Load(),
+			ThroughputRPS: thr,
+			Latency:       rec.lat.Stats(),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"pac/internal/generate"
+	"pac/internal/serve"
+)
+
+// Target abstracts where replayed requests land: a serve.Server in the
+// same process (zero-copy dispatch, used by tests and the default
+// pac-loadgen mode) or a pac-serve instance over HTTP.
+type Target interface {
+	Classify(ctx context.Context, user int, enc [][]int, lens []int) ([]int, error)
+	Generate(ctx context.Context, user int, enc [][]int, lens []int, opts generate.Options) ([][]int, error)
+}
+
+// InProcess dispatches straight into a serve.Server, exercising the
+// same per-user attribution and cancellation paths as the HTTP face
+// without network noise.
+type InProcess struct {
+	Srv *serve.Server
+}
+
+// Classify implements Target.
+func (t InProcess) Classify(ctx context.Context, user int, enc [][]int, lens []int) ([]int, error) {
+	return t.Srv.ClassifyFor(ctx, user, enc, lens)
+}
+
+// Generate implements Target.
+func (t InProcess) Generate(ctx context.Context, user int, enc [][]int, lens []int, opts generate.Options) ([][]int, error) {
+	return t.Srv.GenerateFor(ctx, user, enc, lens, opts)
+}
+
+// HTTPTarget replays against a pac-serve API base URL (e.g.
+// "http://127.0.0.1:8080").
+type HTTPTarget struct {
+	Base   string
+	Client *http.Client
+}
+
+func (t HTTPTarget) post(ctx context.Context, path string, body, out interface{}) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(t.Base, "/") + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("loadgen: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Classify implements Target.
+func (t HTTPTarget) Classify(ctx context.Context, user int, enc [][]int, lens []int) ([]int, error) {
+	var out struct {
+		Classes []int `json:"classes"`
+	}
+	err := t.post(ctx, "/classify", map[string]interface{}{
+		"tokens": enc, "lens": lens, "user": user,
+	}, &out)
+	return out.Classes, err
+}
+
+// Generate implements Target.
+func (t HTTPTarget) Generate(ctx context.Context, user int, enc [][]int, lens []int, opts generate.Options) ([][]int, error) {
+	var out struct {
+		Outputs [][]int `json:"outputs"`
+	}
+	err := t.post(ctx, "/generate", map[string]interface{}{
+		"tokens": enc, "lens": lens, "user": user,
+		"max_len": opts.MaxLen, "temperature": opts.Temperature,
+	}, &out)
+	return out.Outputs, err
+}

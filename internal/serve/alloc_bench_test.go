@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"testing"
 
 	"pac/internal/model"
@@ -17,12 +18,17 @@ func BenchmarkServeClassifyRequest(b *testing.B) {
 	s := NewServer(tech, cfg)
 	enc := [][]int{{2, 3, 4, 5, 6, 7, 8, 9}, {9, 8, 7, 6, 5, 4, 3, 2}}
 	lens := []int{8, 8}
+	ctx := context.Background()
 	for i := 0; i < 3; i++ { // warm the pool
-		s.Classify(enc, lens)
+		if _, err := s.Classify(ctx, enc, lens); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Classify(enc, lens)
+		if _, err := s.Classify(ctx, enc, lens); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,26 +1,37 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
 	"pac/internal/generate"
 )
 
+// StatusClientClosedRequest is the (nginx-convention) status reported
+// when the client abandoned the request before the model ran.
+const StatusClientClosedRequest = 499
+
 // Handler exposes a Server over HTTP with a small JSON API:
 //
-//	POST /classify {"tokens": [[...]], "lens": [...]}        → {"classes": [...]}
-//	POST /generate {"tokens": [[...]], "lens": [...], "max_len": N, "temperature": T}
-//	                                                          → {"outputs": [[...]]}
-//	POST /swap     {"path": "adapters.pack"}                  → {"ok": true}
-//	GET  /stats                                               → {"served": N, "swaps": N, "batches": N,
-//	                                                             "batch_size": {...}, "classify_seconds": {...},
-//	                                                             "generate_seconds": {...}}
-//	GET  /metrics                                             → Prometheus text exposition
+//	POST /classify {"tokens": [[...]], "lens": [...], "user": U}  → {"classes": [...]}
+//	POST /generate {"tokens": [[...]], "lens": [...], "user": U,
+//	                "max_len": N, "temperature": T}               → {"outputs": [[...]]}
+//	POST /swap     {"path": "adapters.pack"}                      → {"ok": true}
+//	GET  /stats                                                   → {"served": N, "swaps": N, "batches": N,
+//	                                                                 "users": N, "canceled": N,
+//	                                                                 "batch_size": {...}, "classify_seconds": {...},
+//	                                                                 "generate_seconds": {...}}
+//	GET  /metrics                                                 → Prometheus text exposition
 //
 // The histogram summaries carry count, sum, p50/p95/p99 and cumulative
-// bucket counts.
+// bucket counts. The optional "user" field attributes the request to a
+// user id (pac-loadgen sets it when replaying multi-user traces); omit
+// it for anonymous requests. Each request runs under the connection's
+// context: a client that disconnects while its request is queued behind
+// a weight swap is dropped without counting toward served totals.
 //
 // It is the network face of the Figure-1 agent: LAN clients (other
 // household devices) query the personal LLM that PAC keeps fine-tuning.
@@ -30,6 +41,7 @@ func Handler(s *Server) http.Handler {
 	type seqReq struct {
 		Tokens      [][]int `json:"tokens"`
 		Lens        []int   `json:"lens"`
+		User        int     `json:"user"`
 		MaxLen      int     `json:"max_len"`
 		Temperature float64 `json:"temperature"`
 	}
@@ -38,7 +50,7 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
 			return nil, false
 		}
-		var req seqReq
+		req := seqReq{User: AnonUser}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 			return nil, false
@@ -71,13 +83,25 @@ func Handler(s *Server) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(v)
 	}
+	writeErr := func(w http.ResponseWriter, err error) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			http.Error(w, err.Error(), StatusClientClosedRequest)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
 
 	mux.HandleFunc("/classify", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decode(w, r)
 		if !ok {
 			return
 		}
-		writeJSON(w, map[string]interface{}{"classes": s.Classify(req.Tokens, req.Lens)})
+		classes, err := s.ClassifyFor(r.Context(), req.User, req.Tokens, req.Lens)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]interface{}{"classes": classes})
 	})
 
 	mux.HandleFunc("/generate", func(w http.ResponseWriter, r *http.Request) {
@@ -85,10 +109,10 @@ func Handler(s *Server) http.Handler {
 		if !ok {
 			return
 		}
-		out, err := s.Generate(req.Tokens, req.Lens,
+		out, err := s.GenerateFor(r.Context(), req.User, req.Tokens, req.Lens,
 			generate.Options{MaxLen: req.MaxLen, Temperature: req.Temperature})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeErr(w, err)
 			return
 		}
 		writeJSON(w, map[string]interface{}{"outputs": out})
@@ -118,6 +142,8 @@ func Handler(s *Server) http.Handler {
 			"served":           s.Served(),
 			"swaps":            s.Swaps(),
 			"batches":          s.batches.Value(),
+			"users":            s.Users(),
+			"canceled":         s.Canceled(),
 			"batch_size":       s.batchSize.Summary(),
 			"classify_seconds": s.latClassify.Summary(),
 			"generate_seconds": s.latGenerate.Summary(),

@@ -210,3 +210,42 @@ func TestHTTPStatsLatencyAndMetrics(t *testing.T) {
 		t.Fatal("nil registry")
 	}
 }
+
+func TestHTTPUserAttribution(t *testing.T) {
+	ts, srv, _ := httpServer(t, false)
+	for _, user := range []int{5, 5, 11} {
+		resp := post(t, ts.URL+"/classify", map[string]interface{}{
+			"tokens": [][]int{{2, 3, 4, 5}}, "user": user,
+		})
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	// No user field → anonymous, not attributed.
+	resp := post(t, ts.URL+"/classify", map[string]interface{}{
+		"tokens": [][]int{{2, 3, 4, 5}},
+	})
+	resp.Body.Close()
+	if srv.Users() != 2 {
+		t.Fatalf("users %d want 2", srv.Users())
+	}
+	if counts := srv.UserCounts(); counts[5] != 2 || counts[11] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats map[string]interface{}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["users"] != float64(2) {
+		t.Fatalf("stats users %v", stats["users"])
+	}
+	if _, ok := stats["canceled"]; !ok {
+		t.Fatal("stats missing canceled")
+	}
+}

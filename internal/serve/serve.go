@@ -7,6 +7,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -37,11 +38,21 @@ type Server struct {
 	reg         *telemetry.Registry
 	served      *telemetry.Counter
 	swapped     *telemetry.Counter
+	canceled    *telemetry.Counter
 	batches     *telemetry.Counter
 	batchSize   *telemetry.Histogram
 	latClassify *telemetry.Histogram
 	latGenerate *telemetry.Histogram
+
+	// Per-user request attribution: which users this replica actually
+	// serves, fed by the load harness and the adapter-routing work that
+	// builds on it. AnonUser requests are not attributed.
+	umu        sync.Mutex
+	userServed map[int]int64
 }
+
+// AnonUser marks a request with no user attribution.
+const AnonUser = -1
 
 // NewServer wraps a technique for serving. The technique's model must
 // match cfg.
@@ -50,16 +61,19 @@ func NewServer(tech peft.Technique, cfg model.Config) *Server {
 	reg.Help("pac_serve_served_total", "Sequences answered.")
 	reg.Help("pac_serve_swaps_total", "Adapter hot-swaps performed.")
 	reg.Help("pac_serve_request_seconds", "Model-invocation latency per API request.")
+	reg.Help("pac_serve_canceled_total", "Requests abandoned before the model ran (context canceled).")
 	s := &Server{
 		tech:        tech,
 		cfg:         cfg,
 		reg:         reg,
 		served:      reg.Counter("pac_serve_served_total"),
 		swapped:     reg.Counter("pac_serve_swaps_total"),
+		canceled:    reg.Counter("pac_serve_canceled_total"),
 		batches:     reg.Counter("pac_serve_batches_total"),
 		batchSize:   reg.Histogram("pac_serve_batch_size", telemetry.ExpBuckets(1, 2, 9)),
 		latClassify: reg.Histogram("pac_serve_request_seconds", nil, "op", "classify"),
 		latGenerate: reg.Histogram("pac_serve_request_seconds", nil, "op", "generate"),
+		userServed:  make(map[int]int64),
 	}
 	return s
 }
@@ -68,17 +82,68 @@ func NewServer(tech peft.Technique, cfg model.Config) *Server {
 // and the debug mux).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
-// Classify returns the argmax class per input sequence.
-func (s *Server) Classify(enc [][]int, lens []int) []int {
+// attribute credits n served sequences to user (AnonUser is skipped).
+func (s *Server) attribute(user int, n int) {
+	if user < 0 {
+		return
+	}
+	s.umu.Lock()
+	s.userServed[user] += int64(n)
+	s.umu.Unlock()
+}
+
+// Users returns the number of distinct attributed users served so far.
+func (s *Server) Users() int {
+	s.umu.Lock()
+	defer s.umu.Unlock()
+	return len(s.userServed)
+}
+
+// UserCounts returns a copy of the per-user served totals.
+func (s *Server) UserCounts() map[int]int64 {
+	s.umu.Lock()
+	defer s.umu.Unlock()
+	out := make(map[int]int64, len(s.userServed))
+	for u, n := range s.userServed {
+		out[u] = n
+	}
+	return out
+}
+
+// Canceled returns how many requests were abandoned before the model ran.
+func (s *Server) Canceled() int64 { return s.canceled.Value() }
+
+// Classify returns the argmax class per input sequence. A canceled
+// context aborts before the model runs (the request does not count
+// toward served totals); cancellation cannot interrupt an already
+// running forward pass.
+func (s *Server) Classify(ctx context.Context, enc [][]int, lens []int) ([]int, error) {
+	return s.ClassifyFor(ctx, AnonUser, enc, lens)
+}
+
+// ClassifyFor is Classify with per-user attribution: the load harness
+// and adapter routing use it to track which users a replica serves.
+func (s *Server) ClassifyFor(ctx context.Context, user int, enc [][]int, lens []int) ([]int, error) {
 	t0 := time.Now()
+	if err := ctx.Err(); err != nil {
+		s.canceled.Inc()
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// Re-check after acquiring the read side: a request that waited out a
+	// weight swap may have been abandoned by its caller meanwhile.
+	if err := ctx.Err(); err != nil {
+		s.canceled.Inc()
+		return nil, err
+	}
 	dec := make([][]int, len(enc))
 	for i := range dec {
 		dec[i] = []int{0}
 	}
 	res := s.tech.Forward(enc, dec, lens, false)
 	s.served.Add(int64(len(enc)))
+	s.attribute(user, len(enc))
 	s.latClassify.Observe(time.Since(t0).Seconds())
 	out := tensor.ArgMaxRows(res.Logits.Value)
 	// Request done: tear down the graph and recycle the per-request tap
@@ -87,19 +152,35 @@ func (s *Server) Classify(enc [][]int, lens []int) []int {
 	for _, tp := range res.Taps {
 		tensor.PutTensor(tp)
 	}
-	return out
+	return out, nil
 }
 
 // Generate decodes responses for the inputs (LM-configured models only).
-func (s *Server) Generate(enc [][]int, lens []int, opts generate.Options) ([][]int, error) {
+// Context semantics match Classify: cancellation before the decode
+// starts aborts without counting the request as served.
+func (s *Server) Generate(ctx context.Context, enc [][]int, lens []int, opts generate.Options) ([][]int, error) {
+	return s.GenerateFor(ctx, AnonUser, enc, lens, opts)
+}
+
+// GenerateFor is Generate with per-user attribution.
+func (s *Server) GenerateFor(ctx context.Context, user int, enc [][]int, lens []int, opts generate.Options) ([][]int, error) {
 	if !s.cfg.LM {
 		return nil, fmt.Errorf("serve: model is not LM-configured")
 	}
 	t0 := time.Now()
+	if err := ctx.Err(); err != nil {
+		s.canceled.Inc()
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		s.canceled.Inc()
+		return nil, err
+	}
 	out := generate.Decode(s.tech, enc, lens, opts)
 	s.served.Add(int64(len(enc)))
+	s.attribute(user, len(enc))
 	s.latGenerate.Observe(time.Since(t0).Seconds())
 	return out, nil
 }
@@ -197,8 +278,12 @@ func (b *Batcher) loop() {
 			enc[i] = r.enc
 			lens[i] = r.lens
 		}
-		preds := b.srv.Classify(enc, lens)
+		preds, err := b.srv.Classify(context.Background(), enc, lens)
 		for i, r := range batch {
+			if err != nil {
+				r.resp <- -1
+				continue
+			}
 			r.resp <- preds[i]
 		}
 		b.srv.batches.Inc()

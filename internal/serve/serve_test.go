@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -26,7 +28,10 @@ func server(t *testing.T) (*Server, model.Config) {
 
 func TestClassifyCountsAndShapes(t *testing.T) {
 	s, _ := server(t)
-	preds := s.Classify([][]int{{2, 3, 4, 5}, {6, 7, 8, 9}}, []int{4, 4})
+	preds, err := s.Classify(context.Background(), [][]int{{2, 3, 4, 5}, {6, 7, 8, 9}}, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(preds) != 2 {
 		t.Fatalf("preds %v", preds)
 	}
@@ -42,7 +47,7 @@ func TestClassifyCountsAndShapes(t *testing.T) {
 
 func TestGenerateRequiresLMConfig(t *testing.T) {
 	s, _ := server(t)
-	if _, err := s.Generate([][]int{{2, 3}}, []int{2}, generate.Options{}); err == nil {
+	if _, err := s.Generate(context.Background(), [][]int{{2, 3}}, []int{2}, generate.Options{}); err == nil {
 		t.Fatal("non-LM server generated")
 	}
 
@@ -51,7 +56,7 @@ func TestGenerateRequiresLMConfig(t *testing.T) {
 	m := model.New(cfg)
 	tech := peft.New(peft.Full, m, peft.Options{})
 	lm := NewServer(tech, cfg)
-	out, err := lm.Generate([][]int{{2, 3, 4, 5}}, []int{4}, generate.Options{MaxLen: 3})
+	out, err := lm.Generate(context.Background(), [][]int{{2, 3, 4, 5}}, []int{4}, generate.Options{MaxLen: 3})
 	if err != nil || len(out) != 1 {
 		t.Fatalf("generate: %v %v", out, err)
 	}
@@ -61,7 +66,9 @@ func TestUpdateWeightsChangesAnswers(t *testing.T) {
 	s, _ := server(t)
 	enc := [][]int{{2, 3, 4, 5}}
 	lens := []int{4}
-	s.Classify(enc, lens) // warm
+	if _, err := s.Classify(context.Background(), enc, lens); err != nil { // warm
+		t.Fatal(err)
+	}
 
 	// Push deliberately skewed weights: bias the head hard toward class 1.
 	params := s.tech.Trainable()
@@ -70,7 +77,11 @@ func TestUpdateWeightsChangesAnswers(t *testing.T) {
 	flat[len(flat)-2] = -100
 	flat[len(flat)-1] = +100
 	s.UpdateWeights(flat)
-	if got := s.Classify(enc, lens); got[0] != 1 {
+	got, err := s.Classify(context.Background(), enc, lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
 		t.Fatalf("skewed head still predicts %d", got[0])
 	}
 	if s.Swaps() != 1 {
@@ -131,7 +142,10 @@ func TestServeWhileFineTuning(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				s.Classify([][]int{{2, 3, 4, 5}}, []int{4})
+				if _, err := s.Classify(context.Background(), [][]int{{2, 3, 4, 5}}, []int{4}); err != nil {
+					t.Error(err)
+					return
+				}
 				served++
 			}
 		}
@@ -200,4 +214,72 @@ func TestBatcherCloseIdempotent(t *testing.T) {
 	b := NewBatcher(s, 4, time.Millisecond)
 	b.Close()
 	b.Close() // second close must not panic
+}
+
+func TestCancelledRequestNotCounted(t *testing.T) {
+	s, _ := server(t)
+	enc, lens := [][]int{{2, 3, 4, 5}}, []int{4}
+
+	// Already-canceled context: rejected before the model runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Classify(ctx, enc, lens); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := s.Generate(ctx, enc, lens, generate.Options{}); err == nil {
+		t.Fatal("canceled generate succeeded")
+	}
+	if s.Served() != 0 {
+		t.Fatalf("canceled request counted as served: %d", s.Served())
+	}
+	if s.Canceled() == 0 {
+		t.Fatal("cancellation not recorded")
+	}
+
+	// Canceled while queued behind a weight swap: the request blocks on
+	// the read lock, is abandoned, and must not count once it unblocks.
+	s.mu.Lock()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.ClassifyFor(ctx2, 7, enc, lens)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request park on the lock
+	cancel2()
+	s.mu.Unlock()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued request: want context.Canceled, got %v", err)
+	}
+	if s.Served() != 0 {
+		t.Fatalf("abandoned queued request counted as served: %d", s.Served())
+	}
+	if s.Users() != 0 {
+		t.Fatalf("abandoned request attributed: %v", s.UserCounts())
+	}
+}
+
+func TestPerUserAttribution(t *testing.T) {
+	s, _ := server(t)
+	ctx := context.Background()
+	enc, lens := [][]int{{2, 3, 4, 5}}, []int{4}
+	for _, u := range []int{3, 3, 9} {
+		if _, err := s.ClassifyFor(ctx, u, enc, lens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Anonymous requests serve but are not attributed.
+	if _, err := s.Classify(ctx, enc, lens); err != nil {
+		t.Fatal(err)
+	}
+	if s.Users() != 2 {
+		t.Fatalf("users %d want 2", s.Users())
+	}
+	counts := s.UserCounts()
+	if counts[3] != 2 || counts[9] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	if s.Served() != 4 {
+		t.Fatalf("served %d want 4", s.Served())
+	}
 }

@@ -130,11 +130,50 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// HistStats is the typed digest of a histogram — count, sum and the
+// standard latency percentiles. It marshals to stable JSON, so reports
+// that embed it (BENCH_serve.json, SLO evaluation) round-trip through
+// encode/decode unchanged.
+type HistStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Percentile returns the named percentile ("p50", "p95", "p99") from the
+// digest; ok is false for an unknown name.
+func (s HistStats) Percentile(name string) (v float64, ok bool) {
+	switch name {
+	case "p50":
+		return s.P50, true
+	case "p95":
+		return s.P95, true
+	case "p99":
+		return s.P99, true
+	}
+	return 0, false
+}
+
+// Stats returns the typed digest used by machine-readable reports.
+func (h *Histogram) Stats() HistStats {
+	_, sum, count := h.snapshot()
+	return HistStats{
+		Count: count,
+		Sum:   sum,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
 // Summary returns the JSON-friendly digest used by /debug/vars and the
 // serving /stats endpoint: count, sum, p50/p95/p99, and the cumulative
 // bucket counts keyed by upper bound.
 func (h *Histogram) Summary() map[string]interface{} {
-	counts, sum, count := h.snapshot()
+	counts, _, _ := h.snapshot()
+	st := h.Stats()
 	buckets := map[string]int64{}
 	var cum int64
 	for i, c := range counts {
@@ -146,11 +185,11 @@ func (h *Histogram) Summary() map[string]interface{} {
 		buckets[le] = cum
 	}
 	return map[string]interface{}{
-		"count":   count,
-		"sum":     sum,
-		"p50":     h.Quantile(0.50),
-		"p95":     h.Quantile(0.95),
-		"p99":     h.Quantile(0.99),
+		"count":   st.Count,
+		"sum":     st.Sum,
+		"p50":     st.P50,
+		"p95":     st.P95,
+		"p99":     st.P99,
 		"buckets": buckets,
 	}
 }
