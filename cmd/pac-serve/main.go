@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pac-serve [-addr :8080] [-lm] [-vocab N] [-adapters FILE]
+//	          [-replicas N] [-min-replicas N] [-fleet-journal FILE]
 //	          [-telemetry-addr HOST:PORT] [-flight-size N]
 //
 // Endpoints: POST /classify, POST /generate, POST /swap, GET /stats,
@@ -16,6 +17,15 @@
 // (/metrics, /debug/vars, /debug/pprof and /debug/flight — the
 // flight-recorder ring of recent weight swaps as JSON) on a separate
 // address, keeping profiling off the public API port.
+//
+// -replicas N > 1 hosts a fleet.ReplicaSet of N identical replicas
+// behind the same API instead of a single server. Requests round-robin
+// over in-service replicas, POST /swap becomes a goal-state rolling
+// operation (each replica is drained, quiesced, snapshotted, swapped,
+// and rejoined in turn, never dropping below the -min-replicas floor —
+// zero-downtime by construction), GET /fleet/status reports the
+// observed fleet and last rollout plan, and -fleet-journal makes
+// rollouts crash-resumable.
 //
 // pac-loadgen replays seeded multi-user traces against this API and
 // gates latency/throughput SLOs (see BENCH_serve.json).
@@ -34,6 +44,7 @@ import (
 	"os"
 
 	"pac/internal/checkpoint"
+	"pac/internal/fleet"
 	"pac/internal/health"
 	"pac/internal/model"
 	"pac/internal/peft"
@@ -47,6 +58,9 @@ func main() {
 	lm := flag.Bool("lm", false, "serve a language model (enables /generate)")
 	vocab := flag.Int("vocab", 64, "vocabulary size")
 	adapters := flag.String("adapters", "", "checkpoint to load at startup")
+	replicas := flag.Int("replicas", 1, "serving replicas behind the fleet router (>1 makes /swap a zero-downtime rolling operation)")
+	minReplicas := flag.Int("min-replicas", 1, "in-service floor during rolling operations (fleet mode)")
+	fleetJournal := flag.String("fleet-journal", "", "crash-resume journal for rolling operations (fleet mode; empty disables)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve the debug mux (/metrics, /debug/vars, /debug/pprof, /debug/flight) on this address (empty disables)")
 	flightSize := flag.Int("flight-size", 128, "flight-recorder ring capacity in events (0 disables)")
 	workers := flag.Int("workers", 0, "kernel worker goroutines for tensor ops (0 = GOMAXPROCS default)")
@@ -67,15 +81,43 @@ func main() {
 		cfg.NumClasses = *vocab
 		cfg.LM = true
 	}
-	m := model.New(cfg)
-	tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 2})
-	srv := serve.NewServer(tech, cfg)
 
-	if *adapters != "" {
-		if _, err := checkpoint.Load(*adapters, tech, cfg); err != nil {
+	// Backend: a single server, or a replica fleet whose /swap is an
+	// orchestrated zero-downtime rolling operation.
+	var backend serve.Backend
+	newReplica := func() (*serve.Server, error) {
+		m := model.New(cfg)
+		tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 2})
+		if *adapters != "" {
+			if _, err := checkpoint.Load(*adapters, tech, cfg); err != nil {
+				return nil, err
+			}
+		}
+		return serve.NewServer(tech, cfg), nil
+	}
+	if *replicas > 1 {
+		rs := fleet.NewReplicaSet()
+		rs.MinReplicas = *minReplicas
+		rs.JournalPath = *fleetJournal
+		for i := 0; i < *replicas; i++ {
+			srv, err := newReplica()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pac-serve: replica %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			rs.Add(fmt.Sprintf("replica-%d", i), 0, srv)
+		}
+		backend = rs
+		fmt.Printf("fleet: %d replicas, floor %d\n", *replicas, *minReplicas)
+	} else {
+		srv, err := newReplica()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "pac-serve: %v\n", err)
 			os.Exit(1)
 		}
+		backend = srv
+	}
+	if *adapters != "" {
 		fmt.Printf("loaded adapters from %s\n", *adapters)
 	}
 
@@ -95,7 +137,7 @@ func main() {
 	}
 
 	fmt.Printf("serving %s (lm=%v, vocab=%d) on %s\n", cfg.Name, *lm, *vocab, *addr)
-	if err := http.ListenAndServe(*addr, serve.Handler(srv)); err != nil {
+	if err := http.ListenAndServe(*addr, serve.HandlerFor(backend)); err != nil {
 		fmt.Fprintf(os.Stderr, "pac-serve: %v\n", err)
 		os.Exit(1)
 	}

@@ -65,6 +65,7 @@ import (
 	"pac/internal/core"
 	"pac/internal/costmodel"
 	"pac/internal/data"
+	"pac/internal/fleet"
 	"pac/internal/health"
 	"pac/internal/model"
 	"pac/internal/parallel"
@@ -82,6 +83,7 @@ import (
 var (
 	mReplansFailure = telemetry.Default().Counter("pac_replans_total", "trigger", "failure")
 	mReplansDrift   = telemetry.Default().Counter("pac_replans_total", "trigger", "drift")
+	mReplansFleet   = telemetry.Default().Counter("pac_replans_total", "trigger", "fleet")
 	mReplanImproved = telemetry.Default().Counter("pac_replan_outcomes_total", "outcome", "improved")
 	mReplanRegressd = telemetry.Default().Counter("pac_replan_outcomes_total", "outcome", "regressed")
 )
@@ -167,6 +169,9 @@ func run(args []string, out io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write the run's Chrome/Perfetto JSON trace to this file")
 	faultDrop := fs.Float64("fault-drop", 0, "per-send probability of an injected transient drop (0 disables)")
 	replanOnDrift := fs.Bool("replan-on-drift", false, "let health-monitor straggler/drift alerts trigger a re-plan (quarantine + profile feedback)")
+	drainDevice := fs.Int("drain-device", -1, "orchestrate a goal-state maintenance drain of this device index mid-run (-1 disables)")
+	drainDelay := fs.Duration("drain-delay", 50*time.Millisecond, "delay before the -drain-device fleet drain starts (after the first snapshot when -snapshot-every > 0)")
+	fleetJournal := fs.String("fleet-journal", "", "crash-resume journal for the -drain-device fleet drain (empty disables)")
 	stragglerFactor := fs.Float64("straggler-factor", 3, "flag a lane/rank as a straggler when slower than the healthy median by this factor")
 	flightSize := fs.Int("flight-size", 256, "flight-recorder ring capacity in events (0 disables)")
 	flightOut := fs.String("flight-out", "", "write the flight-recorder dump to this file at exit")
@@ -483,14 +488,43 @@ func run(args []string, out io.Writer) error {
 	before := f.Evaluate(evalDS, *batch)
 	fmt.Fprintf(out, "before: loss %.4f, metric %.2f\n", before.Loss, before.Metric(task))
 
+	// Fleet drain: the goal-state orchestrator drains one device for
+	// maintenance while training runs — Snapshot (wait for a training
+	// snapshot to exist), Drain (quarantine the device and request a
+	// re-plan through the same guard the drift path uses), Quiesce,
+	// Verify. The goroutine never writes to out; its outcome is collected
+	// after the supervisor loop finishes.
+	fleetResult := make(chan string, 1)
+	if *drainDevice >= 0 {
+		if *drainDevice >= pool.Size() {
+			return fmt.Errorf("-drain-device %d out of range (pool has %d devices)", *drainDevice, pool.Size())
+		}
+		go func() {
+			// Pace the drain by training progress, not wall clock: wait for
+			// the first snapshot so the Drain step interrupts a run that is
+			// demonstrably past its first epoch (bounded so a crashed run
+			// cannot wedge the drain forever).
+			if *snapEvery > 0 {
+				deadline := time.Now().Add(30 * time.Second)
+				for latestSnapshot() == nil && time.Now().Before(deadline) {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+			time.Sleep(*drainDelay)
+			fleetResult <- runFleetDrain(*drainDevice, *stages, pool, live, &guard,
+				*snapEvery > 0, latestSnapshot, *fleetJournal)
+		}()
+	}
+
 	start := time.Now()
-	// The supervisor loop: train; on a device failure or a health-monitor
-	// drift request — both funneled through replanGuard — attribute the
-	// cause, re-plan, restore the latest snapshot, salvage the cache, and
-	// resume from the cursor. No restart from scratch as long as a
-	// snapshot exists.
+	// The supervisor loop: train; on a device failure, a health-monitor
+	// drift request, or a fleet drain — all funneled through replanGuard
+	// — attribute the cause, re-plan, restore the latest snapshot,
+	// salvage the cache, and resume from the cursor. No restart from
+	// scratch as long as a snapshot exists.
 	recoveries := 0
 	driftReplans := 0
+	fleetReplans := 0
 	var loss float64
 	for {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -540,6 +574,28 @@ func run(args []string, out io.Writer) error {
 				// (collective-level fault): keep the pool intact rather than
 				// blaming an arbitrary member.
 				fmt.Fprintf(out, "FAILURE: unknown device (rank %d, lane %d): %v — pool unchanged\n", rf.Rank, rf.Lane, rf)
+			}
+		case trigger == "fleet":
+			// Fleet path: the orchestrator's Drain step quarantined a
+			// device for maintenance and requested this re-plan. Like
+			// drift, the device is sidelined (not dead) and the re-plan
+			// does not consume the failure-recovery budget.
+			mReplansFleet.Inc()
+			fleetReplans++
+			health.Flight().Record("replan", alert.Lane, -1, "fleet", 0)
+			tracer.Instant("replan", "replan:fleet", 0, 0)
+			survivors := live.Survivors(pool)
+			fmt.Fprintf(out, "re-planning on fleet drain: %d surviving device(s): %v\n",
+				survivors.Size(), deviceNames(survivors))
+			costs := costmodel.Costs{Cfg: cfg, Kind: peft.ParallelAdapters, EncSeq: 16, DecSeq: 2}
+			in := planner.Input{Blocks: costs.Blocks(), Cluster: survivors, MiniBatch: *batch}
+			if plan, perr := planner.New(in); perr != nil {
+				fmt.Fprintf(out, "re-plan (fleet): no feasible configuration on survivors (%v)\n", perr)
+			} else {
+				fmt.Fprintf(out, "re-plan (fleet): %s\n", plan)
+			}
+			if coreCfg.Lanes > 1 {
+				coreCfg.Lanes--
 			}
 		case trigger == "drift":
 			// Health path: the monitor flagged a straggling lane and won the
@@ -624,6 +680,10 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "health: %d step reports, %d alerts, %d drift re-plan(s) across %d attempt(s)\n",
 		totalReports, totalAlerts, driftReplans, len(monitors))
+	if *drainDevice >= 0 {
+		fmt.Fprintln(out, <-fleetResult)
+		fmt.Fprintf(out, "fleet: %d drain re-plan(s)\n", fleetReplans)
+	}
 	if len(monitors) > 1 {
 		first, last := monitors[0].StepEWMASec(), monitors[len(monitors)-1].StepEWMASec()
 		if first > 0 && last > 0 {
@@ -712,4 +772,99 @@ func deviceNames(c cluster.Cluster) []string {
 		out[i] = d.Name
 	}
 	return out
+}
+
+// runFleetDrain drives a goal-state maintenance drain of one pool
+// device through the fleet orchestrator: the goal quarantines the
+// device, Diff plans Snapshot → Drain → Quiesce → Verify, and the
+// executor enforces the safety invariants (never below a stage group's
+// floor, one group degraded at a time) against the liveness tracker's
+// live state. The Drain step quarantines the device and requests a
+// supervisor re-plan through the shared guard; the Snapshot step waits
+// for a training snapshot so recovery never restarts from scratch.
+// Returns a one-line outcome for the main loop to print.
+func runFleetDrain(target, stages int, pool cluster.Cluster, live *cluster.Liveness,
+	guard *replanGuard, waitSnap bool, latestSnapshot func() *checkpoint.Snapshot,
+	journalPath string) string {
+
+	name := pool.Devices[target].Name
+	goal := fleet.GoalSpec{Quarantine: []string{name}}
+	seen := map[int]bool{}
+	for i, d := range pool.Devices {
+		goal.Devices = append(goal.Devices, d.Name)
+		if g := i % stages; !seen[g] {
+			seen[g] = true
+			goal.Groups = append(goal.Groups, fleet.GroupGoal{Group: g, MinReplicas: 1})
+		}
+	}
+
+	// Observe folds the liveness tracker into the orchestrator's device
+	// model: quarantined devices still heartbeat (alive but sidelined),
+	// dead ones do not.
+	observe := func() fleet.Observed {
+		q := map[string]bool{}
+		for _, n := range live.Quarantined() {
+			q[n] = true
+		}
+		var obs fleet.Observed
+		for i, d := range pool.Devices {
+			obs.Devices = append(obs.Devices, fleet.DeviceState{
+				Name:        d.Name,
+				Group:       i % stages,
+				Alive:       live.Alive(d.Name) || q[d.Name],
+				Quarantined: q[d.Name],
+			})
+		}
+		return obs
+	}
+
+	act := fleet.ActuatorFunc(func(ctx context.Context, step fleet.Step) error {
+		switch step.Kind {
+		case fleet.StepSnapshot:
+			if !waitSnap {
+				return nil // snapshots disabled: nothing to wait for
+			}
+			for latestSnapshot() == nil {
+				select {
+				case <-ctx.Done():
+					return fmt.Errorf("no training snapshot before drain: %w", ctx.Err())
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+			return nil
+		case fleet.StepDrain:
+			live.Quarantine(step.Device)
+			guard.request("fleet", health.Alert{Lane: target / stages, Stage: target % stages})
+			return nil
+		case fleet.StepVerify:
+			for _, n := range live.Quarantined() {
+				if n == step.Device {
+					return nil
+				}
+			}
+			return fmt.Errorf("verify %s: not quarantined", step.Device)
+		default: // Quiesce and the rest are no-ops against the training pool
+			return nil
+		}
+	})
+
+	var journal *fleet.Journal
+	if journalPath != "" {
+		j, err := fleet.OpenJournal(journalPath)
+		if err != nil {
+			return fmt.Sprintf("fleet drain of %s: %v", name, err)
+		}
+		journal = j
+		defer journal.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := fleet.Reconcile(ctx, goal, fleet.ExecConfig{
+		Actuator: act, Observe: observe, Goal: goal, Journal: journal,
+		StepTimeout: 5 * time.Second, Retries: 1,
+	}, 3)
+	if err != nil {
+		return fmt.Sprintf("fleet drain of %s: %v", name, err)
+	}
+	return fmt.Sprintf("fleet drain of %s complete: snapshot taken, device quarantined, training re-planned around it", name)
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"pac/internal/fleet"
 	"pac/internal/health"
 	"pac/internal/parallel"
 )
@@ -306,5 +307,51 @@ func TestRunStragglerDriftReplan(t *testing.T) {
 	if after >= before {
 		t.Errorf("step EWMA did not improve after the drift re-plan: %.4fs -> %.4fs\n%s",
 			before, after, out)
+	}
+}
+
+func TestRunFleetDrainReplan(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "drain.pacj")
+	var sb strings.Builder
+	err := run([]string{
+		"-task", "sst-2", "-samples", "64", "-epochs", "8",
+		"-pretrain", "0", "-stages", "2", "-lanes", "2", "-batch", "8",
+		"-snapshot-every", "1", "-step-timeout", "10s",
+		"-drain-device", "3", "-drain-delay", "1ms",
+		"-fleet-journal", journal,
+	}, &sb)
+	out := sb.String()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"re-planning on fleet drain:",
+		"re-plan (fleet):",
+		"fleet drain of jetson-nano-3 complete",
+		"fleet: 1 drain re-plan(s)",
+		"after:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The drained device is out of the surviving pool for the re-plan.
+	if !strings.Contains(out, "3 surviving device(s)") {
+		t.Errorf("survivor count wrong:\n%s", out)
+	}
+	// The journal recorded the drain plan end to end.
+	recs, torn, jerr := fleet.ReadJournal(journal)
+	if jerr != nil || torn {
+		t.Fatalf("journal: torn=%v err=%v", torn, jerr)
+	}
+	sawPlanDone := false
+	for _, r := range recs {
+		if r.Kind == "plan-done" {
+			sawPlanDone = true
+		}
+	}
+	if !sawPlanDone {
+		t.Error("journal missing plan-done for the drain")
 	}
 }

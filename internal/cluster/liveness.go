@@ -36,13 +36,16 @@ func (l *Liveness) SetClock(now func() time.Time) {
 }
 
 // Heartbeat records a sign of life from the named device. A heartbeat
-// from a device previously marked dead revives it (the device
-// rejoined).
+// never resurrects a device that was declared dead or quarantined —
+// only an explicit Reinstate does. This closes the resurrection hazard
+// the fleet orchestrator depends on: a zombie process (or a drained
+// device whose agent keeps running) can beat indefinitely, and silently
+// returning it to the alive set would reinsert it into plans mid-
+// rollout behind the orchestrator's back.
 func (l *Liveness) Heartbeat(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.beats[name] = l.now()
-	delete(l.dead, name)
 }
 
 // MarkDead declares a device failed immediately, regardless of its
@@ -67,12 +70,16 @@ func (l *Liveness) Quarantine(name string) {
 	health.Flight().Record("quarantine", -1, -1, name, 0)
 }
 
-// Reinstate readmits a quarantined device to the schedulable pool (the
-// operator cleared it, or a probe showed it recovered).
+// Reinstate readmits a quarantined or dead-marked device to the
+// schedulable pool (the operator cleared it, a probe showed it
+// recovered, or a fleet Rejoin step fired). It is the only path back to
+// the alive set; the device still needs a fresh heartbeat to count as
+// alive.
 func (l *Liveness) Reinstate(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.quarantine, name)
+	delete(l.dead, name)
 	health.Flight().Record("reinstate", -1, -1, name, 0)
 }
 
@@ -129,8 +136,10 @@ func (l *Liveness) Dead() []string {
 
 // Survivors filters a cluster down to its alive devices, preserving
 // order — the device set handed back to the planner after a failure.
+// Devices sharing a name share a fate: liveness is tracked per name, so
+// duplicates are all kept or all dropped together.
 func (l *Liveness) Survivors(c Cluster) Cluster {
-	var out Cluster
+	out := Cluster{Devices: make([]DeviceSpec, 0, len(c.Devices))}
 	for _, d := range c.Devices {
 		if l.Alive(d.Name) {
 			out.Devices = append(out.Devices, d)
@@ -141,12 +150,16 @@ func (l *Liveness) Survivors(c Cluster) Cluster {
 
 // Without returns the cluster minus the named devices, preserving
 // order. Convenience for dropping a failed device without a tracker.
+// Unknown names are ignored; duplicate names (in either the arguments
+// or the cluster) drop every matching device. The result is allocation-
+// stable: one upfront slice sized for the worst case, never grown, and
+// never aliasing the receiver's backing array.
 func (c Cluster) Without(names ...string) Cluster {
-	drop := map[string]bool{}
+	drop := make(map[string]bool, len(names))
 	for _, n := range names {
 		drop[n] = true
 	}
-	var out Cluster
+	out := Cluster{Devices: make([]DeviceSpec, 0, len(c.Devices))}
 	for _, d := range c.Devices {
 		if !drop[d.Name] {
 			out.Devices = append(out.Devices, d)

@@ -35,7 +35,7 @@ func TestLivenessHeartbeatExpiry(t *testing.T) {
 	}
 }
 
-func TestLivenessMarkDeadAndRevive(t *testing.T) {
+func TestLivenessMarkDeadRequiresReinstate(t *testing.T) {
 	now := time.Unix(1000, 0)
 	l := NewLiveness(time.Minute)
 	l.SetClock(func() time.Time { return now })
@@ -48,10 +48,78 @@ func TestLivenessMarkDeadAndRevive(t *testing.T) {
 	if got := l.Dead(); !reflect.DeepEqual(got, []string{"a"}) {
 		t.Fatalf("Dead() = %v, want [a]", got)
 	}
-	// A later heartbeat means the device rejoined.
+	// The resurrection hazard: a zombie keeps heartbeating after the
+	// orchestrator declared it dead. The beat must NOT revive it.
 	l.Heartbeat("a")
+	if l.Alive("a") {
+		t.Fatal("heartbeat silently revived a marked-dead device")
+	}
+	// Only an explicit Reinstate readmits it.
+	l.Reinstate("a")
 	if !l.Alive("a") {
-		t.Fatal("heartbeat did not revive a marked-dead device")
+		t.Fatal("reinstated device with fresh heartbeat not alive")
+	}
+}
+
+// TestLivenessInterleavings walks the heartbeat/quarantine/mark-dead/
+// reinstate state machine through the orders a real rollout produces.
+func TestLivenessInterleavings(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLiveness(time.Minute)
+	l.SetClock(func() time.Time { return now })
+
+	// Quarantine then dead then beats: stays out until reinstated.
+	l.Heartbeat("a")
+	l.Quarantine("a")
+	l.MarkDead("a")
+	l.Heartbeat("a")
+	if l.Alive("a") {
+		t.Fatal("quarantined+dead device revived by heartbeat")
+	}
+	// One Reinstate clears both sidelining marks.
+	l.Reinstate("a")
+	if !l.Alive("a") {
+		t.Fatal("Reinstate must clear both quarantine and dead marks")
+	}
+
+	// Reinstate without a fresh heartbeat does not fabricate liveness.
+	l.Heartbeat("b")
+	l.MarkDead("b")
+	now = now.Add(2 * time.Minute) // beat expires while sidelined
+	l.Reinstate("b")
+	if l.Alive("b") {
+		t.Fatal("reinstate fabricated liveness for a device with an expired heartbeat")
+	}
+	l.Heartbeat("b")
+	if !l.Alive("b") {
+		t.Fatal("reinstated device with fresh heartbeat not alive")
+	}
+
+	// Quarantine → beat → reinstate → beat → quarantine again: the
+	// second quarantine must hold regardless of beat history.
+	l.Heartbeat("c")
+	l.Quarantine("c")
+	l.Heartbeat("c")
+	l.Reinstate("c")
+	if !l.Alive("c") {
+		t.Fatal("c should be alive after reinstate + fresh beat")
+	}
+	l.Quarantine("c")
+	l.Heartbeat("c")
+	if l.Alive("c") {
+		t.Fatal("re-quarantine lifted by heartbeat")
+	}
+
+	// Dead from silence (TTL expiry) is the one path a heartbeat may
+	// repair: the device was never *declared* dead, it just went quiet.
+	l.Heartbeat("d")
+	now = now.Add(2 * time.Minute)
+	if l.Alive("d") {
+		t.Fatal("d alive past TTL")
+	}
+	l.Heartbeat("d")
+	if !l.Alive("d") {
+		t.Fatal("fresh heartbeat must repair TTL-expired (never declared dead) device")
 	}
 }
 
@@ -86,6 +154,84 @@ func TestClusterWithout(t *testing.T) {
 	}
 	if pool.Size() != 3 {
 		t.Fatal("Without mutated the original cluster")
+	}
+}
+
+func TestClusterWithoutEdgeCases(t *testing.T) {
+	pool := Nanos(3)
+
+	// Unknown names are ignored.
+	if got := pool.Without("no-such-device"); got.Size() != 3 {
+		t.Fatalf("unknown name removed something: %d devices", got.Size())
+	}
+	// Duplicate argument names behave like one.
+	one := pool.Devices[1].Name
+	if got := pool.Without(one, one, one); got.Size() != 2 {
+		t.Fatalf("duplicate names: %d devices, want 2", got.Size())
+	}
+	// Emptying the cluster is legal and yields Size() == 0.
+	empty := pool.Without(pool.Devices[0].Name, pool.Devices[1].Name, pool.Devices[2].Name)
+	if empty.Size() != 0 {
+		t.Fatalf("emptying: %d devices left", empty.Size())
+	}
+	// Duplicate device names in the cluster all drop together.
+	dup := Cluster{Devices: []DeviceSpec{
+		{Name: "x"}, {Name: "y"}, {Name: "x"},
+	}}
+	if got := dup.Without("x"); got.Size() != 1 || got.Devices[0].Name != "y" {
+		t.Fatalf("duplicate cluster names: %v", got.Devices)
+	}
+	// The result must not alias the receiver's backing array: mutating
+	// it must leave the original untouched (allocation-stability).
+	rest := pool.Without(pool.Devices[2].Name)
+	rest.Devices = append(rest.Devices, DeviceSpec{Name: "intruder"})
+	rest.Devices[0].Name = "mutated"
+	if pool.Devices[0].Name == "mutated" || pool.Devices[2].Name == "intruder" {
+		t.Fatal("Without result aliases the original cluster")
+	}
+	// And it is a single upfront allocation: appending within capacity
+	// must not reallocate (cap == len(original)).
+	if got := pool.Without(); cap(got.Devices) != len(pool.Devices) {
+		t.Fatalf("Without not allocation-stable: cap %d, want %d", cap(got.Devices), len(pool.Devices))
+	}
+}
+
+func TestSurvivorsEdgeCases(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewLiveness(time.Minute)
+	l.SetClock(func() time.Time { return now })
+
+	// Unknown devices (never heartbeat) are not survivors.
+	pool := Nanos(3)
+	if s := l.Survivors(pool); s.Size() != 0 {
+		t.Fatalf("never-seen devices survived: %d", s.Size())
+	}
+
+	// Emptying: all dead ⇒ empty survivors, original intact.
+	for _, d := range pool.Devices {
+		l.Heartbeat(d.Name)
+		l.MarkDead(d.Name)
+	}
+	if s := l.Survivors(pool); s.Size() != 0 {
+		t.Fatalf("dead devices survived: %d", s.Size())
+	}
+	if pool.Size() != 3 {
+		t.Fatal("Survivors mutated the input cluster")
+	}
+
+	// Duplicate names share liveness: both copies survive or neither.
+	dup := Cluster{Devices: []DeviceSpec{{Name: "x"}, {Name: "x"}, {Name: "y"}}}
+	l2 := NewLiveness(time.Minute)
+	l2.SetClock(func() time.Time { return now })
+	l2.Heartbeat("x")
+	l2.Heartbeat("y")
+	if s := l2.Survivors(dup); s.Size() != 3 {
+		t.Fatalf("duplicate-name survivors: %d, want 3", s.Size())
+	}
+	l2.MarkDead("x")
+	s := l2.Survivors(dup)
+	if s.Size() != 1 || s.Devices[0].Name != "y" {
+		t.Fatalf("duplicate-name death: %v", s.Devices)
 	}
 }
 

@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pac/internal/health"
+)
+
+// Actuator performs one plan step against the real fleet: quarantining
+// a device in the liveness tracker, draining a serving replica,
+// capturing a snapshot, hot-swapping adapters. Apply must be idempotent
+// — a crashed orchestrator re-runs any step that started but did not
+// reach "done" in the journal.
+type Actuator interface {
+	Apply(ctx context.Context, step Step) error
+}
+
+// ActuatorFunc adapts a function to the Actuator interface.
+type ActuatorFunc func(ctx context.Context, step Step) error
+
+// Apply implements Actuator.
+func (f ActuatorFunc) Apply(ctx context.Context, step Step) error { return f(ctx, step) }
+
+// StepError is the typed failure of one step after its retry budget.
+type StepError struct {
+	Step     Step
+	Attempts int
+	Err      error
+}
+
+func (e *StepError) Error() string {
+	return fmt.Sprintf("fleet: step %s failed after %d attempt(s): %v", e.Step.ID, e.Attempts, e.Err)
+}
+
+func (e *StepError) Unwrap() error { return e.Err }
+
+// ExecConfig wires an Executor.
+type ExecConfig struct {
+	// Actuator performs the steps.
+	Actuator Actuator
+	// Observe returns the live fleet state; invariants are re-checked
+	// against it immediately before every step (the fleet can change
+	// underneath a plan — a device can die mid-rollout).
+	Observe func() Observed
+	// Goal supplies the invariant parameters (min-replica floors).
+	Goal GoalSpec
+	// Journal receives fsync'd step transitions; nil runs without
+	// durability (in-memory resume only).
+	Journal *Journal
+	// StepTimeout bounds one attempt of one step (default 10s).
+	StepTimeout time.Duration
+	// Retries is how many times a failed step is retried (default 2;
+	// attempts = Retries+1). Invariant violations are never retried.
+	Retries int
+	// Backoff is the first retry delay, doubling per retry (default 50ms).
+	Backoff time.Duration
+	// OnTransition, when set, observes every step transition — the chaos
+	// test uses it to probe invariants at each boundary and to inject an
+	// orchestrator crash mid-plan.
+	OnTransition func(step Step, transition string, attempt int, err error)
+}
+
+// Executor drives one plan to completion through the safety checks,
+// journal, and flight recorder.
+type Executor struct {
+	cfg ExecConfig
+}
+
+// NewExecutor builds an executor, applying defaults.
+func NewExecutor(cfg ExecConfig) (*Executor, error) {
+	if cfg.Actuator == nil {
+		return nil, fmt.Errorf("fleet: executor needs an actuator")
+	}
+	if cfg.Observe == nil {
+		return nil, fmt.Errorf("fleet: executor needs an observe function")
+	}
+	if cfg.StepTimeout <= 0 {
+		cfg.StepTimeout = 10 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	return &Executor{cfg: cfg}, nil
+}
+
+// transition journals + flight-records one step transition.
+func (e *Executor) transition(plan *Plan, step Step, trans string, attempt int, err error) error {
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	jerr := e.cfg.Journal.Append(Record{Kind: "step", Fingerprint: plan.Fingerprint,
+		StepID: step.ID, Transition: trans, Attempt: attempt, Detail: detail})
+	health.Flight().Record("fleet", -1, -1, trans+" "+step.ID, float64(attempt))
+	if e.cfg.OnTransition != nil {
+		e.cfg.OnTransition(step, trans, attempt, err)
+	}
+	return jerr
+}
+
+// project applies a step's intended effect to a state copy, so checking
+// a wave of concurrent steps accounts for their cumulative effect (two
+// drains that are each individually safe can jointly breach a floor).
+func project(obs Observed, step Step) Observed {
+	out := Observed{Devices: append([]DeviceState(nil), obs.Devices...)}
+	for i := range out.Devices {
+		if out.Devices[i].Name != step.Device {
+			continue
+		}
+		switch step.Kind {
+		case StepDrain:
+			out.Devices[i].Draining = true
+			if step.Target == "quarantine" {
+				out.Devices[i].Quarantined = true
+			}
+		case StepRejoin:
+			out.Devices[i].Draining = false
+			out.Devices[i].Quarantined = false
+		case StepSwap:
+			out.Devices[i].AdapterVersion = step.Target
+		}
+	}
+	return out
+}
+
+// Run executes the plan. Completed steps recorded in the journal under
+// the same plan fingerprint are skipped — the crash-resume path — and
+// every remaining step is invariant-checked against live observed state
+// before it fires. Run returns nil when the plan (or its remainder)
+// completed, an *InvariantViolation when a safety check refused a step,
+// a *StepError when a step exhausted its retries, or ctx.Err() when
+// canceled. It never undoes completed steps.
+func (e *Executor) Run(ctx context.Context, plan *Plan) error {
+	completed := map[string]bool{}
+	if j := e.cfg.Journal; j != nil {
+		records, _, err := ReadJournal(j.Path())
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		prog := ProgressFor(records, plan.Fingerprint)
+		if prog.PlanDone {
+			return nil
+		}
+		completed = prog.Completed
+	}
+
+	if err := e.cfg.Journal.Append(Record{Kind: "plan", Fingerprint: plan.Fingerprint, Steps: plan.Steps}); err != nil {
+		return err
+	}
+	health.Flight().Record("fleet", -1, -1,
+		fmt.Sprintf("plan %016x: %d step(s)", plan.Fingerprint, len(plan.Steps)), float64(len(plan.Steps)))
+
+	for _, wave := range plan.Waves() {
+		// Safety gate: check the wave's steps against live state,
+		// folding in the projected effect of each accepted step.
+		obs := e.cfg.Observe()
+		var launch []Step
+		for _, idx := range wave {
+			step := plan.Steps[idx]
+			if completed[step.ID] {
+				if err := e.transition(plan, step, TransSkip, 0, nil); err != nil {
+					return err
+				}
+				continue
+			}
+			if v := CheckStep(e.cfg.Goal, obs, step); v != nil {
+				_ = e.transition(plan, step, TransFailed, 0, v)
+				return v
+			}
+			obs = project(obs, step)
+			launch = append(launch, step)
+		}
+
+		// Fire the wave's surviving steps concurrently; they touch
+		// distinct devices by construction.
+		errs := make([]error, len(launch))
+		var wg sync.WaitGroup
+		for i, step := range launch {
+			wg.Add(1)
+			go func(i int, step Step) {
+				defer wg.Done()
+				errs[i] = e.runStep(ctx, plan, step)
+			}(i, step)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+
+	if err := e.cfg.Journal.Append(Record{Kind: "plan-done", Fingerprint: plan.Fingerprint}); err != nil {
+		return err
+	}
+	health.Flight().Record("fleet", -1, -1, fmt.Sprintf("plan %016x done", plan.Fingerprint), 0)
+	return nil
+}
+
+// runStep drives one step through its attempt/retry budget.
+func (e *Executor) runStep(ctx context.Context, plan *Plan, step Step) error {
+	backoff := e.cfg.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= e.cfg.Retries+1; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := e.transition(plan, step, TransStart, attempt, nil); err != nil {
+			return err
+		}
+		stepCtx, cancel := context.WithTimeout(ctx, e.cfg.StepTimeout)
+		err := e.cfg.Actuator.Apply(stepCtx, step)
+		cancel()
+		if err == nil {
+			// The done record is fsync'd before the executor moves on:
+			// once it lands, no future resume repeats this step.
+			return e.transition(plan, step, TransDone, attempt, nil)
+		}
+		lastErr = err
+		if attempt <= e.cfg.Retries {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+	}
+	serr := &StepError{Step: step, Attempts: e.cfg.Retries + 1, Err: lastErr}
+	_ = e.transition(plan, step, TransFailed, e.cfg.Retries+1, lastErr)
+	return serr
+}
+
+// Reconcile is the forward-only control loop: observe, diff, execute;
+// on an invariant violation (the fleet changed underneath the plan),
+// re-observe and re-plan rather than roll back; stop when a diff comes
+// back empty (the fleet matches the goal) or rounds are exhausted. Any
+// error other than an invariant violation aborts immediately.
+func Reconcile(ctx context.Context, goal GoalSpec, cfg ExecConfig, maxRounds int) error {
+	if maxRounds < 1 {
+		maxRounds = 3
+	}
+	exec, err := NewExecutor(cfg)
+	if err != nil {
+		return err
+	}
+	var lastViolation error
+	for round := 0; round < maxRounds; round++ {
+		plan, err := Diff(goal, cfg.Observe())
+		if err != nil {
+			return err
+		}
+		if plan.Empty() {
+			return nil
+		}
+		err = exec.Run(ctx, plan)
+		switch {
+		case err == nil:
+			continue // re-diff: an empty plan confirms convergence
+		default:
+			if _, ok := AsInvariantViolation(err); ok {
+				lastViolation = err
+				health.Flight().Record("fleet", -1, -1, "replan after "+err.Error(), float64(round+1))
+				continue
+			}
+			return err
+		}
+	}
+	if lastViolation != nil {
+		return fmt.Errorf("fleet: goal not reached after %d round(s): %w", maxRounds, lastViolation)
+	}
+	return fmt.Errorf("fleet: goal not reached after %d round(s)", maxRounds)
+}

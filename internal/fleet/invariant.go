@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The safety invariants the executor enforces before every step. They
+// are named so violations, journal entries, and flight events agree on
+// vocabulary.
+const (
+	// InvMinReplicas: a stage group never dips below its min-replica
+	// floor while a device is taken out of service.
+	InvMinReplicas = "min-replicas"
+	// InvSingleGroupDegraded: at most one stage group is degraded (has a
+	// member out of service) at any instant of a rollout.
+	InvSingleGroupDegraded = "single-group-degraded"
+	// InvLastAdapterHolder: never drain the only in-service device
+	// holding a hot adapter warm — its users would all cold-start.
+	InvLastAdapterHolder = "last-adapter-holder"
+)
+
+// InvariantViolation is the typed abort an invariant check raises. The
+// executor stops the plan (forward-only: completed steps stay done) and
+// the caller re-observes and re-plans; it never rolls back.
+type InvariantViolation struct {
+	Invariant string `json:"invariant"`
+	Step      Step   `json:"step"`
+	Detail    string `json:"detail"`
+}
+
+func (e *InvariantViolation) Error() string {
+	return fmt.Sprintf("fleet: invariant %s violated by step %s: %s",
+		e.Invariant, e.Step.ID, e.Detail)
+}
+
+// AsInvariantViolation unwraps err to an *InvariantViolation if it is
+// one (errors.As convenience for callers deciding replan-vs-fail).
+func AsInvariantViolation(err error) (*InvariantViolation, bool) {
+	var v *InvariantViolation
+	ok := errors.As(err, &v)
+	return v, ok
+}
+
+// CheckStep validates the safety invariants for running step against
+// the observed fleet state, returning the first violation or nil. The
+// check is conservative: it evaluates the state the fleet would be in
+// *after* the step takes effect, so a step that would break an
+// invariant is refused before any action fires.
+func CheckStep(goal GoalSpec, obs Observed, step Step) *InvariantViolation {
+	dev, known := obs.Device(step.Device)
+	if !known {
+		return &InvariantViolation{Invariant: InvMinReplicas, Step: step,
+			Detail: fmt.Sprintf("device %s not in observed state", step.Device)}
+	}
+
+	// Degraded groups other than the step's own must be empty for any
+	// step that degrades (or keeps degraded) its group. Verify/Rejoin
+	// steps *repair* a group, so they are exempt — refusing them would
+	// deadlock recovery of a fleet that is already degraded elsewhere.
+	if step.Kind != StepRejoin && step.Kind != StepVerify {
+		for _, g := range obs.DegradedGroups() {
+			if g != step.Group {
+				return &InvariantViolation{Invariant: InvSingleGroupDegraded, Step: step,
+					Detail: fmt.Sprintf("group %d is already degraded while step targets group %d", g, step.Group)}
+			}
+		}
+	}
+
+	// Only Drain actually removes a device from service; the remaining
+	// checks model its effect.
+	if step.Kind != StepDrain || !dev.InService() {
+		return nil
+	}
+
+	gg := goal.GroupGoalFor(step.Group)
+	after := obs.InServiceInGroup(step.Group) - 1
+	if after < gg.MinReplicas {
+		return &InvariantViolation{Invariant: InvMinReplicas, Step: step,
+			Detail: fmt.Sprintf("draining %s leaves group %d with %d in-service replica(s), floor is %d",
+				step.Device, step.Group, after, gg.MinReplicas)}
+	}
+
+	for _, adapter := range dev.HotAdapters {
+		holders := 0
+		for _, other := range obs.Devices {
+			if other.Name == dev.Name || !other.InService() {
+				continue
+			}
+			for _, a := range other.HotAdapters {
+				if a == adapter {
+					holders++
+				}
+			}
+		}
+		if holders == 0 {
+			return &InvariantViolation{Invariant: InvLastAdapterHolder, Step: step,
+				Detail: fmt.Sprintf("%s is the last in-service holder of hot adapter %q", step.Device, adapter)}
+		}
+	}
+	return nil
+}

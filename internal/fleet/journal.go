@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The resume journal is an append-only record log with the same
+// torn-write discipline as checkpoints: every record carries a CRC-32
+// of its payload, appends are fsync'd before the executor moves on, and
+// a reader stops at the first damaged or truncated record — so a crash
+// mid-append costs at most the record being written, never the history
+// before it. Layout (little-endian):
+//
+//	u32 magic "PACJ", u32 version            (file header, written once)
+//	then per record:
+//	  u32 kind, u32 payload length, u32 CRC-32 (IEEE) of payload,
+//	  payload (JSON)
+//
+// Record kinds: a plan header naming the plan fingerprint and step IDs,
+// step transitions (start / done / failed with attempt counts), and a
+// plan-done marker. Resume reads the journal, finds the latest plan
+// header, and skips every step that reached "done" under that
+// fingerprint — forward-only, no step repeats.
+const (
+	journalMagic   = 0x5041434a // "PACJ"
+	journalVersion = 1
+
+	recPlan     = 1
+	recStep     = 2
+	recPlanDone = 3
+)
+
+// ErrJournalCorrupt marks a journal whose header is damaged — distinct
+// from a torn tail, which is expected after a crash and handled by
+// truncating to the valid prefix.
+var ErrJournalCorrupt = errors.New("fleet: journal corrupt")
+
+// Step transition names recorded in the journal and flight recorder.
+const (
+	TransStart  = "start"
+	TransDone   = "done"
+	TransFailed = "failed"
+	TransSkip   = "skip" // resumed executor crediting a completed step
+)
+
+// Record is one journal entry (the JSON payload of a record).
+type Record struct {
+	// Kind is "plan", "step", or "plan-done".
+	Kind string `json:"kind"`
+	// Fingerprint is the owning plan's fingerprint.
+	Fingerprint uint64 `json:"fingerprint"`
+	// Plan headers carry the full ordered step list.
+	Steps []Step `json:"steps,omitempty"`
+	// Step transitions carry the step ID, the transition (start / done /
+	// failed / skip), the 1-based attempt, and an optional detail (error
+	// text for failures).
+	StepID     string `json:"step_id,omitempty"`
+	Transition string `json:"transition,omitempty"`
+	Attempt    int    `json:"attempt,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+func recordKindCode(kind string) uint32 {
+	switch kind {
+	case "plan":
+		return recPlan
+	case "plan-done":
+		return recPlanDone
+	default:
+		return recStep
+	}
+}
+
+// Journal is an open append handle. A nil *Journal is a valid no-op
+// sink (the nil-safe convention telemetry and health established), so
+// an executor without durability configured needs no guards.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending. A new file gets the header; an existing file is validated
+// just enough to refuse appending to something that is not a journal.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: open journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: open journal: %w", err)
+	}
+	if st.Size() == 0 {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:], journalMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], journalVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: write journal header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: sync journal header: %w", err)
+		}
+	} else {
+		var hdr [8]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil ||
+			binary.LittleEndian.Uint32(hdr[0:]) != journalMagic {
+			f.Close()
+			return nil, fmt.Errorf("fleet: %s is not a journal: %w", path, ErrJournalCorrupt)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Append encodes, writes, and fsyncs one record. The fsync is the
+// point of the journal: once Append returns, a crashed-and-restarted
+// orchestrator is guaranteed to see the transition.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: encode journal record: %w", err)
+	}
+	var buf bytes.Buffer
+	w32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w32(recordKindCode(rec.Kind))
+	w32(uint32(len(payload)))
+	w32(crc32.ChecksumIEEE(payload))
+	buf.Write(payload)
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("fleet: append journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path ("" on nil).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close releases the file handle (nil-safe).
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// ReadJournal decodes every intact record of the journal at path. torn
+// reports whether the file ended in a damaged or truncated record — the
+// expected shape after a crash mid-append — in which case records holds
+// the valid prefix. A missing file returns os.ErrNotExist; a damaged
+// header returns ErrJournalCorrupt.
+func ReadJournal(path string) (records []Record, torn bool, err error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(blob) < 8 ||
+		binary.LittleEndian.Uint32(blob[0:]) != journalMagic ||
+		binary.LittleEndian.Uint32(blob[4:]) != journalVersion {
+		return nil, false, fmt.Errorf("fleet: %s: bad journal header: %w", path, ErrJournalCorrupt)
+	}
+	off := 8
+	for off < len(blob) {
+		if off+12 > len(blob) {
+			return records, true, nil
+		}
+		n := int(binary.LittleEndian.Uint32(blob[off+4:]))
+		sum := binary.LittleEndian.Uint32(blob[off+8:])
+		if off+12+n > len(blob) {
+			return records, true, nil
+		}
+		payload := blob[off+12 : off+12+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, true, nil
+		}
+		var rec Record
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			return records, true, nil
+		}
+		records = append(records, rec)
+		off += 12 + n
+	}
+	return records, false, nil
+}
+
+// Progress summarizes a journal for one plan: which of the plan's steps
+// already completed (done under the same fingerprint) and whether the
+// plan ran to completion.
+type Progress struct {
+	Fingerprint uint64
+	Completed   map[string]bool
+	PlanDone    bool
+}
+
+// ProgressFor folds journal records into resume state for the plan with
+// the given fingerprint. Only records after the *latest* matching plan
+// header count: an older run of a different plan (different
+// fingerprint) or an aborted earlier attempt of the same plan followed
+// by a re-plan contributes nothing.
+func ProgressFor(records []Record, fp uint64) Progress {
+	p := Progress{Fingerprint: fp, Completed: map[string]bool{}}
+	active := false
+	for _, rec := range records {
+		switch rec.Kind {
+		case "plan":
+			active = rec.Fingerprint == fp
+			if active {
+				// A fresh header restarts the accounting: steps completed
+				// under an earlier identical plan still count (same step IDs,
+				// same actions — forward-only), so keep the set.
+				p.PlanDone = false
+			}
+		case "step":
+			if active && rec.Transition == TransDone {
+				p.Completed[rec.StepID] = true
+			}
+		case "plan-done":
+			if active && rec.Fingerprint == fp {
+				p.PlanDone = true
+			}
+		}
+	}
+	return p
+}

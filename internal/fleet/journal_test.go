@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.pacj")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: "plan", Fingerprint: 7, Steps: []Step{{ID: "swap/a/v2", Kind: StepSwap, Device: "a", Target: "v2"}}},
+		{Kind: "step", Fingerprint: 7, StepID: "swap/a/v2", Transition: TransStart, Attempt: 1},
+		{Kind: "step", Fingerprint: 7, StepID: "swap/a/v2", Transition: TransDone, Attempt: 1},
+		{Kind: "plan-done", Fingerprint: 7},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, torn, err := ReadJournal(path)
+	if err != nil || torn {
+		t.Fatalf("read: torn=%v err=%v", torn, err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records: %d, want %d", len(got), len(recs))
+	}
+	if got[0].Kind != "plan" || len(got[0].Steps) != 1 || got[0].Steps[0].ID != "swap/a/v2" {
+		t.Fatalf("plan header mangled: %+v", got[0])
+	}
+
+	// Re-open and append more: the journal is append-only across opens.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Kind: "plan", Fingerprint: 8}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	got, _, _ = ReadJournal(path)
+	if len(got) != len(recs)+1 {
+		t.Fatalf("after reopen: %d records, want %d", len(got), len(recs)+1)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Record{Kind: "step"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Path() != "" {
+		t.Fatal("nil path")
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.pacj")
+	j, _ := OpenJournal(path)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Record{Kind: "step", Fingerprint: 1, StepID: "s", Transition: TransDone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	blob, _ := os.ReadFile(path)
+	// Truncate at every byte boundary inside the last record: the first
+	// two records must always survive.
+	full, _, err := ReadJournal(path)
+	if err != nil || len(full) != 3 {
+		t.Fatalf("baseline: %d records, err %v", len(full), err)
+	}
+	recLen := (len(blob) - 8) / 3
+	for cut := len(blob) - recLen + 1; cut < len(blob); cut++ {
+		if err := os.WriteFile(path, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, torn, err := ReadJournal(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !torn {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if len(got) != 2 {
+			t.Fatalf("cut %d: %d records, want 2", cut, len(got))
+		}
+	}
+
+	// A flipped bit inside the last record: CRC catches it, prefix kept.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-1] ^= 0xff
+	os.WriteFile(path, bad, 0o644)
+	got, torn, err := ReadJournal(path)
+	if err != nil || !torn || len(got) != 2 {
+		t.Fatalf("bit flip: %d records, torn=%v, err=%v", len(got), torn, err)
+	}
+
+	// A damaged header is corrupt, not torn.
+	os.WriteFile(path, []byte("not a journal at all"), 0o644)
+	if _, _, err := ReadJournal(path); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("bad header: %v", err)
+	}
+}
+
+func TestProgressForScopesToFingerprint(t *testing.T) {
+	recs := []Record{
+		{Kind: "plan", Fingerprint: 1, Steps: []Step{{ID: "a"}}},
+		{Kind: "step", Fingerprint: 1, StepID: "a", Transition: TransDone},
+		{Kind: "plan", Fingerprint: 2, Steps: []Step{{ID: "b"}}},
+		{Kind: "step", Fingerprint: 2, StepID: "b", Transition: TransStart},
+	}
+	p := ProgressFor(recs, 2)
+	if p.Completed["a"] {
+		t.Fatal("completed step credited across fingerprints")
+	}
+	if p.Completed["b"] {
+		t.Fatal("start counted as done")
+	}
+	p1 := ProgressFor(recs, 1)
+	if !p1.Completed["a"] || p1.PlanDone {
+		t.Fatalf("plan 1 progress wrong: %+v", p1)
+	}
+
+	done := append(recs, Record{Kind: "plan-done", Fingerprint: 2})
+	if !ProgressFor(done, 2).PlanDone {
+		t.Fatal("plan-done not detected")
+	}
+}

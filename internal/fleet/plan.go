@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StepKind is the type of one plan step.
+type StepKind string
+
+// The step vocabulary, in the order a single device's rollout runs
+// them. Drain stops new work reaching the device; Quiesce waits for its
+// in-flight work to finish; Snapshot persists its state (via
+// internal/checkpoint on the training side, adapter capture on the
+// serving side); Swap installs the target adapter/backbone version;
+// Rejoin returns the device to service; Verify probes that the device
+// is healthy and running the target version.
+const (
+	StepDrain    StepKind = "drain"
+	StepQuiesce  StepKind = "quiesce"
+	StepSnapshot StepKind = "snapshot"
+	StepSwap     StepKind = "swap"
+	StepRejoin   StepKind = "rejoin"
+	StepVerify   StepKind = "verify"
+)
+
+// Step is one typed action of a plan. Steps sharing a Wave touch
+// different devices and may run concurrently; waves execute in order.
+type Step struct {
+	// ID is deterministic across re-plans of the same action ("swap
+	// nano-1 → v2" always produces the same ID), which is what lets a
+	// resumed orchestrator match journal entries to plan steps.
+	ID     string   `json:"id"`
+	Kind   StepKind `json:"kind"`
+	Device string   `json:"device"`
+	Group  int      `json:"group"`
+	// Target carries the step's argument: the version a Swap installs,
+	// or the reason a Drain was scheduled ("upgrade", "quarantine",
+	// "remove").
+	Target string `json:"target,omitempty"`
+	Wave   int    `json:"wave"`
+}
+
+func (s Step) String() string {
+	if s.Target != "" {
+		return fmt.Sprintf("w%d %s %s (%s)", s.Wave, s.Kind, s.Device, s.Target)
+	}
+	return fmt.Sprintf("w%d %s %s", s.Wave, s.Kind, s.Device)
+}
+
+// Plan is an ordered, partially-parallelizable action sequence.
+type Plan struct {
+	// Fingerprint identifies the plan's step set; a journal records it so
+	// resume only credits completed steps to the plan that ran them.
+	Fingerprint uint64 `json:"fingerprint"`
+	Steps       []Step `json:"steps"`
+}
+
+// Empty reports whether the fleet already matches the goal.
+func (p *Plan) Empty() bool { return len(p.Steps) == 0 }
+
+// Waves returns the step indices grouped by wave, in wave order.
+func (p *Plan) Waves() [][]int {
+	var out [][]int
+	last := -1
+	for i, s := range p.Steps {
+		if s.Wave != last {
+			out = append(out, nil)
+			last = s.Wave
+		}
+		out[len(out)-1] = append(out[len(out)-1], i)
+	}
+	return out
+}
+
+func (p *Plan) String() string {
+	if p.Empty() {
+		return "plan: fleet already matches goal (0 steps)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %d step(s), %d wave(s), fingerprint %016x\n",
+		len(p.Steps), len(p.Waves()), p.Fingerprint)
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// fingerprint hashes the step sequence (FNV-1a over the step IDs in
+// order, the same stable-identity idiom as checkpoint fingerprints).
+func fingerprint(steps []Step) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= '\n'
+		h *= 1099511628211
+	}
+	for _, s := range steps {
+		mix(string(s.Kind) + " " + s.Device + " " + s.Target)
+	}
+	return h
+}
+
+// stepID builds the deterministic step identity.
+func stepID(kind StepKind, device, target string) string {
+	if target == "" {
+		return fmt.Sprintf("%s/%s", kind, device)
+	}
+	return fmt.Sprintf("%s/%s/%s", kind, device, target)
+}
+
+// deviceAction is the per-device work Diff derives before sequencing.
+type deviceAction struct {
+	dev    DeviceState
+	kind   string // "upgrade", "quarantine", "remove", "rejoin"
+	target string // version for upgrades
+}
+
+// Diff computes the ordered plan that takes the observed fleet to the
+// goal. Sequencing rules, which together make the safety invariants
+// hold by construction on the state the plan was computed from (the
+// Executor still re-checks them against live state before every step,
+// because the fleet can change underneath a running plan):
+//
+//   - Groups roll one at a time, in ascending group order — a rollout
+//     never degrades two stage groups at once.
+//   - Within a group, devices roll in batches sized so the group never
+//     dips below its min-replica floor; devices in one batch share a
+//     wave per step kind and may run concurrently.
+//   - A serving upgrade runs Drain → Quiesce → Snapshot → Swap → Rejoin
+//     → Verify: the snapshot captures a quiescent device, and the swap
+//     happens while the device takes no traffic (zero requests ever see
+//     a half-swapped replica).
+//   - A maintenance drain (quarantine or removal) runs Snapshot → Drain
+//     → Quiesce → Verify: state is captured while the device is still
+//     healthy, because after the drain it stops contributing.
+//   - Rejoins of listed-but-sidelined devices run Rejoin → Verify and
+//     come first — they only add capacity, and the headroom they restore
+//     widens later upgrade batches.
+//
+// Diff returns an error only for malformed inputs; an unsatisfiable
+// goal (e.g. a floor above the member count) surfaces as an
+// *InvariantViolation at execution time, after the plan steps that can
+// run have run.
+func Diff(goal GoalSpec, obs Observed) (*Plan, error) {
+	if err := goal.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Classify every observed device into the action it needs. Order
+	// follows Observed.Devices, keeping plans deterministic.
+	perGroup := map[int][]deviceAction{}
+	var groups []int
+	addAction := func(a deviceAction) {
+		g := a.dev.Group
+		if _, ok := perGroup[g]; !ok {
+			groups = append(groups, g)
+		}
+		perGroup[g] = append(perGroup[g], a)
+	}
+	for _, d := range obs.Devices {
+		gg := goal.GroupGoalFor(d.Group)
+		switch {
+		case !goal.wantsMember(d.Name):
+			if d.InService() {
+				addAction(deviceAction{dev: d, kind: "remove"})
+			}
+		case goal.wantsQuarantine(d.Name):
+			if !d.Quarantined {
+				addAction(deviceAction{dev: d, kind: "quarantine"})
+			}
+		case d.Quarantined || d.Draining:
+			// Listed, not quarantined by the goal, currently sidelined:
+			// bring it back (at the target version if one is set and the
+			// device is behind).
+			if gg.AdapterVersion != "" && d.AdapterVersion != gg.AdapterVersion {
+				addAction(deviceAction{dev: d, kind: "upgrade", target: gg.AdapterVersion})
+			} else {
+				addAction(deviceAction{dev: d, kind: "rejoin"})
+			}
+		case gg.AdapterVersion != "" && d.AdapterVersion != gg.AdapterVersion:
+			addAction(deviceAction{dev: d, kind: "upgrade", target: gg.AdapterVersion})
+		}
+	}
+	sort.Ints(groups)
+
+	var steps []Step
+	wave := 0
+	emit := func(kind StepKind, a deviceAction, target string) Step {
+		return Step{ID: stepID(kind, a.dev.Name, target), Kind: kind,
+			Device: a.dev.Name, Group: a.dev.Group, Target: target, Wave: wave}
+	}
+
+	for _, g := range groups {
+		actions := perGroup[g]
+		gg := goal.GroupGoalFor(g)
+
+		// Rejoins first: pure capacity adds.
+		var rejoins, drains, upgrades []deviceAction
+		for _, a := range actions {
+			switch a.kind {
+			case "rejoin":
+				rejoins = append(rejoins, a)
+			case "upgrade":
+				upgrades = append(upgrades, a)
+			default:
+				drains = append(drains, a)
+			}
+		}
+		if len(rejoins) > 0 {
+			for _, a := range rejoins {
+				steps = append(steps, emit(StepRejoin, a, ""))
+			}
+			wave++
+			for _, a := range rejoins {
+				steps = append(steps, emit(StepVerify, a, ""))
+			}
+			wave++
+		}
+
+		// Maintenance drains: Snapshot → Drain → Quiesce → Verify, one
+		// device at a time (each drain sheds capacity; batching them
+		// cannot be widened by headroom the way upgrades can).
+		for _, a := range drains {
+			steps = append(steps, emit(StepSnapshot, a, a.kind))
+			wave++
+			steps = append(steps, emit(StepDrain, a, a.kind))
+			wave++
+			steps = append(steps, emit(StepQuiesce, a, a.kind))
+			wave++
+			steps = append(steps, emit(StepVerify, a, a.kind))
+			wave++
+		}
+
+		// Rolling upgrades: batch width = in-service headroom above the
+		// floor after the drains above land, at least one device per
+		// batch so an exactly-at-floor group still (eventually) fails the
+		// invariant check at runtime rather than silently planning nothing.
+		inService := obs.InServiceInGroup(g) + len(rejoins) - countDrained(drains)
+		width := inService - gg.MinReplicas
+		if width < 1 {
+			width = 1
+		}
+		for start := 0; start < len(upgrades); start += width {
+			batch := upgrades[start:min(start+width, len(upgrades))]
+			for _, kind := range []StepKind{StepDrain, StepQuiesce, StepSnapshot, StepSwap, StepRejoin, StepVerify} {
+				for _, a := range batch {
+					target := a.target
+					if kind == StepDrain || kind == StepQuiesce || kind == StepSnapshot {
+						target = "upgrade"
+					}
+					steps = append(steps, emit(kind, a, target))
+				}
+				wave++
+			}
+		}
+	}
+
+	return &Plan{Fingerprint: fingerprint(steps), Steps: steps}, nil
+}
+
+func countDrained(drains []deviceAction) int {
+	n := 0
+	for _, a := range drains {
+		if a.dev.InService() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// threeByTwo is a 2-group, 3-replicas-per-group fleet at version v1.
+func threeByTwo() Observed {
+	var obs Observed
+	for g := 0; g < 2; g++ {
+		for i := 0; i < 3; i++ {
+			obs.Devices = append(obs.Devices, DeviceState{
+				Name: devName(g, i), Group: g, Alive: true, AdapterVersion: "v1",
+			})
+		}
+	}
+	return obs
+}
+
+func devName(g, i int) string {
+	return "nano-" + string(rune('a'+g)) + string(rune('0'+i))
+}
+
+func goalFor(obs Observed, version string, minReplicas int) GoalSpec {
+	goal := GoalSpec{}
+	groups := map[int]bool{}
+	for _, d := range obs.Devices {
+		goal.Devices = append(goal.Devices, d.Name)
+		if !groups[d.Group] {
+			groups[d.Group] = true
+			goal.Groups = append(goal.Groups, GroupGoal{
+				Group: d.Group, AdapterVersion: version, MinReplicas: minReplicas})
+		}
+	}
+	return goal
+}
+
+func TestDiffEmptyWhenConverged(t *testing.T) {
+	obs := threeByTwo()
+	plan, err := Diff(goalFor(obs, "v1", 2), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatalf("fleet at goal produced %d steps:\n%s", len(plan.Steps), plan)
+	}
+}
+
+func TestDiffRollingUpgradeShape(t *testing.T) {
+	obs := threeByTwo()
+	goal := goalFor(obs, "v2", 2)
+	plan, err := Diff(goal, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 devices × 6 steps each.
+	if len(plan.Steps) != 36 {
+		t.Fatalf("steps: %d, want 36\n%s", len(plan.Steps), plan)
+	}
+
+	// Group order: every group-0 step precedes every group-1 step.
+	lastG0, firstG1 := -1, len(plan.Steps)
+	for i, s := range plan.Steps {
+		if s.Group == 0 && i > lastG0 {
+			lastG0 = i
+		}
+		if s.Group == 1 && i < firstG1 {
+			firstG1 = i
+		}
+	}
+	if lastG0 > firstG1 {
+		t.Fatalf("groups interleaved: last g0 step at %d, first g1 at %d", lastG0, firstG1)
+	}
+
+	// With 3 in-service and floor 2, batches are width 1: no wave may
+	// contain two Drain steps of the same group.
+	for _, wave := range plan.Waves() {
+		drains := 0
+		for _, idx := range wave {
+			if plan.Steps[idx].Kind == StepDrain {
+				drains++
+			}
+		}
+		if drains > 1 {
+			t.Fatalf("wave with %d concurrent drains under width-1 headroom\n%s", drains, plan)
+		}
+	}
+
+	// Per device: Drain < Quiesce < Snapshot < Swap < Rejoin < Verify.
+	order := map[StepKind]int{StepDrain: 0, StepQuiesce: 1, StepSnapshot: 2,
+		StepSwap: 3, StepRejoin: 4, StepVerify: 5}
+	pos := map[string][]int{}
+	for i, s := range plan.Steps {
+		pos[s.Device] = append(pos[s.Device], i)
+		if want := order[s.Kind]; want != len(pos[s.Device])-1 {
+			t.Fatalf("device %s step %d is %s, want order index %d", s.Device, i, s.Kind, want)
+		}
+	}
+
+	// Determinism: same inputs, same fingerprint and IDs.
+	plan2, _ := Diff(goal, obs)
+	if plan.Fingerprint != plan2.Fingerprint {
+		t.Fatal("Diff not deterministic")
+	}
+}
+
+func TestDiffBatchWidthUsesHeadroom(t *testing.T) {
+	obs := threeByTwo()
+	// Floor 1 leaves headroom 2: group rollouts run two devices at a time.
+	plan, err := Diff(goalFor(obs, "v2", 1), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDrains := 0
+	for _, wave := range plan.Waves() {
+		drains := 0
+		for _, idx := range wave {
+			if plan.Steps[idx].Kind == StepDrain {
+				drains++
+			}
+		}
+		if drains > maxDrains {
+			maxDrains = drains
+		}
+	}
+	if maxDrains != 2 {
+		t.Fatalf("max concurrent drains = %d, want 2 (headroom above floor 1)\n%s", maxDrains, plan)
+	}
+}
+
+func TestDiffQuarantineAndRemove(t *testing.T) {
+	obs := threeByTwo()
+	goal := goalFor(obs, "", 1)
+	goal.Quarantine = []string{obs.Devices[0].Name}
+	plan, err := Diff(goal, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot → Drain → Quiesce → Verify for the quarantined device.
+	kinds := []StepKind{}
+	for _, s := range plan.Steps {
+		if s.Device != obs.Devices[0].Name {
+			t.Fatalf("unexpected step for %s", s.Device)
+		}
+		kinds = append(kinds, s.Kind)
+	}
+	want := []StepKind{StepSnapshot, StepDrain, StepQuiesce, StepVerify}
+	if len(kinds) != len(want) {
+		t.Fatalf("steps: %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("steps: %v, want %v", kinds, want)
+		}
+	}
+
+	// Removal: drop the device from the member list entirely.
+	goal2 := goalFor(obs, "", 1)
+	goal2.Devices = goal2.Devices[1:]
+	plan2, err := Diff(goal2, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan2.Steps) != 4 || plan2.Steps[1].Target != "remove" {
+		t.Fatalf("remove plan wrong:\n%s", plan2)
+	}
+}
+
+func TestDiffRejoinsSidelinedMember(t *testing.T) {
+	obs := threeByTwo()
+	obs.Devices[2].Quarantined = true
+	goal := goalFor(obs, "", 2)
+	plan, err := Diff(goal, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 2 || plan.Steps[0].Kind != StepRejoin || plan.Steps[1].Kind != StepVerify {
+		t.Fatalf("rejoin plan wrong:\n%s", plan)
+	}
+	// A sidelined member behind on version upgrades instead of a bare
+	// rejoin (Drain on an already-drained device is a no-op; Swap+Rejoin
+	// bring it back at the target).
+	goalV2 := goalFor(obs, "v2", 2)
+	planV2, err := Diff(goalV2, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range planV2.Steps {
+		if s.Device == obs.Devices[2].Name && s.Kind == StepSwap && s.Target == "v2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sidelined+stale device not upgraded:\n%s", planV2)
+	}
+}
+
+func TestDiffRejectsMalformedGoals(t *testing.T) {
+	obs := threeByTwo()
+	if _, err := Diff(GoalSpec{}, obs); err == nil {
+		t.Fatal("empty goal accepted")
+	}
+	g := goalFor(obs, "v2", 1)
+	g.Devices = append(g.Devices, g.Devices[0])
+	if _, err := Diff(g, obs); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	g2 := goalFor(obs, "v2", 1)
+	g2.Quarantine = []string{"not-a-member"}
+	if _, err := Diff(g2, obs); err == nil {
+		t.Fatal("quarantine of non-member accepted")
+	}
+}
+
+func TestPlanStringMentionsWaves(t *testing.T) {
+	obs := threeByTwo()
+	plan, _ := Diff(goalFor(obs, "v2", 2), obs)
+	if s := plan.String(); !strings.Contains(s, "wave") {
+		t.Fatalf("plan string: %s", s)
+	}
+}
+
+func TestCheckStepInvariants(t *testing.T) {
+	obs := threeByTwo()
+	goal := goalFor(obs, "v2", 2)
+
+	drain := Step{ID: "drain/x", Kind: StepDrain, Device: obs.Devices[0].Name, Group: 0, Target: "upgrade"}
+
+	// Healthy fleet, floor 2 of 3: a single drain passes.
+	if v := CheckStep(goal, obs, drain); v != nil {
+		t.Fatalf("healthy drain refused: %v", v)
+	}
+
+	// At the floor: refused with min-replicas.
+	atFloor := threeByTwo()
+	atFloor.Devices[1].Alive = false // group 0 down to 2 in-service
+	if v := CheckStep(goal, atFloor, drain); v == nil || v.Invariant != InvMinReplicas {
+		t.Fatalf("floor breach not caught: %v", v)
+	}
+
+	// Another group degraded: refused with single-group-degraded.
+	other := threeByTwo()
+	other.Devices[4].Draining = true // group 1 degraded
+	if v := CheckStep(goal, other, drain); v == nil || v.Invariant != InvSingleGroupDegraded {
+		t.Fatalf("cross-group degradation not caught: %v", v)
+	}
+	// ...but repairing steps (Rejoin/Verify) stay allowed.
+	rejoin := Step{ID: "rejoin/x", Kind: StepRejoin, Device: obs.Devices[0].Name, Group: 0}
+	if v := CheckStep(goal, other, rejoin); v != nil {
+		t.Fatalf("repair step refused during cross-group degradation: %v", v)
+	}
+
+	// Last holder of a hot adapter: refused.
+	hot := threeByTwo()
+	hot.Devices[0].HotAdapters = []string{"user-42"}
+	if v := CheckStep(goal, hot, drain); v == nil || v.Invariant != InvLastAdapterHolder {
+		t.Fatalf("last-holder not caught: %v", v)
+	}
+	// A second in-service holder lifts the refusal.
+	hot.Devices[1].HotAdapters = []string{"user-42"}
+	if v := CheckStep(goal, hot, drain); v != nil {
+		t.Fatalf("drain refused despite second holder: %v", v)
+	}
+	// Unless that holder is itself out of service (floor dropped to 1 so
+	// the min-replica check does not fire first).
+	hot.Devices[1].Draining = true
+	goal1 := goalFor(obs, "v2", 1)
+	if v := CheckStep(goal1, hot, drain); v == nil || v.Invariant != InvLastAdapterHolder {
+		t.Fatalf("out-of-service holder counted: %v", v)
+	}
+}

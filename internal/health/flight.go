@@ -26,7 +26,9 @@ import (
 // "alert" (monitor alert raised), "snapshot-capture", "snapshot-restore",
 // "salvage" (elastic-resume transitions), "dead"/"quarantine"/"reinstate"
 // (liveness transitions), "replan" (supervisor re-planned), "swap"
-// (serving adapter hot-swap).
+// (serving adapter hot-swap), "fleet" (orchestrator step transitions:
+// plan headers and per-step start/done/failed/skip, detail "<transition>
+// <step-id>", value the attempt number).
 type Event struct {
 	// Seq is the global append order (1-based); the ring keeps the
 	// highest Size sequence numbers.
@@ -39,10 +41,17 @@ type Event struct {
 	Lane int `json:"lane"`
 	Rank int `json:"rank"`
 	// Detail is a short free-form label (an op name, a device name, an
-	// alert kind). Value carries the event's scalar, e.g. seconds.
+	// alert kind), truncated to MaxDetailLen bytes at Record time so a
+	// runaway description (a long error chain, a huge step list) cannot
+	// bloat /debug/flight dumps. Value carries the event's scalar, e.g.
+	// seconds.
 	Detail string  `json:"detail,omitempty"`
 	Value  float64 `json:"value,omitempty"`
 }
+
+// MaxDetailLen bounds Event.Detail: a ring of Size events is then at
+// most a few hundred bytes per entry no matter what callers pass.
+const MaxDetailLen = 128
 
 // Recorder is a fixed-size lock-free flight recorder: a ring of the
 // last Size events. Record is one atomic add plus one atomic pointer
@@ -69,6 +78,9 @@ func NewRecorder(size int) *Recorder {
 func (r *Recorder) Record(kind string, lane, rank int, detail string, value float64) {
 	if r == nil {
 		return
+	}
+	if len(detail) > MaxDetailLen {
+		detail = detail[:MaxDetailLen-3] + "..."
 	}
 	seq := r.seq.Add(1)
 	ev := &Event{Seq: seq, T: time.Now().UnixNano(), Kind: kind,

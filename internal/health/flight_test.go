@@ -144,3 +144,28 @@ func TestRecorderServeHTTP(t *testing.T) {
 		t.Fatalf("event = %+v", d.Events[0])
 	}
 }
+
+func TestRecorderDetailBounded(t *testing.T) {
+	r := NewRecorder(4)
+	long := make([]byte, 4096)
+	for i := range long {
+		long[i] = 'x'
+	}
+	r.Record("fleet", -1, -1, string(long), 1)
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events: %d", len(evs))
+	}
+	if got := len(evs[0].Detail); got > MaxDetailLen {
+		t.Fatalf("detail not bounded: %d bytes > %d", got, MaxDetailLen)
+	}
+	if evs[0].Detail[:MaxDetailLen-3] != string(long[:MaxDetailLen-3]) {
+		t.Fatal("truncation lost the detail prefix")
+	}
+	// A detail exactly at the bound is kept verbatim.
+	r.Record("fleet", -1, -1, string(long[:MaxDetailLen]), 1)
+	evs = r.Events()
+	if got := evs[len(evs)-1].Detail; len(got) != MaxDetailLen || got != string(long[:MaxDetailLen]) {
+		t.Fatalf("at-bound detail modified: %d bytes", len(got))
+	}
+}

@@ -5,10 +5,30 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"pac/internal/generate"
 )
+
+// Backend is the request-serving surface the HTTP handler binds to: a
+// single *Server, or a fleet replica set that routes each request to an
+// in-service replica and turns /swap into an orchestrated zero-downtime
+// rolling operation.
+type Backend interface {
+	ClassifyFor(ctx context.Context, user int, enc [][]int, lens []int) ([]int, error)
+	GenerateFor(ctx context.Context, user int, enc [][]int, lens []int, opts generate.Options) ([][]int, error)
+	SwapCheckpoint(path string) error
+	Stats() map[string]interface{}
+	WriteMetrics(w io.Writer)
+}
+
+// FleetStatuser is the optional Backend extension a replica set
+// implements; when present, the handler additionally mounts GET
+// /fleet/status with the rollout/journal view.
+type FleetStatuser interface {
+	FleetStatus() map[string]interface{}
+}
 
 // StatusClientClosedRequest is the (nginx-convention) status reported
 // when the client abandoned the request before the model ran.
@@ -35,7 +55,11 @@ const StatusClientClosedRequest = 499
 //
 // It is the network face of the Figure-1 agent: LAN clients (other
 // household devices) query the personal LLM that PAC keeps fine-tuning.
-func Handler(s *Server) http.Handler {
+func Handler(s *Server) http.Handler { return HandlerFor(s) }
+
+// HandlerFor is Handler generalized over any Backend (single server or
+// fleet replica set).
+func HandlerFor(s Backend) http.Handler {
 	mux := http.NewServeMux()
 
 	type seqReq struct {
@@ -138,22 +162,19 @@ func Handler(s *Server) http.Handler {
 	})
 
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]interface{}{
-			"served":           s.Served(),
-			"swaps":            s.Swaps(),
-			"batches":          s.batches.Value(),
-			"users":            s.Users(),
-			"canceled":         s.Canceled(),
-			"batch_size":       s.batchSize.Summary(),
-			"classify_seconds": s.latClassify.Summary(),
-			"generate_seconds": s.latGenerate.Summary(),
-		})
+		writeJSON(w, s.Stats())
 	})
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.reg.WritePrometheus(w)
+		s.WriteMetrics(w)
 	})
+
+	if fs, ok := s.(FleetStatuser); ok {
+		mux.HandleFunc("/fleet/status", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, fs.FleetStatus())
+		})
+	}
 
 	return mux
 }

@@ -9,6 +9,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -208,11 +209,37 @@ func (s *Server) SwapCheckpoint(path string) error {
 	return nil
 }
 
+// SnapshotWeights captures the current trainable parameters as one
+// flat vector — the serving-side Snapshot step of a fleet rollout. The
+// read lock makes the capture consistent with respect to swaps.
+func (s *Server) SnapshotWeights() []float32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return nn.FlattenParams(s.tech.Trainable())
+}
+
 // Served returns the number of sequences answered.
 func (s *Server) Served() int64 { return s.served.Value() }
 
 // Swaps returns the number of weight swaps performed.
 func (s *Server) Swaps() int64 { return s.swapped.Value() }
+
+// Stats returns the JSON-shaped snapshot GET /stats serves.
+func (s *Server) Stats() map[string]interface{} {
+	return map[string]interface{}{
+		"served":           s.Served(),
+		"swaps":            s.Swaps(),
+		"batches":          s.batches.Value(),
+		"users":            s.Users(),
+		"canceled":         s.Canceled(),
+		"batch_size":       s.batchSize.Summary(),
+		"classify_seconds": s.latClassify.Summary(),
+		"generate_seconds": s.latGenerate.Summary(),
+	}
+}
+
+// WriteMetrics writes the server's Prometheus text exposition.
+func (s *Server) WriteMetrics(w io.Writer) { s.reg.WritePrometheus(w) }
 
 // request is one queued classification request.
 type request struct {
