@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -131,8 +132,9 @@ func project(obs Observed, step Step) Observed {
 	return out
 }
 
-// Run executes the plan. Completed steps recorded in the journal under
-// the same plan fingerprint are skipped — the crash-resume path — and
+// Run executes the plan. Completed steps credited by the journal's
+// *latest* plan header (when it carries this plan's fingerprint) are
+// skipped — the crash-resume path — and
 // every remaining step is invariant-checked against live observed state
 // before it fires. Run returns nil when the plan (or its remainder)
 // completed, an *InvariantViolation when a safety check refused a step,
@@ -152,7 +154,18 @@ func (e *Executor) Run(ctx context.Context, plan *Plan) error {
 		completed = prog.Completed
 	}
 
-	if err := e.cfg.Journal.Append(Record{Kind: "plan", Fingerprint: plan.Fingerprint, Steps: plan.Steps}); err != nil {
+	// The header re-asserts the credit this run resumes with (Resumed):
+	// resume scoping is "latest header only", so carrying the completed
+	// set forward in the same atomic record keeps crash-resume chains
+	// lossless — there is no window where credit lives only in records
+	// an intervening header would orphan.
+	resumed := make([]string, 0, len(completed))
+	for id := range completed {
+		resumed = append(resumed, id)
+	}
+	sort.Strings(resumed)
+	if err := e.cfg.Journal.Append(Record{Kind: "plan", Fingerprint: plan.Fingerprint,
+		Steps: plan.Steps, Resumed: resumed}); err != nil {
 		return err
 	}
 	health.Flight().Record("fleet", -1, -1,

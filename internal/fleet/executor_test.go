@@ -249,6 +249,52 @@ func TestExecutorJournalResumeSkipsCompleted(t *testing.T) {
 	}
 }
 
+// TestExecutorPersistentJournalRollForwardBackForward is the
+// regression test for resume-credit aliasing: with one persistent
+// journal (the pac-serve -fleet-journal deployment shape), roll
+// v1→v2, back to v1, then to v2 again. The second v2 plan has the
+// same fingerprint as the first — fingerprints hash the step sequence
+// — and before the latest-header scoping it inherited the first run's
+// plan-done marker: Run returned nil without executing and Reconcile
+// failed "goal not reached" until the journal file was deleted.
+func TestExecutorPersistentJournalRollForwardBackForward(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persistent.pacj")
+	sim := newSimFleet(threeByTwo())
+
+	roll := func(version string) error {
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		goal := goalFor(sim.Observe(), version, 2)
+		return Reconcile(context.Background(), goal,
+			ExecConfig{Actuator: sim, Observe: sim.Observe, Goal: goal,
+				Journal: j, Backoff: time.Millisecond, StepTimeout: time.Second}, 3)
+	}
+
+	for i, version := range []string{"v2", "v1", "v2"} {
+		if err := roll(version); err != nil {
+			t.Fatalf("roll %d to %s: %v", i+1, version, err)
+		}
+		for _, d := range sim.Observe().Devices {
+			if !d.InService() || d.AdapterVersion != version {
+				t.Fatalf("roll %d: device %s at %+v, want %s in service", i+1, d.Name, d, version)
+			}
+		}
+	}
+
+	// The second v2 rollout really executed: every swap-to-v2 step
+	// applied exactly twice (once per v2 rollout), never skipped off
+	// the first run's stale credit.
+	for _, d := range threeByTwo().Devices {
+		id := stepID(StepSwap, d.Name, "v2")
+		if n := sim.appliedCount(id); n != 2 {
+			t.Fatalf("%s applied %d times across two v2 rollouts, want 2", id, n)
+		}
+	}
+}
+
 func TestExecutorAbortsOnInvariantViolation(t *testing.T) {
 	// Two in-service devices with a floor of two: any drain breaches it.
 	obs := Observed{Devices: []DeviceState{

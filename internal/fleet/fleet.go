@@ -176,8 +176,10 @@ func (o Observed) InServiceInGroup(group int) int {
 }
 
 // DegradedGroups returns the sorted groups with at least one member out
-// of service (draining, quarantined, or dead) — the unit the
-// single-group-degraded invariant counts.
+// of service (draining, quarantined, or dead) — raw status, useful for
+// reporting. The single-group-degraded invariant uses the goal-relative
+// degradedGroups instead, which excludes devices the goal itself
+// sidelines and dead devices no step can repair.
 func (o Observed) DegradedGroups() []int {
 	set := map[int]bool{}
 	for _, d := range o.Devices {

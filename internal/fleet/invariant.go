@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // The safety invariants the executor enforces before every step. They
@@ -12,8 +13,11 @@ const (
 	// InvMinReplicas: a stage group never dips below its min-replica
 	// floor while a device is taken out of service.
 	InvMinReplicas = "min-replicas"
-	// InvSingleGroupDegraded: at most one stage group is degraded (has a
-	// member out of service) at any instant of a rollout.
+	// InvSingleGroupDegraded: at most one stage group is degraded at any
+	// instant of a rollout. Degraded is measured relative to the goal —
+	// an alive member the goal wants serving is out of service; devices
+	// the goal itself sidelines and dead devices do not count (see
+	// degradedGroups).
 	InvSingleGroupDegraded = "single-group-degraded"
 	// InvLastAdapterHolder: never drain the only in-service device
 	// holding a hot adapter warm — its users would all cold-start.
@@ -42,6 +46,40 @@ func AsInvariantViolation(err error) (*InvariantViolation, bool) {
 	return v, ok
 }
 
+// degradedGroups returns the sorted groups whose degradation counts
+// toward the single-group-degraded invariant *under this goal*: groups
+// with an alive member out of service that the goal wants serving —
+// i.e. transient, rollout-induced degradation. Three kinds of
+// out-of-service device are deliberately excluded, because no plan step
+// can (or should) repair them and counting them would make otherwise
+// reachable goals permanently unsatisfiable:
+//
+//   - devices the goal itself quarantines — sidelined *is* their
+//     desired state, not damage a rollout inflicted;
+//   - devices the goal omits from membership — they are being (or have
+//     been) drained out for good;
+//   - dead devices — a corpse cannot be drained, swapped, or rejoined,
+//     so refusing every other group's steps until it revives would
+//     block the whole fleet on hardware the orchestrator cannot fix.
+func degradedGroups(goal GoalSpec, obs Observed) []int {
+	set := map[int]bool{}
+	for _, d := range obs.Devices {
+		if d.InService() || !d.Alive {
+			continue
+		}
+		if !goal.wantsMember(d.Name) || goal.wantsQuarantine(d.Name) {
+			continue
+		}
+		set[d.Group] = true
+	}
+	out := make([]int, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // CheckStep validates the safety invariants for running step against
 // the observed fleet state, returning the first violation or nil. The
 // check is conservative: it evaluates the state the fleet would be in
@@ -59,7 +97,7 @@ func CheckStep(goal GoalSpec, obs Observed, step Step) *InvariantViolation {
 	// steps *repair* a group, so they are exempt — refusing them would
 	// deadlock recovery of a fleet that is already degraded elsewhere.
 	if step.Kind != StepRejoin && step.Kind != StepVerify {
-		for _, g := range obs.DegradedGroups() {
+		for _, g := range degradedGroups(goal, obs) {
 			if g != step.Group {
 				return &InvariantViolation{Invariant: InvSingleGroupDegraded, Step: step,
 					Detail: fmt.Sprintf("group %d is already degraded while step targets group %d", g, step.Group)}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Degradation the goal itself mandates must not count toward the
+// single-group-degraded invariant, or goals that sideline a device
+// would be permanently unsatisfiable: once the quarantine lands, every
+// other group's steps would be refused forever.
+func TestCheckStepIgnoresGoalSidelinedDegradation(t *testing.T) {
+	obs := Observed{Devices: []DeviceState{
+		{Name: "a0", Group: 0, Alive: true, Quarantined: true},
+		{Name: "a1", Group: 0, Alive: true},
+		{Name: "a2", Group: 0, Alive: true},
+		{Name: "b0", Group: 1, Alive: true, AdapterVersion: "v1"},
+		{Name: "b1", Group: 1, Alive: true, AdapterVersion: "v1"},
+		{Name: "b2", Group: 1, Alive: true, AdapterVersion: "v1"},
+	}}
+	goal := GoalSpec{
+		Devices:    []string{"a0", "a1", "a2", "b0", "b1", "b2"},
+		Quarantine: []string{"a0"},
+		Groups: []GroupGoal{
+			{Group: 0, MinReplicas: 2},
+			{Group: 1, AdapterVersion: "v2", MinReplicas: 2},
+		},
+	}
+	drain := Step{ID: "drain/b0/upgrade", Kind: StepDrain, Device: "b0", Group: 1, Target: "upgrade"}
+
+	// a0 is out of service, but the goal wants it that way: group 1 may roll.
+	if v := CheckStep(goal, obs, drain); v != nil {
+		t.Fatalf("goal-quarantined device blocked another group's rollout: %v", v)
+	}
+
+	// A device the goal omits from membership is likewise not transient
+	// damage — it is being drained out for good.
+	obs.Devices[0] = DeviceState{Name: "gone", Group: 0, Alive: true, Draining: true}
+	if v := CheckStep(goal, obs, drain); v != nil {
+		t.Fatalf("goal-omitted device blocked another group's rollout: %v", v)
+	}
+
+	// But a goal-wanted, alive member out of service IS rollout-induced
+	// degradation: a second group must not degrade concurrently.
+	obs.Devices[0] = DeviceState{Name: "a0", Group: 0, Alive: true, Draining: true}
+	goal.Quarantine = nil
+	v := CheckStep(goal, obs, drain)
+	if v == nil || v.Invariant != InvSingleGroupDegraded {
+		t.Fatalf("concurrent cross-group degradation not refused: %v", v)
+	}
+}
+
+// A dead device cannot be drained, swapped, or rejoined — no plan step
+// repairs it — so it must not freeze every other group's operations.
+func TestCheckStepIgnoresDeadDevices(t *testing.T) {
+	obs := Observed{Devices: []DeviceState{
+		{Name: "a0", Group: 0, Alive: false},
+		{Name: "a1", Group: 0, Alive: true},
+		{Name: "b0", Group: 1, Alive: true, AdapterVersion: "v1"},
+		{Name: "b1", Group: 1, Alive: true, AdapterVersion: "v1"},
+	}}
+	goal := GoalSpec{
+		Devices: []string{"a0", "a1", "b0", "b1"},
+		Groups:  []GroupGoal{{Group: 0, MinReplicas: 1}, {Group: 1, AdapterVersion: "v2", MinReplicas: 1}},
+	}
+	drain := Step{ID: "drain/b0/upgrade", Kind: StepDrain, Device: "b0", Group: 1, Target: "upgrade"}
+	if v := CheckStep(goal, obs, drain); v != nil {
+		t.Fatalf("dead device in group 0 blocked group 1: %v", v)
+	}
+}
+
+// End-to-end shape of the hazard: a goal that quarantines a device in
+// group 0 *and* upgrades group 1 must converge — before degradation
+// was measured relative to the goal, the landed quarantine kept group 0
+// "degraded" forever, every group-1 step was refused, and Reconcile
+// exhausted its rounds.
+func TestReconcileQuarantineOneGroupUpgradeAnother(t *testing.T) {
+	sim := newSimFleet(threeByTwo())
+	obs := sim.Observe()
+	goal := GoalSpec{
+		Quarantine: []string{obs.Devices[0].Name},
+		Groups: []GroupGoal{
+			{Group: 0, MinReplicas: 2},
+			{Group: 1, AdapterVersion: "v2", MinReplicas: 2},
+		},
+	}
+	for _, d := range obs.Devices {
+		goal.Devices = append(goal.Devices, d.Name)
+	}
+	cfg := ExecConfig{Actuator: sim, Observe: sim.Observe, Goal: goal,
+		Backoff: time.Millisecond, StepTimeout: time.Second}
+	if err := Reconcile(context.Background(), goal, cfg, 3); err != nil {
+		t.Fatalf("quarantine+upgrade goal did not converge: %v", err)
+	}
+	for _, d := range sim.Observe().Devices {
+		switch {
+		case d.Name == obs.Devices[0].Name:
+			if !d.Quarantined {
+				t.Fatalf("%s not quarantined: %+v", d.Name, d)
+			}
+		case d.Group == 1:
+			if !d.InService() || d.AdapterVersion != "v2" {
+				t.Fatalf("group-1 device %s not upgraded: %+v", d.Name, d)
+			}
+		default:
+			if !d.InService() {
+				t.Fatalf("group-0 device %s lost service: %+v", d.Name, d)
+			}
+		}
+	}
+}

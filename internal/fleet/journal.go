@@ -23,11 +23,15 @@ import (
 //	  u32 kind, u32 payload length, u32 CRC-32 (IEEE) of payload,
 //	  payload (JSON)
 //
-// Record kinds: a plan header naming the plan fingerprint and step IDs,
-// step transitions (start / done / failed with attempt counts), and a
-// plan-done marker. Resume reads the journal, finds the latest plan
-// header, and skips every step that reached "done" under that
-// fingerprint — forward-only, no step repeats.
+// Record kinds: a plan header naming the plan fingerprint, step IDs,
+// and any completed-step credit carried forward from a crashed run;
+// step transitions (start / done / failed with attempt counts); and a
+// plan-done marker. Resume credit is scoped to the *latest* plan header
+// only: a resuming executor re-asserts still-valid credit inside its
+// own header (the Resumed field), so records from any earlier run —
+// even one with an identical fingerprint, as when the same rollout is
+// applied again after an intervening different plan — never leak
+// forward. Forward-only, no step repeats.
 const (
 	journalMagic   = 0x5041434a // "PACJ"
 	journalVersion = 1
@@ -58,6 +62,13 @@ type Record struct {
 	Fingerprint uint64 `json:"fingerprint"`
 	// Plan headers carry the full ordered step list.
 	Steps []Step `json:"steps,omitempty"`
+	// Resumed, on a plan header, carries the IDs of steps a resuming
+	// executor credits as already done (completed under the immediately
+	// preceding run of this same plan). Writing the credit into the new
+	// header — one atomic, CRC'd record — is what lets repeated
+	// crash-resume chains keep credit while stale runs cannot: only the
+	// latest header's credit ever counts.
+	Resumed []string `json:"resumed,omitempty"`
 	// Step transitions carry the step ID, the transition (start / done /
 	// failed / skip), the 1-based attempt, and an optional detail (error
 	// text for failures).
@@ -217,10 +228,16 @@ type Progress struct {
 }
 
 // ProgressFor folds journal records into resume state for the plan with
-// the given fingerprint. Only records after the *latest* matching plan
-// header count: an older run of a different plan (different
-// fingerprint) or an aborted earlier attempt of the same plan followed
-// by a re-plan contributes nothing.
+// the given fingerprint. Only records after the *latest* plan header
+// count, and only when that header matches fp: every header — matching
+// or not — resets the accounting. Credit from a run that crashed is not
+// lost by this, because a resuming executor re-asserts it in its own
+// header's Resumed list; what the reset prevents is credit *aliasing*
+// across time. Plan fingerprints hash the step sequence, so rolling
+// v2 → v1 → v2 produces two identical fingerprints for the v2 plans —
+// without the reset, the first run's plan-done marker (or a stale
+// "drain done") would make the second v2 run skip work it never did,
+// e.g. firing Swap on a replica that is still in service.
 func ProgressFor(records []Record, fp uint64) Progress {
 	p := Progress{Fingerprint: fp, Completed: map[string]bool{}}
 	active := false
@@ -228,11 +245,12 @@ func ProgressFor(records []Record, fp uint64) Progress {
 		switch rec.Kind {
 		case "plan":
 			active = rec.Fingerprint == fp
+			p.Completed = map[string]bool{}
+			p.PlanDone = false
 			if active {
-				// A fresh header restarts the accounting: steps completed
-				// under an earlier identical plan still count (same step IDs,
-				// same actions — forward-only), so keep the set.
-				p.PlanDone = false
+				for _, id := range rec.Resumed {
+					p.Completed[id] = true
+				}
 			}
 		case "step":
 			if active && rec.Transition == TransDone {

@@ -117,7 +117,7 @@ func TestJournalTornTailTolerated(t *testing.T) {
 	}
 }
 
-func TestProgressForScopesToFingerprint(t *testing.T) {
+func TestProgressForScopesToLatestHeader(t *testing.T) {
 	recs := []Record{
 		{Kind: "plan", Fingerprint: 1, Steps: []Step{{ID: "a"}}},
 		{Kind: "step", Fingerprint: 1, StepID: "a", Transition: TransDone},
@@ -131,13 +131,64 @@ func TestProgressForScopesToFingerprint(t *testing.T) {
 	if p.Completed["b"] {
 		t.Fatal("start counted as done")
 	}
+	// Plan 2's header is the latest: plan 1's credit is stale — plan 2
+	// may have changed the fleet underneath it — and must not survive.
 	p1 := ProgressFor(recs, 1)
-	if !p1.Completed["a"] || p1.PlanDone {
-		t.Fatalf("plan 1 progress wrong: %+v", p1)
+	if len(p1.Completed) != 0 || p1.PlanDone {
+		t.Fatalf("stale credit survived an intervening plan: %+v", p1)
 	}
 
 	done := append(recs, Record{Kind: "plan-done", Fingerprint: 2})
 	if !ProgressFor(done, 2).PlanDone {
 		t.Fatal("plan-done not detected")
+	}
+}
+
+// TestProgressForNoAliasingAcrossRuns is the regression test for the
+// fingerprint-reuse hazard: plan fingerprints hash the step sequence,
+// so rolling v2 -> v1 -> v2 writes two headers with the *same*
+// fingerprint. The second v2 run must start from scratch — crediting
+// the first run's plan-done (or step dones) would make the executor
+// skip work it never did.
+func TestProgressForNoAliasingAcrossRuns(t *testing.T) {
+	const v2, v1 = uint64(7), uint64(9)
+	recs := []Record{
+		{Kind: "plan", Fingerprint: v2, Steps: []Step{{ID: "drain/a"}, {ID: "swap/a/v2"}}},
+		{Kind: "step", Fingerprint: v2, StepID: "drain/a", Transition: TransDone},
+		{Kind: "step", Fingerprint: v2, StepID: "swap/a/v2", Transition: TransDone},
+		{Kind: "plan-done", Fingerprint: v2},
+		{Kind: "plan", Fingerprint: v1, Steps: []Step{{ID: "swap/a/v1"}}},
+		{Kind: "step", Fingerprint: v1, StepID: "swap/a/v1", Transition: TransDone},
+		{Kind: "plan-done", Fingerprint: v1},
+	}
+	p := ProgressFor(recs, v2)
+	if p.PlanDone {
+		t.Fatal("old run's plan-done aliased onto the new run")
+	}
+	if len(p.Completed) != 0 {
+		t.Fatalf("old run's step credit aliased onto the new run: %+v", p.Completed)
+	}
+}
+
+// TestProgressForResumedCredit proves crash-resume chains keep credit:
+// each resumed run re-asserts surviving credit in its own header's
+// Resumed list, so only the latest header ever needs to be read.
+func TestProgressForResumedCredit(t *testing.T) {
+	const fp = uint64(5)
+	recs := []Record{
+		// Run 1: s1 done, crash.
+		{Kind: "plan", Fingerprint: fp, Steps: []Step{{ID: "s1"}, {ID: "s2"}, {ID: "s3"}}},
+		{Kind: "step", Fingerprint: fp, StepID: "s1", Transition: TransDone},
+		// Run 2 resumes crediting s1, completes s2, crashes.
+		{Kind: "plan", Fingerprint: fp, Resumed: []string{"s1"}},
+		{Kind: "step", Fingerprint: fp, StepID: "s1", Transition: TransSkip},
+		{Kind: "step", Fingerprint: fp, StepID: "s2", Transition: TransDone},
+	}
+	p := ProgressFor(recs, fp)
+	if !p.Completed["s1"] || !p.Completed["s2"] {
+		t.Fatalf("resume chain lost credit: %+v", p.Completed)
+	}
+	if p.Completed["s3"] || p.PlanDone {
+		t.Fatalf("phantom credit: %+v", p)
 	}
 }

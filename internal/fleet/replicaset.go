@@ -173,7 +173,10 @@ func (rs *ReplicaSet) pick() (*replica, error) {
 	if n == 0 {
 		return nil, ErrNoReplica
 	}
-	start := int(rs.rr.Add(1)) % n
+	// Modulo in uint64 before narrowing: int(counter) % n goes negative
+	// once the counter passes 2^31 on 32-bit platforms, and a negative
+	// index would panic the serving path.
+	start := int(rs.rr.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
 		r := rs.replicas[(start+i)%n]
 		r.inflight.Add(1)

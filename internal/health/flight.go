@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 )
 
 // Event is one flight-recorder entry. Kinds in use across the codebase:
@@ -80,7 +81,14 @@ func (r *Recorder) Record(kind string, lane, rank int, detail string, value floa
 		return
 	}
 	if len(detail) > MaxDetailLen {
-		detail = detail[:MaxDetailLen-3] + "..."
+		// Back the cut off to a rune boundary: detail can carry non-ASCII
+		// (checkpoint paths, error text), and slicing mid-rune would emit
+		// invalid UTF-8 that json.Marshal mangles in /debug/flight dumps.
+		cut := MaxDetailLen - 3
+		for cut > 0 && !utf8.RuneStart(detail[cut]) {
+			cut--
+		}
+		detail = detail[:cut] + "..."
 	}
 	seq := r.seq.Add(1)
 	ev := &Event{Seq: seq, T: time.Now().UnixNano(), Kind: kind,

@@ -3,8 +3,10 @@ package health
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"unicode/utf8"
 )
 
 func TestRecorderNilSafe(t *testing.T) {
@@ -167,5 +169,28 @@ func TestRecorderDetailBounded(t *testing.T) {
 	evs = r.Events()
 	if got := evs[len(evs)-1].Detail; len(got) != MaxDetailLen || got != string(long[:MaxDetailLen]) {
 		t.Fatalf("at-bound detail modified: %d bytes", len(got))
+	}
+}
+
+func TestRecorderDetailTruncationRuneSafe(t *testing.T) {
+	r := NewRecorder(4)
+	// Multi-byte runes (3 bytes each): whatever offset the byte cut
+	// lands on, the kept prefix must stay valid UTF-8 — step IDs and
+	// error text can carry non-ASCII checkpoint paths.
+	for shift := 0; shift < 3; shift++ {
+		// The ASCII prefix slides the byte-offset cut across every
+		// possible position inside a 3-byte rune.
+		r.Record("fleet", -1, -1, strings.Repeat("x", shift)+strings.Repeat("チ", MaxDetailLen), 1)
+	}
+	for _, ev := range r.Events() {
+		if len(ev.Detail) > MaxDetailLen {
+			t.Fatalf("detail not bounded: %d bytes", len(ev.Detail))
+		}
+		if !utf8.ValidString(ev.Detail) {
+			t.Fatalf("truncation split a rune: %q", ev.Detail)
+		}
+		if !strings.HasSuffix(ev.Detail, "...") {
+			t.Fatalf("truncated detail missing ellipsis: %q", ev.Detail)
+		}
 	}
 }
