@@ -11,6 +11,7 @@
 //	            [-trace-in FILE | -trace-out FILE] [-dry]
 //	            [-target URL] [-speedup F] [-train] [-workers N]
 //	            [-slo JSON|FILE] [-report FILE]
+//	            [-trace-sample P] [-span-out FILE] [-tail-spans N]
 //
 // A trace is a pure function of its seed and shape flags: Zipf-skewed
 // user popularity (-zipf), open-loop Poisson arrivals at -qps with
@@ -27,8 +28,15 @@
 // when the backbone configs match. -speedup compresses the trace
 // timeline for quick smoke runs.
 //
+// -span-out (or -trace-sample > 0) turns on causal request tracing:
+// every request carries a TraceContext — propagated over the
+// X-Pac-Trace header to HTTP targets — head-sampled requests record
+// full distributed trees, and the tail sampler force-traces the
+// -tail-spans slowest requests per op so the report's p99 always names
+// concrete trace IDs (analyzable with pac-trace).
+//
 // -report writes BENCH_serve.json (per-op issued/ok/errors/canceled,
-// throughput, p50/p95/p99). -slo supplies a budget as inline JSON or a
+// throughput, p50/p95/p99 with p99 trace exemplars). -slo supplies a budget as inline JSON or a
 // file, e.g. {"per_op":{"classify":{"p99":0.25,"min_qps":50}}}; any
 // violation is printed, recorded in the report, and fails the run with
 // exit status 1.
@@ -56,6 +64,7 @@ import (
 	"pac/internal/nn"
 	"pac/internal/peft"
 	"pac/internal/serve"
+	"pac/internal/telemetry"
 	"pac/internal/tensor"
 )
 
@@ -89,6 +98,9 @@ func run(args []string, out *os.File) error {
 	workers := fs.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS default)")
 	slo := fs.String("slo", "", "SLO budget: inline JSON or a file path (empty disables the gate)")
 	report := fs.String("report", "", "write the BENCH_serve.json report to FILE")
+	traceSample := fs.Float64("trace-sample", 0, "head-sampling probability for request traces (tail p99 exemplars always trace)")
+	spanOut := fs.String("span-out", "", "write the client-side span dump (Chrome JSON) to FILE; enables tracing")
+	tailSpans := fs.Int("tail-spans", 8, "slowest requests per op force-traced for p99 exemplars (-1 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,6 +153,14 @@ func run(args []string, out *os.File) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// Tracing: every request carries a TraceContext (over X-Pac-Trace
+	// for HTTP targets); sampled requests and the slowest tail record
+	// client spans, and -span-out dumps them for pac-trace.
+	var tracer *telemetry.Tracer
+	if *spanOut != "" || *traceSample > 0 {
+		tracer = telemetry.NewTracer()
+	}
+
 	// Target: remote pac-serve or an in-process server.
 	var tgt loadgen.Target
 	var stopTrain func()
@@ -164,6 +184,11 @@ func run(args []string, out *os.File) error {
 			cfg.LM = true
 		}
 		srv := serve.NewServer(peft.New(peft.ParallelAdapters, model.New(cfg), peft.Options{Reduction: 2}), cfg)
+		if tracer != nil {
+			// One dump holds client and server spans: full trees without
+			// a second export.
+			srv.SetTracer(tracer, telemetry.PidServe+1, "in-process")
+		}
 		tgt = loadgen.InProcess{Srv: srv}
 		fmt.Fprintf(out, "target: in-process %s (lm=%v, vocab=%d)\n", cfg.Name, cfg.LM, cfg.Vocab)
 		if *train {
@@ -171,12 +196,20 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
-	rep, err := loadgen.Run(ctx, tr, tgt, loadgen.RunOptions{Speedup: *speedup})
+	rep, err := loadgen.Run(ctx, tr, tgt, loadgen.RunOptions{
+		Speedup: *speedup, Tracer: tracer, TraceSample: *traceSample, TailSpans: *tailSpans,
+	})
 	if stopTrain != nil {
 		stopTrain()
 	}
 	if err != nil {
 		return err
+	}
+	if *spanOut != "" {
+		if err := tracer.WriteFile(*spanOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d span events)\n", *spanOut, tracer.Len())
 	}
 
 	var sloErr error

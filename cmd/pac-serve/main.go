@@ -7,6 +7,7 @@
 //	pac-serve [-addr :8080] [-lm] [-vocab N] [-adapters FILE]
 //	          [-replicas N] [-min-replicas N] [-fleet-journal FILE]
 //	          [-telemetry-addr HOST:PORT] [-flight-size N]
+//	          [-trace-sample P] [-trace-cap N]
 //
 // Endpoints: POST /classify, POST /generate, POST /swap, GET /stats,
 // GET /metrics (Prometheus text). Requests may carry a "user" field for
@@ -26,6 +27,14 @@
 // zero-downtime by construction), GET /fleet/status reports the
 // observed fleet and last rollout plan, and -fleet-journal makes
 // rollouts crash-resumable.
+//
+// -trace-sample P enables causal request tracing: requests carrying an
+// X-Pac-Trace header join the caller's trace (router and replica spans
+// nest under the client span and the header echoes on the response);
+// headerless requests are head-sampled at probability P. Spans record
+// into a bounded ring (-trace-cap; overwrites count in
+// pac_trace_dropped_total) and export as Chrome JSON at the telemetry
+// address's /debug/trace for Perfetto or pac-trace.
 //
 // pac-loadgen replays seeded multi-user traces against this API and
 // gates latency/throughput SLOs (see BENCH_serve.json).
@@ -61,9 +70,11 @@ func main() {
 	replicas := flag.Int("replicas", 1, "serving replicas behind the fleet router (>1 makes /swap a zero-downtime rolling operation)")
 	minReplicas := flag.Int("min-replicas", 1, "in-service floor during rolling operations (fleet mode)")
 	fleetJournal := flag.String("fleet-journal", "", "crash-resume journal for rolling operations (fleet mode; empty disables)")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve the debug mux (/metrics, /debug/vars, /debug/pprof, /debug/flight) on this address (empty disables)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve the debug mux (/metrics, /debug/vars, /debug/pprof, /debug/flight, /debug/trace) on this address (empty disables)")
 	flightSize := flag.Int("flight-size", 128, "flight-recorder ring capacity in events (0 disables)")
 	workers := flag.Int("workers", 0, "kernel worker goroutines for tensor ops (0 = GOMAXPROCS default)")
+	traceSample := flag.Float64("trace-sample", 0, "request-trace sampling probability for requests without an X-Pac-Trace header (0 disables tracing)")
+	traceCap := flag.Int("trace-cap", telemetry.DefaultTraceCap, "span ring-buffer capacity (older spans overwritten)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -80,6 +91,15 @@ func main() {
 	if *lm {
 		cfg.NumClasses = *vocab
 		cfg.LM = true
+	}
+
+	// Request tracing: spans record into a bounded ring served at
+	// /debug/trace; clients carrying X-Pac-Trace join their own trace,
+	// headerless requests are head-sampled at -trace-sample.
+	var tracer *telemetry.Tracer
+	if *traceSample > 0 {
+		tracer = telemetry.NewTracerCap(*traceCap)
+		tracer.SetSampleRate(*traceSample)
 	}
 
 	// Backend: a single server, or a replica fleet whose /swap is an
@@ -99,13 +119,16 @@ func main() {
 		rs := fleet.NewReplicaSet()
 		rs.MinReplicas = *minReplicas
 		rs.JournalPath = *fleetJournal
+		rs.SetTracer(tracer, telemetry.PidServe)
 		for i := 0; i < *replicas; i++ {
 			srv, err := newReplica()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pac-serve: replica %d: %v\n", i, err)
 				os.Exit(1)
 			}
-			rs.Add(fmt.Sprintf("replica-%d", i), 0, srv)
+			name := fmt.Sprintf("replica-%d", i)
+			srv.SetTracer(tracer, telemetry.PidServe+1+i, name)
+			rs.Add(name, 0, srv)
 		}
 		backend = rs
 		fmt.Printf("fleet: %d replicas, floor %d\n", *replicas, *minReplicas)
@@ -115,6 +138,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pac-serve: %v\n", err)
 			os.Exit(1)
 		}
+		srv.SetTracer(tracer, telemetry.PidServe+1, "replica-0")
 		backend = srv
 	}
 	if *adapters != "" {
@@ -123,9 +147,9 @@ func main() {
 
 	if *telemetryAddr != "" {
 		// The debug mux is the process-wide surface (tensor pool, GC,
-		// flight ring); per-request serving metrics stay on the API
-		// port's /metrics and /stats.
-		mux := telemetry.NewDebugMux(telemetry.Default(), nil,
+		// flight ring, span dump); per-request serving metrics stay on
+		// the API port's /metrics and /stats.
+		mux := telemetry.NewDebugMux(telemetry.Default(), tracer,
 			telemetry.Extra{Path: "/debug/flight", Handler: health.Flight()})
 		ln, err := telemetry.Serve(*telemetryAddr, mux)
 		if err != nil {

@@ -1,0 +1,158 @@
+// Command pac-trace analyzes a Chrome JSON trace dump recorded by the
+// pac runtime (pac-train -trace, pac-serve /debug/trace, pac-loadgen
+// -span-out): it reconstructs the causal span tree of every traced
+// request or training step, extracts the critical path, and accounts
+// busy/idle time per simulated device.
+//
+// Usage:
+//
+//	pac-trace -in trace.json [-top N] [-trace HEX] [-diff other.json]
+//	          [-check] [-json]
+//
+// The default report analyzes the -top slowest traces: for each, the
+// critical path (self-time per stage, tiling the root span exactly, so
+// the lines sum to the request's measured latency) and per-lane
+// busy/bubble occupancy. -trace picks one trace by the 16-digit hex id
+// a load report's p99 exemplar names. -diff loads a second dump and
+// prints the stage-level critical-path deltas, largest movers first —
+// the before/after view for a performance change. -check additionally
+// validates the span JSON schema (hex ids well-formed and paired, sane
+// timestamps) and fails the run on any violation. -json emits the
+// machine-readable report instead of text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pac/internal/telemetry"
+	"pac/internal/traceanalysis"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pac-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pac-trace", flag.ExitOnError)
+	in := fs.String("in", "", "trace dump (Chrome JSON) to analyze")
+	top := fs.Int("top", 3, "analyze the N slowest traces (0 = all)")
+	traceID := fs.String("trace", "", "analyze one trace by 16-digit hex id")
+	diff := fs.String("diff", "", "second dump: print stage-level critical-path deltas against -in")
+	check := fs.Bool("check", false, "schema-check the span JSON; violations fail the run")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	evs, err := loadEvents(*in)
+	if err != nil {
+		return err
+	}
+	if *check {
+		if errs := traceanalysis.Check(evs); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(out, "schema: %v\n", e)
+			}
+			return fmt.Errorf("%s: %d schema violation(s)", *in, len(errs))
+		}
+		fmt.Fprintf(out, "schema ok: %d events\n", len(evs))
+	}
+	dump := traceanalysis.Build(evs)
+	rep := dump.Report(len(evs), *top)
+
+	if *traceID != "" {
+		id, ok := traceanalysis.ParseHexID(*traceID)
+		if !ok {
+			return fmt.Errorf("bad -trace id %q (want 16 hex digits)", *traceID)
+		}
+		tree := dump.Tree(id)
+		if tree == nil {
+			return fmt.Errorf("trace %016x not in %s (%d traces)", id, *in, len(dump.Trees))
+		}
+		rep.Analyzed = []traceanalysis.TreeReport{dump.AnalyzeTree(tree)}
+	}
+
+	if *diff != "" {
+		evs2, err := loadEvents(*diff)
+		if err != nil {
+			return err
+		}
+		deltas := traceanalysis.DiffByStage(rep, traceanalysis.Build(evs2).Report(len(evs2), 0))
+		if *asJSON {
+			return writeJSON(out, deltas)
+		}
+		fmt.Fprintf(out, "critical-path stage deltas, %s → %s (µs, largest movers first):\n", *in, *diff)
+		for _, d := range deltas {
+			fmt.Fprintf(out, "  %+10.1f  %-24s %10.1f → %10.1f\n", d.DeltaUS, d.Stage, d.AUS, d.BUS)
+		}
+		return nil
+	}
+
+	if *asJSON {
+		return writeJSON(out, rep)
+	}
+	render(out, rep)
+	return nil
+}
+
+func loadEvents(path string) ([]telemetry.ChromeEvent, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	evs, err := traceanalysis.Parse(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return evs, nil
+}
+
+func writeJSON(out io.Writer, v interface{}) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func render(out io.Writer, rep *traceanalysis.Report) {
+	fmt.Fprintf(out, "dump: %d events, %d traces, %d untraced spans\n", rep.Events, rep.Trees, rep.Untraced)
+	for _, tr := range rep.Analyzed {
+		fmt.Fprintf(out, "\ntrace %s  root %q (%s)  %.2fms  %d spans on %d devices",
+			tr.Trace, tr.Root, tr.Cat, tr.DurUS/1e3, tr.Spans, tr.Devices)
+		if tr.Outcome != "" {
+			fmt.Fprintf(out, "  outcome %s", tr.Outcome)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "  critical path (sum %.2fms, %.1f%% of root):\n",
+			tr.PathSumUS/1e3, pct(tr.PathSumUS, tr.DurUS))
+		for _, seg := range tr.Path {
+			fmt.Fprintf(out, "    %5.1f%%  %10.2fms  %s @%d/%d (%s)\n",
+				seg.Frac*100, seg.US/1e3, seg.Name, seg.Pid, seg.Tid, seg.Cat)
+		}
+		fmt.Fprintln(out, "  lanes:")
+		for _, ln := range tr.Lanes {
+			label := ln.Label
+			if label == "" {
+				label = "-"
+			}
+			fmt.Fprintf(out, "    %d/%d %-18s busy %5.1f%%  bubble %10.2fms  (%d spans)\n",
+				ln.Pid, ln.Tid, label, ln.BusyFrac*100, ln.IdleUS/1e3, ln.Spans)
+		}
+	}
+}
+
+func pct(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return part / whole * 100
+}

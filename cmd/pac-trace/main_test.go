@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pac/internal/telemetry"
+	"pac/internal/traceanalysis"
+)
+
+// writeDump records a tiny traced request with the real tracer and
+// writes the Chrome JSON dump, returning the path and the trace id.
+func writeDump(t *testing.T, dir, name string, fwdDur time.Duration) (string, string) {
+	t.Helper()
+	tr := telemetry.NewTracer()
+	tr.SetProcessName(telemetry.PidServe+1, "replica-0")
+	// Fixed 1ms transport + 2ms server overhead around a variable
+	// forward stage, so only forward@replica moves between dumps.
+	srvDur := fwdDur + 2*time.Millisecond
+	rootDur := srvDur + 2*time.Millisecond
+	begin := time.Now() // after tracer start, so Ts stays non-negative
+	root := telemetry.TraceContext{TraceID: telemetry.NewID(), SpanID: telemetry.NewID(), Sampled: true}
+	tr.RecordSpanAt(root, 0, "client", "classify", telemetry.PidClient, 0, begin, rootDur, nil)
+	srv := telemetry.TraceContext{TraceID: root.TraceID, SpanID: telemetry.NewID(), Sampled: true}
+	tr.RecordSpanAt(srv, root.SpanID, "serve", "classify", telemetry.PidServe+1, 0,
+		begin.Add(time.Millisecond), srvDur, nil)
+	fwd := telemetry.TraceContext{TraceID: root.TraceID, SpanID: telemetry.NewID(), Sampled: true}
+	tr.RecordSpanAt(fwd, srv.SpanID, "compute", "forward", telemetry.PidServe+2, 0,
+		begin.Add(time.Millisecond+srvDur-fwdDur), fwdDur, nil)
+	path := filepath.Join(dir, name)
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, root.TraceIDString()
+}
+
+func TestRunTextAndJSONReports(t *testing.T) {
+	dir := t.TempDir()
+	path, trace := writeDump(t, dir, "a.json", 6*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path, "-check", "-trace", trace}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	text := buf.String()
+	for _, want := range []string{"schema ok", "trace " + trace, "critical path", "lanes:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-in", path, "-json", "-top", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep traceanalysis.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v", err)
+	}
+	if rep.Trees != 1 || len(rep.Analyzed) != 1 || rep.Analyzed[0].Trace != trace {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestRunDiffOrdersMovers(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := writeDump(t, dir, "a.json", 2*time.Millisecond)
+	b, _ := writeDump(t, dir, "b.json", 7*time.Millisecond)
+	var buf bytes.Buffer
+	if err := run([]string{"-in", a, "-diff", b, "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var deltas []traceanalysis.StageDelta
+	if err := json.Unmarshal(buf.Bytes(), &deltas); err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) == 0 {
+		t.Fatal("empty diff")
+	}
+	fwd := fmt.Sprintf("forward@%d", telemetry.PidServe+2)
+	if deltas[0].Stage != fwd || deltas[0].DeltaUS <= 0 {
+		t.Fatalf("largest mover %+v, want %s to grow", deltas[0], fwd)
+	}
+}
+
+func TestRunRejectsMalformedDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	blob, _ := json.Marshal([]telemetry.ChromeEvent{{
+		Name: "x", Ph: "X",
+		Args: map[string]interface{}{"trace": "nothex!", "span": "0000000000000001"},
+	}})
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-in", path, "-check"}, &buf); err == nil {
+		t.Fatal("schema violation passed -check")
+	}
+}

@@ -27,6 +27,7 @@
 //	          [-replan-on-drift] [-straggler-factor F]
 //	          [-flight-size N] [-flight-out FILE]
 //	          [-telemetry-addr HOST:PORT] [-trace-out FILE]
+//	          [-trace-sample P] [-trace-cap N]
 //
 // -telemetry-addr serves live introspection over HTTP while the run is
 // in flight: /metrics (Prometheus text), /debug/vars (JSON),
@@ -34,6 +35,10 @@
 // -trace-out writes the run's real timeline — per-stage
 // forward/backward micro-batch spans, AllReduce rounds, snapshot and
 // salvage events — as Chrome/Perfetto JSON (load it at ui.perfetto.dev).
+// Each training step roots a causal trace that the micro-batch spans
+// parent into across devices; -trace-sample records a fraction of
+// steps, -trace-cap bounds the span ring (pac-trace analyzes the dump
+// offline: critical path, per-device busy time, pipeline bubbles).
 //
 // An online health monitor watches every attempt: engines report
 // per-step timings, the monitor compares lanes and ranks against the
@@ -167,6 +172,8 @@ func run(args []string, out io.Writer) error {
 	stepTimeout := fs.Duration("step-timeout", 5*time.Second, "per-step liveness deadline for failure detection")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/flight on this address (empty disables)")
 	traceOut := fs.String("trace-out", "", "write the run's Chrome/Perfetto JSON trace to this file")
+	traceSample := fs.Float64("trace-sample", 1, "fraction of training steps recorded as causal span trees (applies when -trace-out is set)")
+	traceCap := fs.Int("trace-cap", telemetry.DefaultTraceCap, "span ring-buffer capacity (older spans overwritten)")
 	faultDrop := fs.Float64("fault-drop", 0, "per-send probability of an injected transient drop (0 disables)")
 	replanOnDrift := fs.Bool("replan-on-drift", false, "let health-monitor straggler/drift alerts trigger a re-plan (quarantine + profile feedback)")
 	drainDevice := fs.Int("drain-device", -1, "orchestrate a goal-state maintenance drain of this device index mid-run (-1 disables)")
@@ -206,7 +213,8 @@ func run(args []string, out io.Writer) error {
 
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
-		tracer = telemetry.NewTracer()
+		tracer = telemetry.NewTracerCap(*traceCap)
+		tracer.SetSampleRate(*traceSample)
 	}
 	if *telemetryAddr != "" {
 		mux := telemetry.NewDebugMux(telemetry.Default(), tracer,

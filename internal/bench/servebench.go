@@ -18,6 +18,18 @@ type OpStats struct {
 	Canceled      int64               `json:"canceled"`
 	ThroughputRPS float64             `json:"throughput_rps"`
 	Latency       telemetry.HistStats `json:"latency_seconds"`
+	// Exemplars names the trace IDs behind the slowest requests (the
+	// loadgen tail sampler force-records them even below the head
+	// sampling rate), slowest first. Omitted when tracing was off.
+	Exemplars []TraceExemplar `json:"p99_exemplars,omitempty"`
+}
+
+// TraceExemplar links one observed latency to the hex trace ID of the
+// request that produced it, so a report line like "p99 41ms" resolves
+// to a concrete span tree in the trace dump.
+type TraceExemplar struct {
+	Trace   string  `json:"trace"`
+	Seconds float64 `json:"seconds"`
 }
 
 // ServeBenchReport is the BENCH_serve.json payload — the system-level
@@ -93,6 +105,14 @@ func (r *ServeBenchReport) RenderTable() *Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"seed %d, %d users, %d requests; issue wall %.2fs, total wall %.2fs",
 		r.Seed, r.Users, r.Requests, r.IssueWallSeconds, r.WallSeconds))
+	for _, op := range r.Ops {
+		if len(op.Exemplars) == 0 {
+			continue
+		}
+		ex := op.Exemplars[0]
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s tail exemplar: trace %s (%s ms, %d traced)", op.Op, ex.Trace, ms(ex.Seconds), len(op.Exemplars)))
+	}
 	if r.SLOOk != nil {
 		if *r.SLOOk {
 			t.Notes = append(t.Notes, "SLO: all budgets met")

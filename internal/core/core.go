@@ -589,6 +589,14 @@ func (f *Framework) AdoptReferenceWeights() {
 // Manifest exposes the cache integrity ledger (tests, reporting).
 func (f *Framework) Manifest() *acache.Manifest { return f.manifest }
 
+// rootSpan opens a traced root span on the orchestrator track, so
+// snapshot/salvage/cache work carries a trace ID pac-trace can query
+// like any request. No-op when tracing is off.
+func (f *Framework) rootSpan(cat, name string) func() {
+	_, end := f.cfg.Trace.RootSpanTC(cat, name, telemetry.PidOrch, 0)
+	return end
+}
+
 // maybeSnapshot implements the SnapshotEvery cadence. It runs on the
 // epoch-loop goroutine between steps, so the state it clones is
 // consistent; g is the live DP group during cached epochs, nil during
@@ -599,7 +607,7 @@ func (f *Framework) maybeSnapshot(epoch, step int, g *parallel.DPGroup) {
 		return
 	}
 	f.sinceSnap = 0
-	defer f.cfg.Trace.Span("snapshot", "capture", telemetry.PidOrch, 0)()
+	defer f.rootSpan("snapshot", "capture")()
 	if g != nil {
 		f.cfg.OnSnapshot(f.captureDP(g, epoch, step))
 	} else {
@@ -687,7 +695,7 @@ func (f *Framework) CaptureSnapshot(epoch, step int) *checkpoint.Snapshot {
 // CachedEpochs time), and the cache manifest for salvage. The model
 // fingerprint and stage count must match the snapshot's.
 func (f *Framework) RestoreSnapshot(s *checkpoint.Snapshot) error {
-	defer f.cfg.Trace.Span("snapshot", "restore", telemetry.PidOrch, 0)()
+	defer f.rootSpan("snapshot", "restore")()
 	if s.Fingerprint != checkpoint.Fingerprint(f.cfg.Model) {
 		return fmt.Errorf("core: snapshot model fingerprint mismatch")
 	}
@@ -750,7 +758,7 @@ func (f *Framework) RestoreSnapshot(s *checkpoint.Snapshot) error {
 // cached (the replayed remainder refills itself); from the cached
 // phase on, the full dataset.
 func (f *Framework) SalvageCache(ds *data.Dataset, batch int, seed int64, from Cursor) (acache.SalvageReport, error) {
-	defer f.cfg.Trace.Span("cache", "salvage", telemetry.PidOrch, 0)()
+	defer f.rootSpan("cache", "salvage")()
 	var want []int
 	if from.Epoch <= 0 {
 		loader := data.NewLoader(ds, batch, seed)

@@ -66,6 +66,12 @@ type ReplicaSet struct {
 	routed   *telemetry.Counter
 	drains   *telemetry.Counter
 	rollouts *telemetry.Counter
+
+	// Causal tracing (SetTracer): each routed request records a route
+	// span on the router track naming the chosen replica, and the
+	// replica's own request/wait/forward spans nest under it.
+	tracer   *telemetry.Tracer
+	tracePid int
 }
 
 // NewReplicaSet builds an empty set; add members with Add.
@@ -189,24 +195,65 @@ func (rs *ReplicaSet) pick() (*replica, error) {
 	return nil, ErrNoReplica
 }
 
+// SetTracer enables route-span tracing on the router track pid (by
+// convention telemetry.PidServe; replica servers get their own pids
+// via serve.Server.SetTracer).
+func (rs *ReplicaSet) SetTracer(tr *telemetry.Tracer, pid int) {
+	rs.tracer = tr
+	rs.tracePid = pid
+	tr.SetProcessName(pid, "fleet router")
+}
+
+// routeSpan brackets pick+dispatch for a traced request: the route
+// span nests under the incoming X-Pac-Trace context (or roots
+// server-side) and the returned ctx makes the replica's spans its
+// children. The replica name is stamped once the pick lands.
+func (rs *ReplicaSet) routeSpan(ctx context.Context, op string) (context.Context, func(*replica)) {
+	if rs.tracer == nil {
+		return ctx, func(*replica) {}
+	}
+	var tc telemetry.TraceContext
+	var end func()
+	// The chosen replica is stamped into args before end() records the
+	// span; ErrNoReplica keeps the "?" marker.
+	args := map[string]interface{}{"replica": "?"}
+	if parent, ok := telemetry.TraceFrom(ctx); ok {
+		tc, end = rs.tracer.SpanTCArgs(parent, "fleet", "route "+op, rs.tracePid, 0, args)
+	} else {
+		tc, end = rs.tracer.RootSpanTC("fleet", "route "+op, rs.tracePid, 0)
+	}
+	return telemetry.ContextWithTrace(ctx, tc), func(r *replica) {
+		if r != nil {
+			args["replica"] = r.name
+		}
+		end()
+	}
+}
+
 // ClassifyFor implements serve.Backend by routing to an in-service
 // replica.
 func (rs *ReplicaSet) ClassifyFor(ctx context.Context, user int, enc [][]int, lens []int) ([]int, error) {
+	ctx, endRoute := rs.routeSpan(ctx, "classify")
 	r, err := rs.pick()
 	if err != nil {
+		endRoute(nil)
 		return nil, err
 	}
 	defer r.inflight.Add(-1)
+	defer endRoute(r)
 	return r.srv.ClassifyFor(ctx, user, enc, lens)
 }
 
 // GenerateFor implements serve.Backend.
 func (rs *ReplicaSet) GenerateFor(ctx context.Context, user int, enc [][]int, lens []int, opts generate.Options) ([][]int, error) {
+	ctx, endRoute := rs.routeSpan(ctx, "generate")
 	r, err := rs.pick()
 	if err != nil {
+		endRoute(nil)
 		return nil, err
 	}
 	defer r.inflight.Add(-1)
+	defer endRoute(r)
 	return r.srv.GenerateFor(ctx, user, enc, lens, opts)
 }
 

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pac/internal/model"
+	"pac/internal/peft"
+	"pac/internal/serve"
+	"pac/internal/telemetry"
+)
+
+// TestRouteSpanCrossesDevices routes traced requests through a
+// 2-replica set and asserts each request's tree runs client context →
+// route span (router pid, replica named) → op span (replica pid), and
+// that over several requests ≥2 distinct replica devices appear.
+func TestRouteSpanCrossesDevices(t *testing.T) {
+	tr := telemetry.NewTracer()
+	rs := NewReplicaSet()
+	rs.SetTracer(tr, telemetry.PidServe)
+	for i := 0; i < 2; i++ {
+		cfg := model.Tiny()
+		m := model.New(cfg)
+		tech := peft.New(peft.ParallelAdapters, m, peft.Options{Reduction: 4})
+		srv := serve.NewServer(tech, cfg)
+		srv.SetTracer(tr, telemetry.PidServe+1+i, fmt.Sprintf("replica-%d", i))
+		rs.Add(fmt.Sprintf("replica-%d", i), 0, srv)
+	}
+
+	traces := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		tc := telemetry.TraceContext{TraceID: telemetry.NewID(), SpanID: telemetry.NewID(), Sampled: true}
+		traces[tc.TraceID] = true
+		ctx := telemetry.ContextWithTrace(context.Background(), tc)
+		if _, err := rs.ClassifyFor(ctx, serve.AnonUser, [][]int{{1, 2, 3}}, []int{3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	byID := map[string]telemetry.ChromeEvent{}
+	for _, ev := range tr.Events() {
+		if ev.Ph != "X" || ev.Args == nil {
+			continue
+		}
+		if sid, _ := ev.Args["span"].(string); sid != "" {
+			byID[sid] = ev
+		}
+	}
+	routePids, opPids := map[int]bool{}, map[int]bool{}
+	routes, ops := 0, 0
+	for _, ev := range byID {
+		switch ev.Name {
+		case "route classify":
+			routes++
+			routePids[ev.Pid] = true
+			if ev.Args["replica"] == "?" {
+				t.Fatal("route span did not name its replica")
+			}
+		case "classify":
+			ops++
+			opPids[ev.Pid] = true
+			// The op span's parent must be a route span on the router pid.
+			parent, _ := ev.Args["parent"].(string)
+			pev, found := byID[parent]
+			if !found || pev.Name != "route classify" || pev.Pid != telemetry.PidServe {
+				t.Fatalf("op span parent %q is not the route span (found=%v)", parent, found)
+			}
+		}
+	}
+	if routes != 4 || ops != 4 {
+		t.Fatalf("got %d route / %d op spans, want 4 each", routes, ops)
+	}
+	if len(routePids) != 1 || !routePids[telemetry.PidServe] {
+		t.Fatalf("route spans on pids %v, want only %d", routePids, telemetry.PidServe)
+	}
+	if len(opPids) < 2 {
+		t.Fatalf("round-robin over 2 replicas produced op spans on %d device(s)", len(opPids))
+	}
+}

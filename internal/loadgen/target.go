@@ -11,6 +11,7 @@ import (
 
 	"pac/internal/generate"
 	"pac/internal/serve"
+	"pac/internal/telemetry"
 )
 
 // Target abstracts where replayed requests land: a serve.Server in the
@@ -56,6 +57,9 @@ func (t HTTPTarget) post(ctx context.Context, path string, body, out interface{}
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tc, ok := telemetry.TraceFrom(ctx); ok {
+		req.Header.Set(telemetry.TraceHeader, tc.HeaderValue())
+	}
 	client := t.Client
 	if client == nil {
 		client = http.DefaultClient

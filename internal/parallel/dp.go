@@ -129,6 +129,16 @@ func (g *DPGroup) Step(b *data.Batch) float64 {
 func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 	n := g.Size()
 	t0 := time.Now()
+	var stepTC telemetry.TraceContext
+	if g.Trace != nil {
+		var end func()
+		if parent, ok := telemetry.TraceFrom(ctx); ok {
+			stepTC, end = g.Trace.SpanTC(parent, "step", "step", telemetry.PidOrch, 0)
+		} else {
+			stepTC, end = g.Trace.RootSpanTC("step", "step", telemetry.PidOrch, 0)
+		}
+		defer end()
+	}
 	if g.StepTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, g.StepTimeout)
@@ -147,7 +157,12 @@ func (g *DPGroup) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			defer g.Trace.Span("compute", "step", g.TracePID, r)()
+			if stepTC.Valid() {
+				_, end := g.Trace.SpanTC(stepTC, "compute", "step", g.TracePID, r)
+				defer end()
+			} else {
+				defer g.Trace.Span("compute", "step", g.TracePID, r)()
+			}
 			rank0 := time.Now()
 			params := g.Techs[r].Trainable()
 			var flat []float32

@@ -113,7 +113,20 @@ func (h *HybridEngine) Step(b *data.Batch) float64 {
 // link — aborts every lane cleanly and surfaces a RankFailedError.
 func (h *HybridEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, error) {
 	t0 := time.Now()
-	defer h.Trace.Span("step", "step", telemetry.PidOrch, 0)()
+	if h.Trace != nil {
+		// Root the step (or nest under an incoming trace — core's
+		// training-step root) and hand the context to every lane so each
+		// microbatch's F/B chain links back here.
+		var stepTC telemetry.TraceContext
+		var end func()
+		if parent, ok := telemetry.TraceFrom(ctx); ok {
+			stepTC, end = h.Trace.SpanTC(parent, "step", "step", telemetry.PidOrch, 0)
+		} else {
+			stepTC, end = h.Trace.RootSpanTC("step", "step", telemetry.PidOrch, 0)
+		}
+		defer end()
+		ctx = telemetry.ContextWithTrace(ctx, stepTC)
+	}
 	if h.StepTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, h.StepTimeout)

@@ -24,8 +24,11 @@ type bundle struct {
 	Enc, Dec, Side *tensor.Tensor
 }
 
-func encodeBundle(b bundle) []byte {
-	var out []byte
+func encodeBundle(b bundle) []byte { return appendBundle(nil, b) }
+
+// appendBundle encodes b onto out — stages pass a trace-envelope
+// prefix so the frame is built in one buffer.
+func appendBundle(out []byte, b bundle) []byte {
 	appendTensor := func(t *tensor.Tensor) {
 		if t == nil {
 			out = append(out, 0)
@@ -181,6 +184,46 @@ type microCtx struct {
 	encOut, decOut, sideOut *autograd.Variable
 	logits                  *autograd.Variable
 	mb                      *data.Batch
+	// fwdTC is the trace context of this micro-batch's forward span on
+	// this stage; the last stage parents its backward span here (the
+	// backward is caused by the forward, not by a downstream frame).
+	fwdTC telemetry.TraceContext
+}
+
+// spanEnter begins a stage span whose parent may arrive later (inside
+// the boundary frame). spanExit records it once the parent is known:
+// as a causal child when the parent is valid and sampled, silently
+// when the trace is unsampled, or as a plain span (the pre-trace
+// behavior) when no trace context reached this stage at all.
+func (e *PipelineEngine) spanEnter() time.Time {
+	if e.Trace == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (e *PipelineEngine) spanExit(begin time.Time, parent, tc telemetry.TraceContext, name string, tid int) {
+	if e.Trace == nil {
+		return
+	}
+	switch {
+	case tc.Valid() && tc.Sampled:
+		e.Trace.RecordSpanAt(tc, parent.SpanID, "compute", name, e.TracePID, tid, begin, time.Since(begin), nil)
+	case parent.Valid():
+		// Traced but unsampled: the root's decision wins.
+	default:
+		e.Trace.RecordSpan("compute", name, e.TracePID, tid, begin, time.Since(begin))
+	}
+}
+
+// childTC derives the span context executing under parent. Derivation
+// happens even when the trace is unsampled so the context keeps
+// propagating downstream with the decision intact.
+func childTC(parent telemetry.TraceContext) telemetry.TraceContext {
+	if !parent.Valid() {
+		return telemetry.TraceContext{}
+	}
+	return telemetry.TraceContext{TraceID: parent.TraceID, SpanID: telemetry.NewID(), Sampled: parent.Sampled}
 }
 
 // Step trains one mini-batch with the 1F1B schedule assuming a
@@ -311,7 +354,9 @@ type stageStats struct {
 
 // stageForward runs stage s's blocks for micro-batch m.
 func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Batch, st1 *stageStats) (*microCtx, error) {
-	defer e.Trace.Span("compute", fmt.Sprintf("F%d", m), e.TracePID, s)()
+	begin := e.spanEnter()
+	var parent, ftc telemetry.TraceContext
+	defer func() { e.spanExit(begin, parent, ftc, fmt.Sprintf("F%d", m), s) }()
 	S := e.Stages()
 	pa := e.parallelTech()
 	needBackboneGrads := e.Tech.BackboneBackward()
@@ -320,12 +365,23 @@ func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Ba
 	st := &model.State{EncIDs: mb.Enc, DecIDs: mb.Dec, EncLens: mb.Lens}
 
 	var sideState *autograd.Variable
+	if s == 0 {
+		// The step root (hybrid/core/DP orchestration) travels in ctx;
+		// every downstream stage inherits it via frame envelopes.
+		if tc, ok := telemetry.TraceFrom(ctx); ok {
+			parent = tc
+		}
+		ftc = childTC(parent)
+	}
 	if s > 0 {
 		raw, err := recvPeer(ctx, e.Endpoints[s], s-1, fmt.Sprintf("f%d", m))
 		if err != nil {
 			return nil, err
 		}
-		in := decodeBundle(raw)
+		var payload []byte
+		parent, payload = telemetry.UnwrapEnvelope(raw)
+		ftc = childTC(parent)
+		in := decodeBundle(payload)
 		if in.Enc != nil {
 			mc.encIn = autograd.NewVar(in.Enc)
 			mc.encIn.SetRequiresGrad(needBackboneGrads)
@@ -369,6 +425,7 @@ func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Ba
 		mc.sideOut = sideState
 	}
 
+	mc.fwdTC = ftc
 	last := s == S-1
 	if last {
 		if pa != nil {
@@ -391,7 +448,9 @@ func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Ba
 	if pa != nil && sideState != nil {
 		out.Side = sideState.Value
 	}
-	frame := encodeBundle(out)
+	// The F span's context rides the frame: the next stage's F span
+	// becomes its child, chaining the microbatch across devices.
+	frame := appendBundle(telemetry.AppendEnvelope(nil, ftc), out)
 	st1.bytes += int64(len(frame))
 	if err := sendRetry(ctx, e.Endpoints[s], s+1, fmt.Sprintf("f%d", m), frame, e.Retry); err != nil {
 		return nil, err
@@ -402,7 +461,9 @@ func (e *PipelineEngine) stageForward(ctx context.Context, s, m int, mb *data.Ba
 // stageBackward runs stage s's backward for micro-batch m and returns
 // the micro-batch's weighted loss (last stage only).
 func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microCtx, denom int, st1 *stageStats) (float64, error) {
-	defer e.Trace.Span("compute", fmt.Sprintf("B%d", m), e.TracePID, s)()
+	begin := e.spanEnter()
+	var parent, btc telemetry.TraceContext
+	defer func() { e.spanExit(begin, parent, btc, fmt.Sprintf("B%d", m), s) }()
 	S := e.Stages()
 	pa := e.parallelTech()
 	needBackboneGrads := e.Tech.BackboneBackward()
@@ -410,6 +471,10 @@ func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microC
 	var roots []*autograd.Variable
 
 	if s == S-1 {
+		// The turnaround: the last stage's backward is caused by its own
+		// forward, so the chain folds back through the pipeline.
+		parent = mc.fwdTC
+		btc = childTC(parent)
 		loss := train.Loss(mc.logits, mc.mb, e.Regression)
 		w := float32(mc.mb.Size()) / float32(denom)
 		autograd.BackwardWithSeed(loss, tensor.FromSlice([]float32{w}, 1))
@@ -420,7 +485,10 @@ func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microC
 		if err != nil {
 			return 0, err
 		}
-		in := decodeBundle(raw)
+		var payload []byte
+		parent, payload = telemetry.UnwrapEnvelope(raw)
+		btc = childTC(parent)
+		in := decodeBundle(payload)
 		var outs []*autograd.Variable
 		var seeds []*tensor.Tensor
 		if in.Enc != nil && mc.encOut != nil {
@@ -452,7 +520,7 @@ func (e *PipelineEngine) stageBackward(ctx context.Context, s, m int, mc *microC
 		if pa != nil && mc.sideIn != nil {
 			out.Side = gradOrZero(mc.sideIn)
 		}
-		frame := encodeBundle(out)
+		frame := appendBundle(telemetry.AppendEnvelope(nil, btc), out)
 		st1.bytes += int64(len(frame))
 		if err := sendRetry(ctx, e.Endpoints[s], s-1, fmt.Sprintf("b%d", m), frame, e.Retry); err != nil {
 			return 0, err

@@ -42,6 +42,19 @@ func BenchmarkHybridStepTelemetryOff(b *testing.B) { benchHybridStep(b, nil, nil
 
 func BenchmarkHybridStepTelemetryOn(b *testing.B) { benchHybridStep(b, telemetry.NewTracer(), nil) }
 
+// BenchmarkHybridStepTraceSampled measures production-style causal
+// tracing: steps root traces at a 10% sample rate, sampled steps
+// carry trace context across every stage boundary inside frame
+// envelopes and record per-microbatch F/B spans with
+// trace/span/parent args, unsampled steps pay only ID derivation.
+// (TelemetryOn above is the 100%-sampled worst case — with a tracer
+// attached every step now records the full causal tree.)
+func BenchmarkHybridStepTraceSampled(b *testing.B) {
+	tr := telemetry.NewTracer()
+	tr.SetSampleRate(0.1)
+	benchHybridStep(b, tr, nil)
+}
+
 // BenchmarkHybridStepHealthOn runs with the full health path hot: a
 // monitor consuming every per-stage and whole-step report plus the
 // global flight recorder capturing step events.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"pac/internal/generate"
+	"pac/internal/telemetry"
 )
 
 // Backend is the request-serving surface the HTTP handler binds to: a
@@ -114,13 +115,26 @@ func HandlerFor(s Backend) http.Handler {
 		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}
+	// traceCtx lifts an X-Pac-Trace request header into the context and
+	// echoes it on the response, so a traced client can correlate even a
+	// 499 it never saw a body for. Malformed headers are ignored.
+	traceCtx := func(w http.ResponseWriter, r *http.Request) context.Context {
+		ctx := r.Context()
+		if hv := r.Header.Get(telemetry.TraceHeader); hv != "" {
+			if tc, ok := telemetry.ParseTraceContext(hv); ok {
+				ctx = telemetry.ContextWithTrace(ctx, tc)
+				w.Header().Set(telemetry.TraceHeader, hv)
+			}
+		}
+		return ctx
+	}
 
 	mux.HandleFunc("/classify", func(w http.ResponseWriter, r *http.Request) {
 		req, ok := decode(w, r)
 		if !ok {
 			return
 		}
-		classes, err := s.ClassifyFor(r.Context(), req.User, req.Tokens, req.Lens)
+		classes, err := s.ClassifyFor(traceCtx(w, r), req.User, req.Tokens, req.Lens)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -133,7 +147,7 @@ func HandlerFor(s Backend) http.Handler {
 		if !ok {
 			return
 		}
-		out, err := s.GenerateFor(r.Context(), req.User, req.Tokens, req.Lens,
+		out, err := s.GenerateFor(traceCtx(w, r), req.User, req.Tokens, req.Lens,
 			generate.Options{MaxLen: req.MaxLen, Temperature: req.Temperature})
 		if err != nil {
 			writeErr(w, err)

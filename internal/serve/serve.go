@@ -50,6 +50,16 @@ type Server struct {
 	// builds on it. AnonUser requests are not attributed.
 	umu        sync.Mutex
 	userServed map[int]int64
+
+	// Causal tracing (SetTracer): requests record a span tree — the op
+	// span with wait (lock acquisition) and forward (model compute)
+	// children on the tracePid track — parented under the trace context
+	// in ctx (the X-Pac-Trace header, or a fleet route span). Nil
+	// tracer keeps the request path exactly as fast as before: one
+	// pointer check, no context lookups.
+	tracer      *telemetry.Tracer
+	tracePid    int
+	traceDevice string
 }
 
 // AnonUser marks a request with no user attribution.
@@ -82,6 +92,29 @@ func NewServer(tech peft.Technique, cfg model.Config) *Server {
 // Registry exposes the server's metric registry (for /metrics exposition
 // and the debug mux).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// SetTracer enables request tracing: spans land on the pid track
+// labeled device (telemetry.PidServe conventions). Call before serving
+// traffic; device also stamps each compute span's Args so pac-trace
+// attributes per-stage time to a concrete replica.
+func (s *Server) SetTracer(tr *telemetry.Tracer, pid int, device string) {
+	s.tracer = tr
+	s.tracePid = pid
+	s.traceDevice = device
+	tr.SetProcessName(pid, device)
+}
+
+// requestSpan opens the op span for a traced request: a child of the
+// context's trace (header or route span) when present, a fresh
+// server-side root otherwise — uninstrumented clients still get
+// server-side trees.
+func (s *Server) requestSpan(ctx context.Context, op string) (telemetry.TraceContext, func()) {
+	if parent, ok := telemetry.TraceFrom(ctx); ok {
+		return s.tracer.SpanTCArgs(parent, "serve", op, s.tracePid, 0,
+			map[string]interface{}{"device": s.traceDevice})
+	}
+	return s.tracer.RootSpanTC("serve", op, s.tracePid, 0)
+}
 
 // attribute credits n served sequences to user (AnonUser is skipped).
 func (s *Server) attribute(user int, n int) {
@@ -126,26 +159,38 @@ func (s *Server) Classify(ctx context.Context, enc [][]int, lens []int) ([]int, 
 // and adapter routing use it to track which users a replica serves.
 func (s *Server) ClassifyFor(ctx context.Context, user int, enc [][]int, lens []int) ([]int, error) {
 	t0 := time.Now()
+	var rtc telemetry.TraceContext
+	if s.tracer != nil {
+		var end func()
+		rtc, end = s.requestSpan(ctx, "classify")
+		defer end()
+	}
 	if err := ctx.Err(); err != nil {
 		s.canceled.Inc()
+		s.tracer.InstantTC(rtc, "serve", "canceled", s.tracePid, 0)
 		return nil, err
 	}
+	endWait := s.waitSpan(rtc)
 	s.mu.RLock()
+	endWait()
 	defer s.mu.RUnlock()
 	// Re-check after acquiring the read side: a request that waited out a
 	// weight swap may have been abandoned by its caller meanwhile.
 	if err := ctx.Err(); err != nil {
 		s.canceled.Inc()
+		s.tracer.InstantTC(rtc, "serve", "canceled", s.tracePid, 0)
 		return nil, err
 	}
 	dec := make([][]int, len(enc))
 	for i := range dec {
 		dec[i] = []int{0}
 	}
+	endFwd := s.forwardSpan(rtc)
 	res := s.tech.Forward(enc, dec, lens, false)
+	endFwd()
 	s.served.Add(int64(len(enc)))
 	s.attribute(user, len(enc))
-	s.latClassify.Observe(time.Since(t0).Seconds())
+	s.observeLatency(s.latClassify, time.Since(t0).Seconds(), rtc)
 	out := tensor.ArgMaxRows(res.Logits.Value)
 	// Request done: tear down the graph and recycle the per-request tap
 	// buffers (PutTensor is a no-op for taps the teardown already freed).
@@ -169,21 +214,64 @@ func (s *Server) GenerateFor(ctx context.Context, user int, enc [][]int, lens []
 		return nil, fmt.Errorf("serve: model is not LM-configured")
 	}
 	t0 := time.Now()
+	var rtc telemetry.TraceContext
+	if s.tracer != nil {
+		var end func()
+		rtc, end = s.requestSpan(ctx, "generate")
+		defer end()
+	}
 	if err := ctx.Err(); err != nil {
 		s.canceled.Inc()
+		s.tracer.InstantTC(rtc, "serve", "canceled", s.tracePid, 0)
 		return nil, err
 	}
+	endWait := s.waitSpan(rtc)
 	s.mu.RLock()
+	endWait()
 	defer s.mu.RUnlock()
 	if err := ctx.Err(); err != nil {
 		s.canceled.Inc()
+		s.tracer.InstantTC(rtc, "serve", "canceled", s.tracePid, 0)
 		return nil, err
 	}
+	endFwd := s.forwardSpan(rtc)
 	out := generate.Decode(s.tech, enc, lens, opts)
+	endFwd()
 	s.served.Add(int64(len(enc)))
 	s.attribute(user, len(enc))
-	s.latGenerate.Observe(time.Since(t0).Seconds())
+	s.observeLatency(s.latGenerate, time.Since(t0).Seconds(), rtc)
 	return out, nil
+}
+
+// waitSpan brackets read-lock acquisition (queueing behind a weight
+// swap shows up as wait time on the critical path).
+func (s *Server) waitSpan(rtc telemetry.TraceContext) func() {
+	if s.tracer == nil {
+		return func() {}
+	}
+	_, end := s.tracer.SpanTC(rtc, "serve", "wait", s.tracePid, 0)
+	return end
+}
+
+// forwardSpan brackets the model invocation — the per-device compute
+// stage of a request's causal tree.
+func (s *Server) forwardSpan(rtc telemetry.TraceContext) func() {
+	if s.tracer == nil {
+		return func() {}
+	}
+	_, end := s.tracer.SpanTCArgs(rtc, "compute", "forward", s.tracePid, 0,
+		map[string]interface{}{"device": s.traceDevice})
+	return end
+}
+
+// observeLatency records a request latency, stamping the trace ID as
+// the bucket exemplar when the request was sampled.
+func (s *Server) observeLatency(h *telemetry.Histogram, sec float64, rtc telemetry.TraceContext) {
+	if rtc.Valid() && rtc.Sampled {
+		h.ObserveTrace(sec, rtc.TraceID)
+		return
+	}
+	h.Observe(sec)
 }
 
 // UpdateWeights installs new trainable parameters (e.g. pushed from a

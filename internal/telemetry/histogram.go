@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -15,6 +16,10 @@ type Histogram struct {
 	counts []atomic.Int64
 	sum    atomic.Uint64 // float64 bits
 	count  atomic.Int64
+	// exemplars[i] holds the most recent sampled trace ID observed in
+	// bucket i (0 = none), so a latency bucket links straight to a
+	// causal trace. Written by ObserveTrace, plain atomic store.
+	exemplars []atomic.Uint64
 }
 
 // DefBuckets are the default duration buckets in seconds: 1 ms to 10 s,
@@ -55,7 +60,11 @@ func newHistogram(buckets []float64) *Histogram {
 	for len(bounds) > 0 && math.IsInf(bounds[len(bounds)-1], 1) {
 		bounds = bounds[:len(bounds)-1]
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -69,6 +78,65 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveTrace records one value and, when traceID is nonzero, stamps
+// it as the bucket's latest exemplar.
+func (h *Histogram) ObserveTrace(v float64, traceID uint64) {
+	h.StampExemplar(v, traceID)
+	h.Observe(v)
+}
+
+// StampExemplar attaches traceID to the bucket v falls in without
+// observing v — the tail sampler uses it to back-fill exemplars for
+// already-observed latencies once their traces are force-recorded.
+func (h *Histogram) StampExemplar(v float64, traceID uint64) {
+	if traceID != 0 {
+		h.exemplars[sort.SearchFloat64s(h.bounds, v)].Store(traceID)
+	}
+}
+
+// bucketIndex returns the index of the bucket holding the q-quantile
+// rank, mirroring Quantile's walk. -1 for an empty histogram.
+func (h *Histogram) bucketIndex(q float64) int {
+	counts, _, total := h.snapshot()
+	if total == 0 {
+		return -1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			return i
+		}
+	}
+	return len(counts) - 1
+}
+
+// QuantileExemplar returns the trace ID exemplar for the bucket
+// holding the q-quantile rank, falling back outward (higher buckets
+// first — the interesting tail — then lower) when that bucket has no
+// exemplar yet. 0 when the histogram holds no exemplars at all.
+func (h *Histogram) QuantileExemplar(q float64) uint64 {
+	i := h.bucketIndex(q)
+	if i < 0 {
+		return 0
+	}
+	if id := h.exemplars[i].Load(); id != 0 {
+		return id
+	}
+	for j := i + 1; j < len(h.exemplars); j++ {
+		if id := h.exemplars[j].Load(); id != 0 {
+			return id
+		}
+	}
+	for j := i - 1; j >= 0; j-- {
+		if id := h.exemplars[j].Load(); id != 0 {
+			return id
+		}
+	}
+	return 0
 }
 
 // snapshot reads a consistent-enough view of the histogram: per-bucket
@@ -140,6 +208,10 @@ type HistStats struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// P99Exemplar is the hex trace ID behind the p99 bucket, when the
+	// histogram was fed via ObserveTrace; omitted otherwise so older
+	// reports round-trip unchanged.
+	P99Exemplar string `json:"p99_exemplar,omitempty"`
 }
 
 // Percentile returns the named percentile ("p50", "p95", "p99") from the
@@ -159,13 +231,17 @@ func (s HistStats) Percentile(name string) (v float64, ok bool) {
 // Stats returns the typed digest used by machine-readable reports.
 func (h *Histogram) Stats() HistStats {
 	_, sum, count := h.snapshot()
-	return HistStats{
+	st := HistStats{
 		Count: count,
 		Sum:   sum,
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
+	if ex := h.QuantileExemplar(0.99); ex != 0 {
+		st.P99Exemplar = fmt.Sprintf("%016x", ex)
+	}
+	return st
 }
 
 // Summary returns the JSON-friendly digest used by /debug/vars and the
@@ -184,7 +260,7 @@ func (h *Histogram) Summary() map[string]interface{} {
 		}
 		buckets[le] = cum
 	}
-	return map[string]interface{}{
+	out := map[string]interface{}{
 		"count":   st.Count,
 		"sum":     st.Sum,
 		"p50":     st.P50,
@@ -192,4 +268,20 @@ func (h *Histogram) Summary() map[string]interface{} {
 		"p99":     st.P99,
 		"buckets": buckets,
 	}
+	exemplars := map[string]string{}
+	for i := range h.exemplars {
+		id := h.exemplars[i].Load()
+		if id == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		exemplars[le] = fmt.Sprintf("%016x", id)
+	}
+	if len(exemplars) > 0 {
+		out["exemplars"] = exemplars
+	}
+	return out
 }

@@ -1,0 +1,227 @@
+package traceanalysis
+
+import (
+	"fmt"
+	"sort"
+
+	"pac/internal/telemetry"
+)
+
+// PathSeg is one critical-path line: total self-time attributed to one
+// span identity (name@pid/tid) across the path's segments.
+type PathSeg struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	US   float64 `json:"us"`
+	Frac float64 `json:"frac"`
+}
+
+// LaneReport is one (pid, tid) track's occupancy over the root window.
+type LaneReport struct {
+	Pid      int     `json:"pid"`
+	Tid      int     `json:"tid"`
+	Label    string  `json:"label,omitempty"`
+	Spans    int     `json:"spans"`
+	BusyUS   float64 `json:"busy_us"`
+	IdleUS   float64 `json:"idle_us"`
+	BusyFrac float64 `json:"busy_frac"`
+}
+
+// TreeReport is the analysis of one trace: root identity, critical
+// path, and per-lane busy/bubble accounting.
+type TreeReport struct {
+	Trace     string       `json:"trace"`
+	Root      string       `json:"root"`
+	Cat       string       `json:"cat"`
+	Outcome   string       `json:"outcome,omitempty"`
+	DurUS     float64      `json:"dur_us"`
+	PathSumUS float64      `json:"path_sum_us"`
+	Spans     int          `json:"spans"`
+	Devices   int          `json:"devices"`
+	Path      []PathSeg    `json:"path"`
+	Lanes     []LaneReport `json:"lanes"`
+}
+
+// Report is the dump-level analysis pac-trace emits: headline counts,
+// the top trees by root duration, and the dump-wide critical-path time
+// aggregated by stage (the diffable profile).
+type Report struct {
+	Events   int                `json:"events"`
+	Trees    int                `json:"trees"`
+	Untraced int                `json:"untraced"`
+	Analyzed []TreeReport       `json:"analyzed"`
+	ByStage  map[string]float64 `json:"by_stage_us"`
+}
+
+func stageKey(name string, pid int) string { return fmt.Sprintf("%s@%d", name, pid) }
+
+// AnalyzeTree computes one tree's report against its longest root.
+func (d *Dump) AnalyzeTree(t *Tree) TreeReport {
+	root := t.Root()
+	rep := TreeReport{
+		Trace: fmt.Sprintf("%016x", t.TraceID),
+		Root:  root.Name, Cat: root.Cat,
+		DurUS: root.Dur(), Spans: len(t.Spans),
+	}
+	if out, _ := root.Args["outcome"].(string); out != "" {
+		rep.Outcome = out
+	}
+	devices := map[int]bool{}
+	for _, s := range t.Spans {
+		devices[s.Pid] = true
+	}
+	rep.Devices = len(devices)
+
+	agg := map[string]*PathSeg{}
+	var order []string
+	for _, seg := range CriticalPath(root) {
+		rep.PathSumUS += seg.Dur()
+		key := stageKey(seg.Span.Name, seg.Span.Pid) + fmt.Sprintf("/%d", seg.Span.Tid)
+		ps := agg[key]
+		if ps == nil {
+			ps = &PathSeg{Name: seg.Span.Name, Cat: seg.Span.Cat, Pid: seg.Span.Pid, Tid: seg.Span.Tid}
+			agg[key] = ps
+			order = append(order, key)
+		}
+		ps.US += seg.Dur()
+	}
+	for _, key := range order {
+		ps := agg[key]
+		if rep.DurUS > 0 {
+			ps.Frac = ps.US / rep.DurUS
+		}
+		rep.Path = append(rep.Path, *ps)
+	}
+	sort.SliceStable(rep.Path, func(i, j int) bool { return rep.Path[i].US > rep.Path[j].US })
+
+	for _, ls := range t.LaneStats(root) {
+		lr := LaneReport{Pid: ls.Pid, Tid: ls.Tid, Spans: ls.Spans, BusyUS: ls.BusyUS, IdleUS: ls.IdleUS}
+		if w := rep.DurUS; w > 0 {
+			lr.BusyFrac = ls.BusyUS / w
+		}
+		if name := d.ThreadNames[[2]int{ls.Pid, ls.Tid}]; name != "" {
+			lr.Label = name
+		} else if name := d.ProcNames[ls.Pid]; name != "" {
+			lr.Label = name
+		}
+		rep.Lanes = append(rep.Lanes, lr)
+	}
+	return rep
+}
+
+// Report analyzes the top trees by root duration (all when top <= 0)
+// and aggregates critical-path time by stage across every tree in the
+// dump.
+func (d *Dump) Report(events, top int) *Report {
+	rep := &Report{Events: events, Trees: len(d.Trees), Untraced: d.Untraced,
+		ByStage: map[string]float64{}}
+	for i, t := range d.Trees {
+		if top <= 0 || i < top {
+			rep.Analyzed = append(rep.Analyzed, d.AnalyzeTree(t))
+		}
+		for _, seg := range CriticalPath(t.Root()) {
+			rep.ByStage[stageKey(seg.Span.Name, seg.Span.Pid)] += seg.Dur()
+		}
+	}
+	return rep
+}
+
+// StageDelta is one row of a two-dump comparison: critical-path
+// microseconds attributed to a stage in each dump.
+type StageDelta struct {
+	Stage   string  `json:"stage"`
+	AUS     float64 `json:"a_us"`
+	BUS     float64 `json:"b_us"`
+	DeltaUS float64 `json:"delta_us"`
+}
+
+// DiffByStage compares two reports' stage profiles, rows sorted by
+// |delta| descending — the stages that moved most first.
+func DiffByStage(a, b *Report) []StageDelta {
+	stages := map[string]bool{}
+	for k := range a.ByStage {
+		stages[k] = true
+	}
+	for k := range b.ByStage {
+		stages[k] = true
+	}
+	var out []StageDelta
+	for k := range stages {
+		out = append(out, StageDelta{Stage: k, AUS: a.ByStage[k], BUS: b.ByStage[k],
+			DeltaUS: b.ByStage[k] - a.ByStage[k]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].DeltaUS, out[j].DeltaUS
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// Check validates the span-JSON schema of a dump: every complete event
+// has a name and sane timestamps, and trace/span/parent Args (when
+// present) are well-formed 16-digit hex IDs with trace+span paired.
+// Returns all violations, capped at 20.
+func Check(evs []telemetry.ChromeEvent) []error {
+	var errs []error
+	add := func(i int, format string, a ...interface{}) {
+		if len(errs) < 20 {
+			errs = append(errs, fmt.Errorf("event %d: %s", i, fmt.Sprintf(format, a...)))
+		}
+	}
+	for i, ev := range evs {
+		switch ev.Ph {
+		case "X":
+			if ev.Name == "" {
+				add(i, "complete event without a name")
+			}
+			if ev.Ts < 0 || ev.Dur < 0 {
+				add(i, "%s: negative ts/dur (%v, %v)", ev.Name, ev.Ts, ev.Dur)
+			}
+		case "M", "i", "I", "C":
+		case "":
+			add(i, "missing phase")
+		}
+		if ev.Args == nil {
+			continue
+		}
+		var trace, span uint64
+		for _, key := range []string{"trace", "span", "parent"} {
+			raw, present := ev.Args[key]
+			if !present {
+				continue
+			}
+			s, isStr := raw.(string)
+			id, ok := ParseHexID(s)
+			if !isStr || !ok || len(s) != 16 {
+				add(i, "%s: malformed %s id %v", ev.Name, key, raw)
+				continue
+			}
+			switch key {
+			case "trace":
+				trace = id
+			case "span":
+				span = id
+			}
+		}
+		if (trace == 0) != (span == 0) && ev.Ph == "X" {
+			add(i, "%s: trace/span ids must appear together", ev.Name)
+		}
+		if span != 0 {
+			if parent, _ := argHex(ev.Args, "parent"); parent == span {
+				add(i, "%s: span %016x is its own parent", ev.Name, span)
+			}
+		}
+	}
+	return errs
+}

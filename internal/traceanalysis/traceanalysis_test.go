@@ -1,0 +1,189 @@
+package traceanalysis
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pac/internal/telemetry"
+)
+
+func hexid(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+func span(name string, pid, tid int, ts, dur float64, trace, id, parent uint64) telemetry.ChromeEvent {
+	args := map[string]interface{}{"trace": hexid(trace), "span": hexid(id)}
+	if parent != 0 {
+		args["parent"] = hexid(parent)
+	}
+	return telemetry.ChromeEvent{Name: name, Cat: "t", Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args}
+}
+
+// TestCriticalPathTilesRootExactly hand-builds a tree with nested and
+// gapped children and asserts the path segments partition the root
+// interval: chronological, non-overlapping, summing to the root
+// duration exactly.
+func TestCriticalPathTilesRootExactly(t *testing.T) {
+	evs := []telemetry.ChromeEvent{
+		span("root", 1, 0, 0, 100, 7, 1, 0),
+		span("a", 1, 0, 10, 30, 7, 2, 1), // [10,40]
+		span("g", 2, 0, 20, 10, 7, 3, 2), // [20,30] under a
+		span("b", 2, 0, 60, 30, 7, 4, 1), // [60,90]
+	}
+	d := Build(evs)
+	if len(d.Trees) != 1 {
+		t.Fatalf("%d trees", len(d.Trees))
+	}
+	tree := d.Trees[0]
+	if tree.Root().Name != "root" {
+		t.Fatalf("root %q", tree.Root().Name)
+	}
+	path := CriticalPath(tree.Root())
+	want := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"root", 0, 10}, {"a", 10, 20}, {"g", 20, 30}, {"a", 30, 40},
+		{"root", 40, 60}, {"b", 60, 90}, {"root", 90, 100},
+	}
+	if len(path) != len(want) {
+		t.Fatalf("got %d segments, want %d: %+v", len(path), len(want), path)
+	}
+	sum := 0.0
+	for i, seg := range path {
+		if seg.Span.Name != want[i].name || seg.Start != want[i].lo || seg.End != want[i].hi {
+			t.Fatalf("segment %d = %s [%v,%v], want %s [%v,%v]",
+				i, seg.Span.Name, seg.Start, seg.End, want[i].name, want[i].lo, want[i].hi)
+		}
+		sum += seg.Dur()
+	}
+	if sum != tree.Root().Dur() {
+		t.Fatalf("path sums to %v, root is %v", sum, tree.Root().Dur())
+	}
+}
+
+// TestBuildDropsDuplicatesKeepsOrphans pins resilience: a duplicated
+// span event (a replayed transport frame exported twice) must not fork
+// the tree, and a span whose parent is absent from the dump becomes an
+// analyzable root.
+func TestBuildDropsDuplicatesKeepsOrphans(t *testing.T) {
+	evs := []telemetry.ChromeEvent{
+		span("op", 1, 0, 0, 50, 9, 2, 777), // parent 777 never dumped
+		span("op", 1, 0, 0, 50, 9, 2, 777), // exact duplicate
+		span("child", 1, 0, 10, 20, 9, 3, 2),
+	}
+	d := Build(evs)
+	tree := d.Tree(9)
+	if tree == nil {
+		t.Fatal("trace 9 missing")
+	}
+	if len(tree.Spans) != 2 {
+		t.Fatalf("duplicate forked the tree: %d spans", len(tree.Spans))
+	}
+	if len(tree.Roots) != 1 || tree.Root().Name != "op" {
+		t.Fatalf("orphan did not become the root: %+v", tree.Roots)
+	}
+	if len(tree.Root().Children) != 1 {
+		t.Fatal("child lost")
+	}
+}
+
+// TestLaneStatsMergesOverlap asserts nested spans on one lane are not
+// double-counted and the idle bubble is window minus merged busy.
+func TestLaneStatsMergesOverlap(t *testing.T) {
+	evs := []telemetry.ChromeEvent{
+		span("root", 1, 0, 0, 100, 3, 1, 0),
+		span("f0", 5, 2, 10, 40, 3, 2, 1), // [10,50]
+		span("f1", 5, 2, 30, 40, 3, 3, 1), // [30,70] overlaps f0
+		span("g0", 6, 0, 80, 10, 3, 4, 1), // [80,90]
+	}
+	d := Build(evs)
+	tree := d.Tree(3)
+	stats := tree.LaneStats(tree.Root())
+	byLane := map[[2]int]LaneStat{}
+	for _, ls := range stats {
+		byLane[[2]int{ls.Pid, ls.Tid}] = ls
+	}
+	if ls := byLane[[2]int{5, 2}]; ls.BusyUS != 60 || ls.IdleUS != 40 || ls.Spans != 2 {
+		t.Fatalf("lane 5/2: %+v", ls)
+	}
+	if ls := byLane[[2]int{6, 0}]; ls.BusyUS != 10 || ls.IdleUS != 90 {
+		t.Fatalf("lane 6/0: %+v", ls)
+	}
+}
+
+// TestReportAggregatesAndDiffs checks stage aggregation and the diff
+// ordering (largest |delta| first), plus JSON round-trip through the
+// real encoder.
+func TestReportAggregatesAndDiffs(t *testing.T) {
+	evs := []telemetry.ChromeEvent{
+		span("root", 1, 0, 0, 100, 7, 1, 0),
+		span("fwd", 2, 0, 20, 60, 7, 2, 1),
+	}
+	blob, err := telemetry.EncodeChromeJSON(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(parsed); len(errs) != 0 {
+		t.Fatalf("schema check failed: %v", errs)
+	}
+	rep := Build(parsed).Report(len(parsed), 0)
+	if rep.ByStage["root@1"] != 40 || rep.ByStage["fwd@2"] != 60 {
+		t.Fatalf("by-stage: %+v", rep.ByStage)
+	}
+
+	evs2 := []telemetry.ChromeEvent{
+		span("root", 1, 0, 0, 100, 8, 1, 0),
+		span("fwd", 2, 0, 10, 85, 8, 2, 1),
+	}
+	rep2 := Build(evs2).Report(len(evs2), 0)
+	deltas := DiffByStage(rep, rep2)
+	if len(deltas) != 2 || deltas[0].Stage != "fwd@2" || deltas[0].DeltaUS != 25 {
+		t.Fatalf("diff: %+v", deltas)
+	}
+}
+
+// TestCheckFlagsMalformedSpans exercises the schema checker's failure
+// modes.
+func TestCheckFlagsMalformedSpans(t *testing.T) {
+	bad := []telemetry.ChromeEvent{
+		{Name: "", Ph: "X", Ts: 1, Dur: 1},
+		{Name: "neg", Ph: "X", Ts: -1, Dur: 1},
+		{Name: "halfid", Ph: "X", Args: map[string]interface{}{"trace": hexid(5)}},
+		{Name: "badhex", Ph: "X", Args: map[string]interface{}{"trace": "zz", "span": hexid(5)}},
+		{Name: "selfparent", Ph: "X",
+			Args: map[string]interface{}{"trace": hexid(5), "span": hexid(6), "parent": hexid(6)}},
+	}
+	for i, ev := range bad {
+		if errs := Check([]telemetry.ChromeEvent{ev}); len(errs) == 0 {
+			t.Fatalf("case %d (%s) passed the schema check", i, ev.Name)
+		}
+	}
+	if errs := Check(nil); len(errs) != 0 {
+		t.Fatalf("empty dump flagged: %v", errs)
+	}
+}
+
+// TestCriticalPathClipsRunawayChild pins clipping: a child recorded
+// slightly past its parent's end (clock jitter) must not produce
+// segments outside the root interval or a sum above the root duration.
+func TestCriticalPathClipsRunawayChild(t *testing.T) {
+	evs := []telemetry.ChromeEvent{
+		span("root", 1, 0, 10, 100, 4, 1, 0), // [10,110]
+		span("late", 2, 0, 90, 40, 4, 2, 1),  // [90,130] overruns
+	}
+	tree := Build(evs).Tree(4)
+	sum := 0.0
+	for _, seg := range CriticalPath(tree.Root()) {
+		if seg.Start < 10 || seg.End > 110 {
+			t.Fatalf("segment escapes root: %+v", seg)
+		}
+		sum += seg.Dur()
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("sum %v, want 100", sum)
+	}
+}
