@@ -8,6 +8,7 @@
 //	          [-replicas N] [-min-replicas N] [-fleet-journal FILE]
 //	          [-telemetry-addr HOST:PORT] [-flight-size N]
 //	          [-trace-sample P] [-trace-cap N]
+//	          [-mem-budget BYTES] [-mem-warn-frac F] [-mem-crit-frac F]
 //
 // Endpoints: POST /classify, POST /generate, POST /swap, GET /stats,
 // GET /metrics (Prometheus text). Requests may carry a "user" field for
@@ -15,9 +16,12 @@
 // request runs under its connection context, so a client that
 // disconnects while queued behind a weight swap is dropped without
 // counting as served. -telemetry-addr additionally serves the debug mux
-// (/metrics, /debug/vars, /debug/pprof and /debug/flight — the
-// flight-recorder ring of recent weight swaps as JSON) on a separate
-// address, keeping profiling off the public API port.
+// (/metrics, /debug/vars, /debug/pprof, /debug/flight — the
+// flight-recorder ring of recent weight swaps as JSON — and /debug/mem,
+// the memory ledger's per-subsystem byte breakdown and timeline) on a
+// separate address, keeping profiling off the public API port.
+// -mem-budget arms the ledger's pressure watermarks: warn and critical
+// crossings record flight events and count in pac_mem_pressure_total.
 //
 // -replicas N > 1 hosts a fleet.ReplicaSet of N identical replicas
 // behind the same API instead of a single server. Requests round-robin
@@ -55,6 +59,7 @@ import (
 	"pac/internal/checkpoint"
 	"pac/internal/fleet"
 	"pac/internal/health"
+	"pac/internal/memledger"
 	"pac/internal/model"
 	"pac/internal/peft"
 	"pac/internal/serve"
@@ -75,6 +80,9 @@ func main() {
 	workers := flag.Int("workers", 0, "kernel worker goroutines for tensor ops (0 = GOMAXPROCS default)")
 	traceSample := flag.Float64("trace-sample", 0, "request-trace sampling probability for requests without an X-Pac-Trace header (0 disables tracing)")
 	traceCap := flag.Int("trace-cap", telemetry.DefaultTraceCap, "span ring-buffer capacity (older spans overwritten)")
+	memBudget := flag.String("mem-budget", "", "arm the process memory ledger with this byte budget (e.g. 256MiB): watermark crossings record flight events and bump pac_mem_pressure_total (empty disables)")
+	memWarnFrac := flag.Float64("mem-warn-frac", memledger.DefaultWarnFrac, "warn watermark as a fraction of -mem-budget")
+	memCritFrac := flag.Float64("mem-crit-frac", memledger.DefaultCritFrac, "critical watermark as a fraction of -mem-budget")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -84,6 +92,25 @@ func main() {
 		health.Enable(*flightSize)
 		defer health.Disable()
 	}
+
+	// Memory observability: every instrumented subsystem (tensor pool,
+	// in-flight requests, KV caches, transport frames) accounts into the
+	// process ledger; /debug/mem serves the breakdown and timeline, and
+	// -mem-budget arms the pressure watermarks.
+	ledger := memledger.Default()
+	if *memBudget != "" {
+		budget, err := memledger.ParseBytes(*memBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pac-serve: %v\n", err)
+			os.Exit(1)
+		}
+		ledger.SetBudget(budget, *memWarnFrac, *memCritFrac)
+		fmt.Printf("memory budget: %.1f MB (warn %.0f%%, critical %.0f%%)\n",
+			float64(budget)/1e6, *memWarnFrac*100, *memCritFrac*100)
+	}
+	ledger.ExportTo(telemetry.Default())
+	stopSampler := ledger.StartSampler(0)
+	defer stopSampler()
 
 	cfg := model.Tiny()
 	cfg.Vocab = *vocab
@@ -150,7 +177,8 @@ func main() {
 		// flight ring, span dump); per-request serving metrics stay on
 		// the API port's /metrics and /stats.
 		mux := telemetry.NewDebugMux(telemetry.Default(), tracer,
-			telemetry.Extra{Path: "/debug/flight", Handler: health.Flight()})
+			telemetry.Extra{Path: "/debug/flight", Handler: health.Flight()},
+			telemetry.Extra{Path: "/debug/mem", Handler: memledger.Handler(ledger, nil)})
 		ln, err := telemetry.Serve(*telemetryAddr, mux)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pac-serve: telemetry: %v\n", err)

@@ -28,10 +28,21 @@
 //	          [-flight-size N] [-flight-out FILE]
 //	          [-telemetry-addr HOST:PORT] [-trace-out FILE]
 //	          [-trace-sample P] [-trace-cap N]
+//	          [-mem-budget BYTES] [-mem-warn-frac F] [-mem-crit-frac F]
+//	          [-mem-report FILE]
 //
 // -telemetry-addr serves live introspection over HTTP while the run is
 // in flight: /metrics (Prometheus text), /debug/vars (JSON),
-// /debug/pprof and /debug/flight (the flight-recorder ring as JSON).
+// /debug/pprof, /debug/flight (the flight-recorder ring as JSON) and
+// /debug/mem (the memory ledger's per-subsystem byte breakdown,
+// watermarks, ring-buffered timeline, and per-device views;
+// ?format=chrome renders the timeline as Chrome counter events).
+// -mem-budget arms the ledger's pressure watermarks: a warn crossing
+// records a flight event and counts in pac_mem_pressure_total, a
+// critical crossing additionally sheds LRU activation-cache entries
+// until the total is back at the warn watermark. -mem-report writes
+// the run's per-account peak bytes in the committed BENCH_mem.json
+// shape so CI can gate memory regressions.
 // -trace-out writes the run's real timeline — per-stage
 // forward/backward micro-batch spans, AllReduce rounds, snapshot and
 // salvage events — as Chrome/Perfetto JSON (load it at ui.perfetto.dev).
@@ -55,10 +66,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -72,6 +85,7 @@ import (
 	"pac/internal/data"
 	"pac/internal/fleet"
 	"pac/internal/health"
+	"pac/internal/memledger"
 	"pac/internal/model"
 	"pac/internal/parallel"
 	"pac/internal/peft"
@@ -186,6 +200,10 @@ func run(args []string, out io.Writer) error {
 	slowDelay := fs.Duration("slow-delay", 25*time.Millisecond, "injected per-send delay for -slow-lane")
 	workers := fs.Int("workers", 0, "kernel worker goroutines for tensor ops (0 = GOMAXPROCS default)")
 	poolStats := fs.Bool("pool-stats", false, "print tensor pool statistics when the run finishes")
+	memBudget := fs.String("mem-budget", "", "arm the process memory ledger with this byte budget (e.g. 256MiB): watermark crossings record flight events, critical pressure sheds the activation cache (empty disables)")
+	memWarnFrac := fs.Float64("mem-warn-frac", memledger.DefaultWarnFrac, "warn watermark as a fraction of -mem-budget")
+	memCritFrac := fs.Float64("mem-crit-frac", memledger.DefaultCritFrac, "critical watermark as a fraction of -mem-budget")
+	memReport := fs.String("mem-report", "", "write per-account peak bytes (the BENCH_mem.json shape) to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,9 +234,48 @@ func run(args []string, out io.Writer) error {
 		tracer = telemetry.NewTracerCap(*traceCap)
 		tracer.SetSampleRate(*traceSample)
 	}
+
+	// The emulated device pool: one named device per (lane, stage) slot,
+	// tracked by a heartbeat-based liveness monitor.
+	pool := cluster.Nanos(*stages * *lanes)
+	live := cluster.NewLiveness(time.Minute)
+	for _, d := range pool.Devices {
+		live.Heartbeat(d.Name)
+	}
+
+	// Memory observability: the process-wide ledger (every instrumented
+	// subsystem accounts into it) plus one ledger per simulated device so
+	// /debug/mem and the trace show the per-device 1F1B activation
+	// profile next to the process view. -mem-budget arms the pressure
+	// watermarks.
+	ledger := memledger.Default()
+	if *memBudget != "" {
+		budget, err := memledger.ParseBytes(*memBudget)
+		if err != nil {
+			return err
+		}
+		ledger.SetBudget(budget, *memWarnFrac, *memCritFrac)
+		fmt.Fprintf(out, "memory budget: %.1f MB (warn %.0f%%, critical %.0f%%)\n",
+			float64(budget)/1e6, *memWarnFrac*100, *memCritFrac*100)
+	}
+	ledger.ExportTo(telemetry.Default())
+	devLedgers := make([]*memledger.Ledger, pool.Size())
+	for i, d := range pool.Devices {
+		devLedgers[i] = memledger.New(d.Name)
+		devLedgers[i].ExportTo(telemetry.Default())
+	}
+	deviceLedgers := func() []*memledger.Ledger { return devLedgers }
+	stopSampler := ledger.StartSampler(0)
+	defer stopSampler()
+	for _, dl := range devLedgers {
+		stop := dl.StartSampler(0)
+		defer stop()
+	}
+
 	if *telemetryAddr != "" {
 		mux := telemetry.NewDebugMux(telemetry.Default(), tracer,
-			telemetry.Extra{Path: "/debug/flight", Handler: health.Flight()})
+			telemetry.Extra{Path: "/debug/flight", Handler: health.Flight()},
+			telemetry.Extra{Path: "/debug/mem", Handler: memledger.Handler(ledger, deviceLedgers)})
 		ln, err := telemetry.Serve(*telemetryAddr, mux)
 		if err != nil {
 			return fmt.Errorf("telemetry: %w", err)
@@ -262,20 +319,38 @@ func run(args []string, out io.Writer) error {
 	} else {
 		store = acache.NewMemoryStore()
 	}
+	// Under an armed budget the activation cache doubles as the pressure
+	// relief valve: a critical crossing sheds LRU entries until the
+	// ledger total is back at the warn watermark, trading recomputes for
+	// RAM exactly like an over-capacity Bounded put. The shed runs on
+	// its own goroutine because the crossing can fire from inside a
+	// cache Put that already holds the Bounded lock.
+	var shedEntries, shedBytes atomic.Int64
+	if *memBudget != "" {
+		bounded := acache.NewBounded(store, int64(math.MaxInt64))
+		warnFrac := *memWarnFrac
+		ledger.OnPressure(func(level memledger.Level, total, budget int64) {
+			need := total - int64(float64(budget)*warnFrac)
+			go func() {
+				target := bounded.Bytes() - need
+				if target < 0 {
+					target = 0
+				}
+				entries, freed := bounded.Shed(target)
+				shedEntries.Add(int64(entries))
+				shedBytes.Add(freed)
+				health.Flight().Record("mem-shed", -1, -1,
+					fmt.Sprintf("shed %d cache entries", entries), float64(freed))
+			}()
+		})
+		store = bounded
+	}
 
 	var backbone *model.Model
 	if *pretrain > 0 {
 		corpus := data.Generate(data.GenConfig{Task: data.SST2, Size: 384, SeqLen: 16, Vocab: 64, Seed: 99})
 		backbone = core.PretrainBackbone(cfg, corpus, *pretrain, 3e-3, 1)
 		fmt.Fprintf(out, "pretrained backbone for %d epochs\n", *pretrain)
-	}
-
-	// The emulated device pool: one named device per (lane, stage) slot,
-	// tracked by a heartbeat-based liveness monitor.
-	pool := cluster.Nanos(*stages * *lanes)
-	live := cluster.NewLiveness(time.Minute)
-	for _, d := range pool.Devices {
-		live.Heartbeat(d.Name)
 	}
 
 	// Snapshot plumbing: the latest capture is always held in memory
@@ -344,6 +419,18 @@ func run(args []string, out io.Writer) error {
 		SnapshotEvery: *snapEvery,
 		OnSnapshot:    onSnapshot,
 		Trace:         tracer,
+	}
+	// Per-device memory views: the pipeline engine reserves each
+	// micro-batch's retained activations in its (lane, stage) device's
+	// ledger between forward and backward. Indexed like the pool
+	// (device = lane·stages + stage), nil-safe past a re-plan shrink.
+	nStages := *stages
+	coreCfg.MemFor = func(lane, stage int) *memledger.Account {
+		idx := lane*nStages + stage
+		if idx < 0 || idx >= len(devLedgers) {
+			return nil
+		}
+		return devLedgers[idx].Account("pipeline.activations")
 	}
 	if *faultDrop > 0 {
 		coreCfg.Faults = &parallel.FaultConfig{Seed: 1, Drop: *faultDrop}
@@ -714,11 +801,51 @@ func run(args []string, out io.Writer) error {
 	if n := closeWriter(); n > 0 {
 		fmt.Fprintf(out, "snapshots: %d written to %s\n", n, *snapDir)
 	}
+	// Memory report: ledger-wide and per-device peaks, the measurable
+	// side of the paper's memory-efficiency claim. Devices are distinct
+	// 1F1B profiles, not copies — early stages hold more warmup
+	// micro-batches.
+	fmt.Fprintf(out, "memory: process peak %.1f MB", float64(ledger.TotalPeak())/1e6)
+	if warn, crit := ledger.Crossings(); warn+crit > 0 {
+		fmt.Fprintf(out, " (%d warn / %d critical crossings; shed %d cache entries, %.1f MB)",
+			warn, crit, shedEntries.Load(), float64(shedBytes.Load())/1e6)
+	}
+	fmt.Fprintln(out)
+	for _, dl := range devLedgers {
+		if dl.TotalPeak() > 0 {
+			fmt.Fprintf(out, "memory: device %s peak %.1f KB\n", dl.Name(), float64(dl.TotalPeak())/1e3)
+		}
+	}
+	if *memReport != "" {
+		if err := writeMemReport(*memReport, ledger, devLedgers); err != nil {
+			return fmt.Errorf("mem-report: %w", err)
+		}
+		fmt.Fprintf(out, "memory report written to %s\n", *memReport)
+	}
+
 	if *traceOut != "" {
-		if err := tracer.WriteFile(*traceOut); err != nil {
+		// Merge the memory-ledger counter tracks into the span trace so
+		// Perfetto draws the byte timeline under the same clock: the
+		// process ledger at PidMem, each device ledger on its own track.
+		ledger.Sample()
+		tracer.SetProcessName(telemetry.PidMem, "memory (process ledger)")
+		for i, dl := range devLedgers {
+			dl.Sample()
+			tracer.SetProcessName(telemetry.PidMem+1+i, "memory ("+dl.Name()+")")
+		}
+		evs := tracer.Events()
+		evs = append(evs, ledger.ChromeCounters(telemetry.PidMem, tracer.StartTime())...)
+		for i, dl := range devLedgers {
+			evs = append(evs, dl.ChromeCounters(telemetry.PidMem+1+i, tracer.StartTime())...)
+		}
+		blob, err := telemetry.EncodeChromeJSON(evs)
+		if err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
-		fmt.Fprintf(out, "trace: %d events written to %s\n", tracer.Len(), *traceOut)
+		if err := os.WriteFile(*traceOut, blob, 0o644); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s\n", len(evs), *traceOut)
 	}
 
 	if *savePath != "" {
@@ -728,6 +855,40 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "saved adapters to %s\n", *savePath)
 	}
 	return nil
+}
+
+// memBench is the BENCH_mem.json shape: per-account peak bytes for the
+// process ledger, total peaks per device ledger. The committed
+// BENCH_mem.json holds budget ceilings in this shape; -mem-report
+// writes the measured peaks so CI can compare the two field by field.
+type memBench struct {
+	Schema         string           `json:"schema"`
+	TotalPeakBytes int64            `json:"total_peak_bytes"`
+	Accounts       map[string]int64 `json:"accounts"`
+	Devices        map[string]int64 `json:"devices,omitempty"`
+}
+
+// writeMemReport captures the ledgers' lifetime peaks as JSON.
+func writeMemReport(path string, l *memledger.Ledger, devs []*memledger.Ledger) error {
+	rep := memBench{
+		Schema:         "pac-mem-bench/v1",
+		TotalPeakBytes: l.TotalPeak(),
+		Accounts:       map[string]int64{},
+	}
+	for _, a := range l.Snapshot().Accounts {
+		rep.Accounts[a.Account] = a.PeakBytes
+	}
+	if len(devs) > 0 {
+		rep.Devices = map[string]int64{}
+		for _, d := range devs {
+			rep.Devices[d.Name()] = d.TotalPeak()
+		}
+	}
+	blob, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 // dumpFlight serializes the flight-recorder ring: to path when one was

@@ -12,8 +12,15 @@ import (
 	"fmt"
 	"sync"
 
+	"pac/internal/memledger"
 	"pac/internal/tensor"
 )
+
+// memAcct mirrors the in-memory cache footprint into the process
+// memory ledger: Put reserves the new entry and releases any replaced
+// one, Delete/Clear/eviction release. Disk-backed stores do not
+// account here — their payload lives on flash, not in RAM.
+var memAcct = memledger.Default().Account("acache")
 
 // Entry is one sample's cached taps: the backbone activation b_i at
 // every transformer layer, encoder layers first.
@@ -85,10 +92,14 @@ func (s *MemoryStore) Put(id int, taps Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.entries[id]; ok {
-		s.bytes -= old.Bytes()
+		ob := old.Bytes()
+		s.bytes -= ob
+		memAcct.Release(ob)
 	}
 	s.entries[id] = taps
-	s.bytes += taps.Bytes()
+	nb := taps.Bytes()
+	s.bytes += nb
+	memAcct.Reserve(nb)
 	s.stats.Puts++
 	mMemPuts.Inc()
 	return nil
@@ -153,6 +164,7 @@ func (s *MemoryStore) Stats() Stats {
 func (s *MemoryStore) Clear() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	memAcct.Release(s.bytes)
 	s.entries = map[int]Entry{}
 	s.bytes = 0
 	return nil
@@ -193,7 +205,9 @@ func (s *MemoryStore) Delete(id int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.entries[id]; ok {
-		s.bytes -= old.Bytes()
+		ob := old.Bytes()
+		s.bytes -= ob
+		memAcct.Release(ob)
 		delete(s.entries, id)
 	}
 }

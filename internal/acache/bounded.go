@@ -115,3 +115,28 @@ func (b *Bounded) Evicted() int64 {
 	defer b.mu.Unlock()
 	return b.evicted
 }
+
+// Shed evicts least-recently-used entries until the cache payload is
+// at or below targetBytes, returning how many entries and bytes it
+// released. It is the memory-pressure relief valve: pac-train
+// subscribes it to the ledger's critical watermark
+// (memledger.Ledger.OnPressure), trading recomputes for RAM exactly
+// like an over-capacity Put would. Shed(0) empties the cache.
+func (b *Bounded) Shed(targetBytes int64) (entries int, freed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	before := b.inner.Bytes()
+	for b.inner.Bytes() > targetBytes {
+		oldest := b.lru.Back()
+		if oldest == nil {
+			break
+		}
+		victim := oldest.Value.(int)
+		b.lru.Remove(oldest)
+		delete(b.pos, victim)
+		b.dropFromInner(victim)
+		b.evicted++
+		entries++
+	}
+	return entries, before - b.inner.Bytes()
+}

@@ -19,8 +19,25 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pac/internal/memledger"
 	"pac/internal/tensor"
 )
+
+// memTape accounts bytes retained by live computation graphs: interior
+// node values at newNode, their gradients at first ensureGrad, both
+// settled when Release recycles the node. Leaves (parameters, inputs)
+// are caller-owned and never counted. The account overlaps pool.inuse
+// by design — it answers "how much of the checked-out memory is the
+// tape", not "how much RAM total".
+var memTape = memledger.Default().Account("autograd.tape")
+
+// tapeBytes is the float32 payload size of t (0 for nil).
+func tapeBytes(t *tensor.Tensor) int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(t.Numel()) * 4
+}
 
 // maxInlineParents bounds the parents stored inline in a node; ops with
 // more (Concat, BackwardMulti roots) spill into the extra slice.
@@ -104,6 +121,11 @@ func (v *Variable) ZeroGrad() {
 func (v *Variable) ensureGrad() *tensor.Tensor {
 	if v.Grad == nil {
 		v.Grad = tensor.New(v.Value.Shape()...)
+		if v.pooled {
+			// Interior gradients belong to the tape until Release; leaf
+			// gradients outlive the graph (the optimizer owns them).
+			memTape.Add(tapeBytes(v.Grad))
+		}
 	}
 	return v.Grad
 }
@@ -154,6 +176,7 @@ func newNode(val *tensor.Tensor) *Variable {
 	v := varPool.Get().(*Variable)
 	v.Value = val
 	v.pooled = true
+	memTape.Reserve(tapeBytes(val))
 	return v
 }
 

@@ -110,6 +110,15 @@ func ReleaseExcept(keep []*tensor.Tensor, roots ...*Variable) {
 		if n.numParents() == 0 {
 			continue
 		}
+		if n.pooled {
+			// Settle the tape account for everything this node reserved
+			// (newNode value + ensureGrad gradient) — per node, not per
+			// buffer, so aliased views balance against their own reserves.
+			// Roots are settled here too: their value survives for the
+			// caller, but the tape no longer owns it, and the cleared
+			// parent list keeps a second sweep from re-releasing.
+			memTape.Release(tapeBytes(n.Value) + tapeBytes(n.Grad))
+		}
 		if !isRoot {
 			rs.free(n.Value)
 		}

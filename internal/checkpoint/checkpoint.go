@@ -27,10 +27,18 @@ import (
 	"path/filepath"
 
 	"pac/internal/autograd"
+	"pac/internal/memledger"
 	"pac/internal/model"
 	"pac/internal/peft"
 	"pac/internal/tensor"
 )
+
+// memBuffers accounts the encoded blob held in RAM for the duration of
+// each durable write — every checkpoint and snapshot (PACK and PACS)
+// funnels through atomicWrite, so this one reserve/release pair covers
+// them all. The background Snapshotter makes this the dominant
+// transient allocation of a training run.
+var memBuffers = memledger.Default().Account("checkpoint.buffers")
 
 const (
 	magic   = 0x5041434b // "PACK"
@@ -50,6 +58,8 @@ var ErrCorrupt = errors.New("integrity check failed")
 // sibling temp file, fsync it, rename over the target, fsync the
 // directory so the rename itself is durable.
 func atomicWrite(path string, blob []byte) error {
+	memBuffers.Reserve(int64(len(blob)))
+	defer memBuffers.Release(int64(len(blob)))
 	tmp := path + ".tmp"
 	fh, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

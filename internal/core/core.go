@@ -28,6 +28,7 @@ import (
 	"pac/internal/checkpoint"
 	"pac/internal/data"
 	"pac/internal/health"
+	"pac/internal/memledger"
 	"pac/internal/model"
 	"pac/internal/nn"
 	"pac/internal/parallel"
@@ -93,6 +94,12 @@ type Config struct {
 	// from every engine (typically a *health.Monitor) — the input to
 	// straggler and drift detection. Nil disables health sampling.
 	Health health.Sink
+	// MemFor, when non-nil, maps a (lane, stage) pair to that simulated
+	// device's memory-ledger account. Each pipeline engine reserves a
+	// micro-batch's retained activations there between forward and
+	// backward, so per-device ledgers expose the 1F1B memory profile
+	// live (pac-train's /debug/mem device view).
+	MemFor func(lane, stage int) *memledger.Account
 }
 
 // Cursor pinpoints where a resumed run continues: Step completed steps
@@ -187,6 +194,9 @@ func New(cfg Config) *Framework {
 		e.TracePID = lane
 		e.Health = cfg.Health
 		e.HealthLane = lane
+		if cfg.MemFor != nil {
+			e.Mem = func(stage int) *memledger.Account { return cfg.MemFor(lane, stage) }
+		}
 		cfg.Trace.SetProcessName(lane, fmt.Sprintf("lane %d (pipeline)", lane))
 		return e
 	})

@@ -25,6 +25,11 @@ type IncrementalDecoder struct {
 
 	layers []*decLayerState
 	head   *model.LMHead
+
+	// kvBytes is what this decoder has reserved in the generate.kv
+	// ledger account: encoder output + cross K/V at creation, plus the
+	// self-attention cache as it grows per Step. Close releases it.
+	kvBytes int64
 }
 
 // decLayerState caches one decoder layer's attention state.
@@ -68,7 +73,23 @@ func NewIncrementalDecoder(m *model.Model, encIDs [][]int, lens []int) (*Increme
 	if d.head == nil {
 		return nil, fmt.Errorf("generate: model lacks an LM head")
 	}
+	d.kvBytes = tensorBytes(d.enc)
+	for _, st := range d.layers {
+		d.kvBytes += tensorBytes(st.crossK) + tensorBytes(st.crossV)
+	}
+	memKV.Reserve(d.kvBytes)
 	return d, nil
+}
+
+// Close settles the decoder's generate.kv ledger reservation (encoder
+// output, cross K/V, and the accumulated self-attention cache).
+// Idempotent.
+func (d *IncrementalDecoder) Close() {
+	if d.kvBytes == 0 {
+		return
+	}
+	memKV.Release(d.kvBytes)
+	d.kvBytes = 0
 }
 
 // applyLinear computes x·W + b on raw tensors, preserving leading dims.
@@ -127,6 +148,11 @@ func (d *IncrementalDecoder) Step(tokens []int) *tensor.Tensor {
 			st.selfK = concatSeq(st.selfK, k)
 			st.selfV = concatSeq(st.selfV, v)
 		}
+		// Account the self-attention cache growth: one new position of
+		// K and V per layer per step.
+		grown := tensorBytes(k) + tensorBytes(v)
+		d.kvBytes += grown
+		memKV.Add(grown)
 		scores := tensor.Scale(tensor.BatchMatMulT(q, st.selfK), scale)
 		probs := tensor.Softmax(scores)
 		ctx := tensor.BatchMatMul(probs, st.selfV)
@@ -186,6 +212,7 @@ func DecodeIncremental(m *model.Model, enc [][]int, lens []int, opts Options) ([
 	if err != nil {
 		return nil, err
 	}
+	defer d.Close()
 	rng := tensor.NewRNG(opts.Seed)
 	batch := len(enc)
 	current := make([]int, batch)

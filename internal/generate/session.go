@@ -2,9 +2,24 @@ package generate
 
 import (
 	"pac/internal/autograd"
+	"pac/internal/memledger"
 	"pac/internal/model"
 	"pac/internal/tensor"
 )
+
+// memKV accounts generation state held across decode steps: the cached
+// encoder output (Session, IncrementalDecoder) and the growing
+// self-attention K/V cache. Reserved at session creation, extended as
+// the KV cache grows, released by Close.
+var memKV = memledger.Default().Account("generate.kv")
+
+// tensorBytes is the float32 payload size of t (0 for nil).
+func tensorBytes(t *tensor.Tensor) int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(t.Numel()) * 4
+}
 
 // Session caches the encoder's output across autoregressive decode
 // steps — the same insight as PAC's activation cache applied to
@@ -20,11 +35,25 @@ type Session struct {
 }
 
 // NewSession runs the encoder region once for a batch of inputs.
+// Close the session when decoding finishes to settle its ledger
+// account.
 func NewSession(m *model.Model, encIDs [][]int, lens []int) *Session {
 	s := &model.State{EncIDs: encIDs, EncLens: lens}
 	decFrom := m.Cfg.Layers + 1 // [EncEmbed, EncLayer×L | DecEmbed, ...]
 	m.ForwardRange(s, 0, decFrom)
+	memKV.Reserve(tensorBytes(s.Enc.Value))
 	return &Session{m: m, encIDs: encIDs, lens: lens, encOut: s.Enc.Value, decFrom: decFrom}
+}
+
+// Close releases the session's cached encoder output from the
+// generate.kv ledger account. Idempotent; the tensor itself stays
+// valid (it is garbage-collected normally).
+func (sess *Session) Close() {
+	if sess.encOut == nil {
+		return
+	}
+	memKV.Release(tensorBytes(sess.encOut))
+	sess.encOut = nil
 }
 
 // Logits runs only the decoder region for the given decoder prefixes,
@@ -50,6 +79,7 @@ func DecodeCached(m *model.Model, enc [][]int, lens []int, opts Options) [][]int
 	}
 	rng := tensor.NewRNG(opts.Seed)
 	sess := NewSession(m, enc, lens)
+	defer sess.Close()
 	batch := len(enc)
 	dec := make([][]int, batch)
 	done := make([]bool, batch)

@@ -9,6 +9,7 @@ import (
 	"pac/internal/autograd"
 	"pac/internal/data"
 	"pac/internal/health"
+	"pac/internal/memledger"
 	"pac/internal/model"
 	"pac/internal/peft"
 	"pac/internal/telemetry"
@@ -127,6 +128,13 @@ type PipelineEngine struct {
 	// device grid (the hybrid engine assigns one per lane).
 	Health     health.Sink
 	HealthLane int
+
+	// Mem, when non-nil, maps a stage index to its simulated device's
+	// memory-ledger account. Each in-flight micro-batch reserves its
+	// retained boundary activations (the 1F1B warmup depth is what makes
+	// early stages hold more) between forward and backward, so per-device
+	// ledgers reproduce the paper's per-device memory table live.
+	Mem func(stage int) *memledger.Account
 }
 
 // Stages returns the stage count.
@@ -188,6 +196,41 @@ type microCtx struct {
 	// this stage; the last stage parents its backward span here (the
 	// backward is caused by the forward, not by a downstream frame).
 	fwdTC telemetry.TraceContext
+	// memBytes is what this context reserved in the stage's device
+	// ledger account (Mem); backward releases exactly this.
+	memBytes int64
+}
+
+// retainedBytes sums the distinct tensor payloads the context pins
+// between forward and backward, deduplicating aliased buffers (sideOut
+// can alias sideIn on tap-free stages).
+func (mc *microCtx) retainedBytes() int64 {
+	vars := [...]*autograd.Variable{
+		mc.encIn, mc.decIn, mc.sideIn, mc.encOut, mc.decOut, mc.sideOut, mc.logits,
+	}
+	var seen [len(vars)]*float32
+	n := 0
+	var total int64
+	for _, v := range vars {
+		if v == nil || v.Value == nil || len(v.Value.Data) == 0 {
+			continue
+		}
+		p := &v.Value.Data[0]
+		dup := false
+		for i := 0; i < n; i++ {
+			if seen[i] == p {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[n] = p
+		n++
+		total += int64(v.Value.Numel()) * 4
+	}
+	return total
 }
 
 // spanEnter begins a stage span whose parent may arrive later (inside
@@ -278,6 +321,10 @@ func (e *PipelineEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, e
 				if err != nil {
 					return err
 				}
+				if e.Mem != nil {
+					mc.memBytes = mc.retainedBytes()
+					e.Mem(s).Reserve(mc.memBytes)
+				}
 				ctxs[fwd] = mc
 				fwd++
 				return nil
@@ -288,6 +335,9 @@ func (e *PipelineEngine) StepCtx(ctx context.Context, b *data.Batch) (float64, e
 				st.bwdSec += time.Since(t0).Seconds()
 				if err != nil {
 					return err
+				}
+				if e.Mem != nil {
+					e.Mem(s).Release(ctxs[bwd].memBytes)
 				}
 				ctxs[bwd] = nil
 				if s == S-1 {

@@ -18,7 +18,18 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"pac/internal/memledger"
 )
+
+// memFrames accounts transport payload bytes held by the fabric
+// itself: messages sitting in ChanNetwork pipes between send and
+// receive, and the encoded TCP frame buffer during the write syscall.
+// Bytes a receiver has already taken delivery of belong to whatever
+// subsystem consumes them, not to the transport. Messages abandoned in
+// a crashed attempt's fabric stay reserved until the fabric is
+// garbage-collected — visible residue, by design.
+var memFrames = memledger.Default().Account("parallel.frames")
 
 // Transport moves tagged byte payloads between ranks. Per-pair ordering
 // is FIFO — the engines' communication patterns are deterministic, so
@@ -128,6 +139,7 @@ func (e *chanEndpoint) Size() int { return e.net.n }
 func (e *chanEndpoint) SendCtx(ctx context.Context, to int, tag string, payload []byte) error {
 	select {
 	case e.net.pipes[e.rank][to] <- message{tag: tag, data: payload}:
+		memFrames.Reserve(int64(len(payload)))
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("parallel: send %d→%d %q: %w", e.rank, to, tag, ctx.Err())
@@ -137,6 +149,8 @@ func (e *chanEndpoint) SendCtx(ctx context.Context, to int, tag string, payload 
 func (e *chanEndpoint) RecvCtx(ctx context.Context, from int, tag string) ([]byte, error) {
 	select {
 	case m := <-e.net.pipes[from][e.rank]:
+		// The bytes left the fabric whether or not the tag matches.
+		memFrames.Release(int64(len(m.data)))
 		if m.tag != tag {
 			return nil, fmt.Errorf("parallel: rank %d expected tag %q from %d, got %q: %w",
 				e.rank, tag, from, m.tag, ErrTagMismatch)
@@ -274,6 +288,8 @@ func (e *tcpEndpoint) SendCtx(ctx context.Context, to int, tag string, payload [
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, payload...)
+	memFrames.Reserve(int64(len(buf)))
+	defer memFrames.Release(int64(len(buf)))
 
 	mu := &e.net.sendMu[e.rank][to]
 	mu.Lock()

@@ -17,12 +17,30 @@ import (
 	"pac/internal/checkpoint"
 	"pac/internal/generate"
 	"pac/internal/health"
+	"pac/internal/memledger"
 	"pac/internal/model"
 	"pac/internal/nn"
 	"pac/internal/peft"
 	"pac/internal/telemetry"
 	"pac/internal/tensor"
 )
+
+// memInflight tracks the activation working set of requests currently
+// executing a forward pass (estimated as tokens × hidden × 4 bytes —
+// the per-layer tap footprint; exact buffer sizes are the tensor
+// pool's business). Reserved after the post-lock cancellation check,
+// so canceled requests never hold inflight bytes, and released when
+// the request returns.
+var memInflight = memledger.Default().Account("serve.inflight")
+
+// inflightBytes estimates one request's activation working set.
+func inflightBytes(enc [][]int, hidden int) int64 {
+	tokens := 0
+	for _, row := range enc {
+		tokens += len(row)
+	}
+	return int64(tokens) * int64(hidden) * 4
+}
 
 // Server hosts one technique replica behind a read-write lock: requests
 // take the read side, weight swaps the write side.
@@ -181,6 +199,9 @@ func (s *Server) ClassifyFor(ctx context.Context, user int, enc [][]int, lens []
 		s.tracer.InstantTC(rtc, "serve", "canceled", s.tracePid, 0)
 		return nil, err
 	}
+	inflight := inflightBytes(enc, s.cfg.Hidden)
+	memInflight.Reserve(inflight)
+	defer memInflight.Release(inflight)
 	dec := make([][]int, len(enc))
 	for i := range dec {
 		dec[i] = []int{0}
@@ -234,6 +255,9 @@ func (s *Server) GenerateFor(ctx context.Context, user int, enc [][]int, lens []
 		s.tracer.InstantTC(rtc, "serve", "canceled", s.tracePid, 0)
 		return nil, err
 	}
+	inflight := inflightBytes(enc, s.cfg.Hidden)
+	memInflight.Reserve(inflight)
+	defer memInflight.Release(inflight)
 	endFwd := s.forwardSpan(rtc)
 	out := generate.Decode(s.tech, enc, lens, opts)
 	endFwd()

@@ -127,6 +127,8 @@ type Registry struct {
 	kinds  map[string]kind    // name → kind (one kind per family)
 	help   map[string]string
 	hooks  []func() // run before each exposition (see OnScrape)
+
+	hookPanics atomic.Int64 // scrape hooks recovered from (see runHooks)
 }
 
 // NewRegistry returns an empty registry.
@@ -231,15 +233,33 @@ func (r *Registry) OnScrape(fn func()) {
 	r.mu.Unlock()
 }
 
-// runHooks invokes the registered scrape hooks outside the lock.
+// runHooks invokes the registered scrape hooks outside the lock. A
+// panicking hook is isolated: the remaining hooks still run and the
+// scrape completes — one broken bridge (a pool stats source, a ledger
+// exporter) must not take down every /metrics endpoint in the process.
+// Recovered panics are counted (HookPanics) rather than registered as
+// a metric series, so golden-exposition tests stay byte-stable.
 func (r *Registry) runHooks() {
 	r.mu.RLock()
 	hooks := r.hooks
 	r.mu.RUnlock()
 	for _, fn := range hooks {
-		fn()
+		r.runHook(fn)
 	}
 }
+
+func (r *Registry) runHook(fn func()) {
+	defer func() {
+		if recover() != nil {
+			r.hookPanics.Add(1)
+		}
+	}()
+	fn()
+}
+
+// HookPanics returns how many OnScrape hook invocations have panicked
+// and been recovered.
+func (r *Registry) HookPanics() int64 { return r.hookPanics.Load() }
 
 // Help attaches a # HELP line to a metric family.
 func (r *Registry) Help(name, text string) {

@@ -14,13 +14,16 @@ import (
 // orchestration work — whole steps, snapshot capture/restore, cache
 // salvage — as PidOrch, the serving layer (router at PidServe,
 // replica i at PidServe+1+i) as PidServe, and the load generator's
-// client-side request spans as PidClient. The tracer emits
-// process_name metadata so the viewer labels the tracks.
+// client-side request spans as PidClient. Memory-ledger counter
+// tracks (process ledger at PidMem, device ledger i at PidMem+1+i)
+// render the /debug/mem timeline under the same spans. The tracer
+// emits process_name metadata so the viewer labels the tracks.
 const (
 	PidDP     = 1000
 	PidOrch   = 2000
 	PidServe  = 3000
 	PidClient = 4000
+	PidMem    = 5000
 )
 
 // DefaultTraceCap bounds the span ring buffer: old spans are
@@ -282,6 +285,16 @@ func (t *Tracer) SetThreadName(pid, tid int, name string) {
 	}
 	t.addMeta(ChromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
 		Args: map[string]interface{}{"name": name}})
+}
+
+// StartTime returns the instant event timestamps are relative to.
+// External event producers (e.g. memory-ledger counter tracks) pass it
+// as their epoch so their events line up with this tracer's spans.
+func (t *Tracer) StartTime() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
 }
 
 // Len returns the number of recorded events (metadata + retained spans).

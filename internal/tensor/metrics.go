@@ -19,20 +19,27 @@ func init() {
 	puts := reg.Counter("pac_pool_puts_total")
 	rejected := reg.Counter("pac_pool_put_rejected_total")
 	pooled := reg.Gauge("pac_pool_bytes")
+	outstanding := reg.Gauge("pac_pool_bytes_outstanding")
 	heap := reg.Gauge("pac_gc_heap_alloc_bytes")
-	pause := reg.Gauge("pac_gc_pause_total_seconds")
+	// GC pause time is cumulative, so it must expose with counter
+	// semantics (a gauge here breaks rate() and resets on every
+	// restart-unaware dashboard); the nanosecond unit keeps the value an
+	// exact integer delta of MemStats.PauseTotalNs.
+	pauseNs := reg.Counter("pac_gc_pause_ns_total")
 	cycles := reg.Counter("pac_gc_cycles_total")
 	reg.Help("pac_pool_gets_total", "Tensor pool checkouts by result (hit = recycled buffer).")
 	reg.Help("pac_pool_puts_total", "Buffers returned to the tensor pool.")
 	reg.Help("pac_pool_put_rejected_total", "Put calls rejected as foreign (non-pool) slices.")
 	reg.Help("pac_pool_bytes", "Bytes currently sitting on the pool free lists.")
+	reg.Help("pac_pool_bytes_outstanding", "Class-rounded bytes of pooled buffers checked out to callers.")
 	reg.Help("pac_gc_heap_alloc_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc).")
-	reg.Help("pac_gc_pause_total_seconds", "Cumulative GC stop-the-world pause time.")
+	reg.Help("pac_gc_pause_ns_total", "Cumulative GC stop-the-world pause time in nanoseconds.")
 	reg.Help("pac_gc_cycles_total", "Completed GC cycles.")
 
 	var mu sync.Mutex
 	var last PoolStats
 	var lastGC uint32
+	var lastPauseNs uint64
 	reg.OnScrape(func() {
 		mu.Lock()
 		defer mu.Unlock()
@@ -43,11 +50,13 @@ func init() {
 		rejected.Add(s.Rejected - last.Rejected)
 		last = s
 		pooled.Set(float64(s.BytesPooled))
+		outstanding.Set(float64(s.BytesOutstanding))
 
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		heap.Set(float64(ms.HeapAlloc))
-		pause.Set(float64(ms.PauseTotalNs) / 1e9)
+		pauseNs.Add(int64(ms.PauseTotalNs - lastPauseNs))
+		lastPauseNs = ms.PauseTotalNs
 		cycles.Add(int64(ms.NumGC - lastGC))
 		lastGC = ms.NumGC
 	})

@@ -17,8 +17,9 @@ func TestPoolTelemetryBridge(t *testing.T) {
 		"pac_pool_gets_total{result=\"miss\"}",
 		"pac_pool_puts_total",
 		"pac_pool_bytes",
+		"pac_pool_bytes_outstanding",
 		"pac_gc_heap_alloc_bytes",
-		"pac_gc_pause_total_seconds",
+		"# TYPE pac_gc_pause_ns_total counter",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %s:\n%s", want, out)

@@ -23,6 +23,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"pac/internal/memledger"
 )
 
 const (
@@ -70,11 +72,22 @@ type pool struct {
 	// deliberately not tracked: a map entry would pin every live buffer.
 	member map[*float32]struct{}
 
-	bytesPooled atomic.Int64 // bytes sitting on free lists
-	stats       poolStats
+	bytesPooled      atomic.Int64 // bytes sitting on free lists
+	bytesOutstanding atomic.Int64 // bytes of pooled-class buffers checked out to callers
+	stats            poolStats
 }
 
 var global = &pool{member: make(map[*float32]struct{})}
+
+// Memory-ledger accounts mirroring the pool's two populations: bytes
+// checked out to callers (pool.inuse) and bytes parked on free lists
+// (pool.free). Requests outside the pooled class range fall through to
+// the regular allocator and are invisible here — the pool cannot see
+// their release.
+var (
+	memInuse = memledger.Default().Account("pool.inuse")
+	memFree  = memledger.Default().Account("pool.free")
+)
 
 // classFor returns the size-class bit width for a request of n floats,
 // or -1 if the request is outside the pooled range.
@@ -100,9 +113,12 @@ func Get(n int) []float32 {
 	g := global
 	g.mu.Lock()
 	stack := g.free[c]
+	classBytes := int64(1<<c) * 4
 	if len(stack) == 0 {
 		g.mu.Unlock()
 		g.stats.misses.Add(1)
+		g.bytesOutstanding.Add(classBytes)
+		memInuse.Reserve(classBytes)
 		// One hidden element past the class size carries the ownership
 		// canary; Put recovers the class from the capacity and verifies
 		// the canary before accepting the buffer back.
@@ -114,7 +130,10 @@ func Get(n int) []float32 {
 	g.free[c] = stack[:len(stack)-1]
 	delete(g.member, &full[0])
 	g.mu.Unlock()
-	g.bytesPooled.Add(-int64(1<<c) * 4)
+	g.bytesPooled.Add(-classBytes)
+	g.bytesOutstanding.Add(classBytes)
+	memFree.Release(classBytes)
+	memInuse.Reserve(classBytes)
 	g.stats.hits.Add(1)
 	for i := 0; i < poisonLen; i++ {
 		if math.Float32bits(full[i]) != poisonBits {
@@ -150,7 +169,11 @@ func Put(x []float32) bool {
 	g.member[&full[0]] = struct{}{}
 	g.free[c] = append(g.free[c], full)
 	g.mu.Unlock()
-	g.bytesPooled.Add(int64(1<<c) * 4)
+	classBytes := int64(1<<c) * 4
+	g.bytesPooled.Add(classBytes)
+	g.bytesOutstanding.Add(-classBytes)
+	memInuse.Release(classBytes)
+	memFree.Reserve(classBytes)
 	g.stats.puts.Add(1)
 	return true
 }
@@ -223,21 +246,26 @@ func PutShell(t *Tensor) {
 	shellPool.Put(t)
 }
 
-// PoolStats is a snapshot of allocator traffic.
+// PoolStats is a snapshot of allocator traffic. BytesOutstanding is
+// the class-rounded size of every pooled buffer currently checked out
+// to callers — the pool-pressure number BytesPooled (free-list bytes)
+// cannot show.
 type PoolStats struct {
 	Hits, Misses, Puts, Rejected int64
 	BytesPooled                  int64
+	BytesOutstanding             int64
 }
 
 // ReadPoolStats snapshots the global pool counters.
 func ReadPoolStats() PoolStats {
 	g := global
 	return PoolStats{
-		Hits:        g.stats.hits.Load(),
-		Misses:      g.stats.misses.Load(),
-		Puts:        g.stats.puts.Load(),
-		Rejected:    g.stats.rejected.Load(),
-		BytesPooled: g.bytesPooled.Load(),
+		Hits:             g.stats.hits.Load(),
+		Misses:           g.stats.misses.Load(),
+		Puts:             g.stats.puts.Load(),
+		Rejected:         g.stats.rejected.Load(),
+		BytesPooled:      g.bytesPooled.Load(),
+		BytesOutstanding: g.bytesOutstanding.Load(),
 	}
 }
 
@@ -247,8 +275,8 @@ func (s PoolStats) String() string {
 	if total > 0 {
 		hitRate = float64(s.Hits) / float64(total) * 100
 	}
-	return fmt.Sprintf("pool: %d gets (%.1f%% hit), %d puts, %d rejected, %.1f KiB pooled",
-		total, hitRate, s.Puts, s.Rejected, float64(s.BytesPooled)/1024)
+	return fmt.Sprintf("pool: %d gets (%.1f%% hit), %d puts, %d rejected, %.1f KiB pooled, %.1f KiB outstanding",
+		total, hitRate, s.Puts, s.Rejected, float64(s.BytesPooled)/1024, float64(s.BytesOutstanding)/1024)
 }
 
 // Arena is a step-scoped allocation scope: everything obtained through
