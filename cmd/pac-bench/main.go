@@ -6,10 +6,17 @@
 //	pac-bench [-exp all|table1|figure3|table2|table3|figure8|figure9|figure10|figure11|ablations|tensorbench]
 //	          [-quality-samples N] [-quality-epochs N]
 //	          [-workers N] [-pool-stats] [-bench-json FILE]
+//	          [-backend generic|tuned|int8] [-quantize-backbone]
+//	          [-compare] [-baseline FILE] [-regress-threshold F]
 //
 // The tensorbench experiment measures the pooled tensor runtime
 // (steady-state training step, serve request, hot kernels) and, with
-// -bench-json, writes the BENCH_tensor.json allocation baseline.
+// -bench-json, writes the BENCH_tensor.json allocation baseline. Every
+// report also carries per-backend kernel rows and fp32-vs-int8
+// backbone-forward rows regardless of the -backend the headline rows
+// run under. -compare diffs a fresh tensorbench run against the
+// committed baseline (benchstat-style delta table) and exits non-zero
+// when ns/op or allocs/op regress past -regress-threshold.
 package main
 
 import (
@@ -29,10 +36,35 @@ func main() {
 	workers := flag.Int("workers", 0, "kernel worker goroutines (0 = GOMAXPROCS default)")
 	poolStats := flag.Bool("pool-stats", false, "print tensor pool statistics after the run")
 	benchJSON := flag.String("bench-json", "", "write the tensorbench report to FILE (implies -exp tensorbench if not selected)")
+	backendName := flag.String("backend", "generic", "tensor compute backend: generic | tuned | int8")
+	quantize := flag.Bool("quantize-backbone", false, "quantize the frozen backbone in the end-to-end tensorbench cases (pair with -backend int8)")
+	compare := flag.Bool("compare", false, "run tensorbench and diff it against -baseline; exit non-zero past -regress-threshold")
+	baseline := flag.String("baseline", "BENCH_tensor.json", "committed report -compare diffs against")
+	regressThreshold := flag.Float64("regress-threshold", 0.25, "fractional ns/op and allocs/op regression allowed by -compare (0.25 = +25%)")
 	flag.Parse()
 
 	if *workers > 0 {
 		tensor.SetMaxWorkers(*workers)
+	}
+	if err := tensor.SetBackend(*backendName); err != nil {
+		fmt.Fprintf(os.Stderr, "pac-bench: %v\n", err)
+		os.Exit(2)
+	}
+	benchOpts := bench.TensorBenchOptions{QuantizeBackbone: *quantize}
+
+	if *compare {
+		base, err := bench.LoadTensorBenchReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pac-bench: %v\n", err)
+			os.Exit(2)
+		}
+		cmp := bench.CompareReports(base, bench.TensorBench(benchOpts), *regressThreshold)
+		fmt.Println(cmp.RenderTable().Render())
+		if len(cmp.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "pac-bench: %d benchmark regression(s) past +%.0f%%\n", len(cmp.Violations), *regressThreshold*100)
+			os.Exit(1)
+		}
+		return
 	}
 
 	run := map[string]func() *bench.Table{
@@ -81,7 +113,7 @@ func main() {
 			fmt.Println(bench.StragglerAblation().Render())
 			continue
 		case "tensorbench":
-			rep := bench.TensorBench()
+			rep := bench.TensorBench(benchOpts)
 			fmt.Println(rep.RenderTable().Render())
 			if *benchJSON != "" {
 				if err := os.WriteFile(*benchJSON, rep.JSON(), 0o644); err != nil {

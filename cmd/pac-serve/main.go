@@ -9,6 +9,7 @@
 //	          [-telemetry-addr HOST:PORT] [-flight-size N]
 //	          [-trace-sample P] [-trace-cap N]
 //	          [-mem-budget BYTES] [-mem-warn-frac F] [-mem-crit-frac F]
+//	          [-backend generic|tuned|int8] [-quantize-backbone]
 //
 // Endpoints: POST /classify, POST /generate, POST /swap, GET /stats,
 // GET /metrics (Prometheus text). Requests may carry a "user" field for
@@ -78,6 +79,8 @@ func main() {
 	telemetryAddr := flag.String("telemetry-addr", "", "serve the debug mux (/metrics, /debug/vars, /debug/pprof, /debug/flight, /debug/trace) on this address (empty disables)")
 	flightSize := flag.Int("flight-size", 128, "flight-recorder ring capacity in events (0 disables)")
 	workers := flag.Int("workers", 0, "kernel worker goroutines for tensor ops (0 = GOMAXPROCS default)")
+	backendName := flag.String("backend", "generic", "tensor compute backend: generic | tuned | int8")
+	quantize := flag.Bool("quantize-backbone", false, "build int8 forms of the frozen backbone weights at load (pair with -backend int8)")
 	traceSample := flag.Float64("trace-sample", 0, "request-trace sampling probability for requests without an X-Pac-Trace header (0 disables tracing)")
 	traceCap := flag.Int("trace-cap", telemetry.DefaultTraceCap, "span ring-buffer capacity (older spans overwritten)")
 	memBudget := flag.String("mem-budget", "", "arm the process memory ledger with this byte budget (e.g. 256MiB): watermark crossings record flight events and bump pac_mem_pressure_total (empty disables)")
@@ -87,6 +90,10 @@ func main() {
 
 	if *workers > 0 {
 		tensor.SetMaxWorkers(*workers)
+	}
+	if err := tensor.SetBackend(*backendName); err != nil {
+		fmt.Fprintf(os.Stderr, "pac-serve: %v\n", err)
+		os.Exit(1)
 	}
 	if *flightSize > 0 {
 		health.Enable(*flightSize)
@@ -140,6 +147,14 @@ func main() {
 				return nil, err
 			}
 		}
+		if *quantize {
+			// After the checkpoint load so scales see the weights that
+			// will actually serve (swaps replace adapters only, never
+			// the frozen backbone).
+			if q, ok := tech.(peft.BackboneQuantizer); ok {
+				q.QuantizeBackbone()
+			}
+		}
 		return serve.NewServer(tech, cfg), nil
 	}
 	if *replicas > 1 {
@@ -188,7 +203,7 @@ func main() {
 		fmt.Printf("telemetry: http://%s/metrics\n", ln.Addr())
 	}
 
-	fmt.Printf("serving %s (lm=%v, vocab=%d) on %s\n", cfg.Name, *lm, *vocab, *addr)
+	fmt.Printf("serving %s (lm=%v, vocab=%d, backend=%s) on %s\n", cfg.Name, *lm, *vocab, tensor.ActiveBackend().Name(), *addr)
 	if err := http.ListenAndServe(*addr, serve.HandlerFor(backend)); err != nil {
 		fmt.Fprintf(os.Stderr, "pac-serve: %v\n", err)
 		os.Exit(1)

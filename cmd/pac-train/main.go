@@ -199,6 +199,8 @@ func run(args []string, out io.Writer) error {
 	slowLane := fs.Int("slow-lane", -1, "inject a persistent per-send delay into every stage of this lane's pipeline fabric (-1 disables)")
 	slowDelay := fs.Duration("slow-delay", 25*time.Millisecond, "injected per-send delay for -slow-lane")
 	workers := fs.Int("workers", 0, "kernel worker goroutines for tensor ops (0 = GOMAXPROCS default)")
+	backendName := fs.String("backend", "generic", "tensor compute backend: generic | tuned | int8")
+	quantize := fs.Bool("quantize-backbone", false, "build int8 forms of the frozen backbone weights in every replica (pair with -backend int8)")
 	poolStats := fs.Bool("pool-stats", false, "print tensor pool statistics when the run finishes")
 	memBudget := fs.String("mem-budget", "", "arm the process memory ledger with this byte budget (e.g. 256MiB): watermark crossings record flight events, critical pressure sheds the activation cache (empty disables)")
 	memWarnFrac := fs.Float64("mem-warn-frac", memledger.DefaultWarnFrac, "warn watermark as a fraction of -mem-budget")
@@ -209,6 +211,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *workers > 0 {
 		tensor.SetMaxWorkers(*workers)
+	}
+	if err := tensor.SetBackend(*backendName); err != nil {
+		return err
 	}
 	if *poolStats {
 		defer func() { fmt.Fprintln(out, tensor.ReadPoolStats().String()) }()
@@ -406,19 +411,20 @@ func run(args []string, out io.Writer) error {
 	}
 
 	coreCfg := core.Config{
-		Model:         cfg,
-		Opts:          peft.Options{Reduction: 2},
-		Stages:        *stages,
-		Lanes:         *lanes,
-		LR:            float32(*lr),
-		Adam:          true,
-		Cache:         store,
-		Regression:    spec.Regression,
-		Backbone:      backbone,
-		StepTimeout:   *stepTimeout,
-		SnapshotEvery: *snapEvery,
-		OnSnapshot:    onSnapshot,
-		Trace:         tracer,
+		Model:            cfg,
+		Opts:             peft.Options{Reduction: 2},
+		Stages:           *stages,
+		Lanes:            *lanes,
+		LR:               float32(*lr),
+		Adam:             true,
+		Cache:            store,
+		Regression:       spec.Regression,
+		Backbone:         backbone,
+		QuantizeBackbone: *quantize,
+		StepTimeout:      *stepTimeout,
+		SnapshotEvery:    *snapEvery,
+		OnSnapshot:       onSnapshot,
+		Trace:            tracer,
 	}
 	// Per-device memory views: the pipeline engine reserves each
 	// micro-batch's retained activations in its (lane, stage) device's

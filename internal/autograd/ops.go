@@ -134,6 +134,48 @@ func backAffine(out *Variable) {
 	}
 }
 
+// AffineQuantized returns x·W + b where W is the int8 form of a frozen
+// projection weight (the quantized backbone hot path). It is only valid
+// when neither x nor the weight tracks gradients — the caller gates on
+// that — so the node never runs backward; it still records x as a
+// parent to keep the eval graph connected for ReleaseExcept teardown.
+// bias stays fp32 and may be nil.
+func AffineQuantized(x *Variable, q *tensor.QuantizedWeight, bias *Variable) *Variable {
+	val := tensor.QuantMatMul(x.Value, q)
+	if bias != nil {
+		tensor.AddRowBroadcastInPlace(val, bias.Value)
+	}
+	reshapeLeading(val, x.Value, q.Out)
+	if bias == nil {
+		return newOp1(val, backAffineQuantized, x)
+	}
+	return newOp2(val, backAffineQuantized, x, bias)
+}
+
+// AffineGELUQuantized returns gelu(x·W + b) through the int8 path (the
+// frozen FeedForward up-projection). With no backward pass there is no
+// pre-activation to keep: the activation applies in place on the single
+// output buffer.
+func AffineGELUQuantized(x *Variable, q *tensor.QuantizedWeight, bias *Variable) *Variable {
+	val := tensor.QuantMatMul(x.Value, q)
+	if bias != nil {
+		tensor.AddRowBroadcastInPlace(val, bias.Value)
+	}
+	tensor.GELUInto(val, val)
+	reshapeLeading(val, x.Value, q.Out)
+	if bias == nil {
+		return newOp1(val, backAffineQuantized, x)
+	}
+	return newOp2(val, backAffineQuantized, x, bias)
+}
+
+func backAffineQuantized(out *Variable) {
+	// Unreachable when the gating holds (no parent requires grad ⇒ the
+	// node never enters the backward walk); a loud failure beats a
+	// silent zero gradient if a caller ever quantizes a trainable path.
+	panic("autograd: backward through AffineQuantized — quantized weights are frozen-only")
+}
+
 // reshapeLeading re-views t ([rows, cols]) in place so it keeps x's
 // leading dimensions with cols as the last dimension — the output-shape
 // rule shared by the fused affine ops.

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchstat-style comparison between a fresh TensorBench run and the
+// committed BENCH_tensor.json, so a kernel regression is a red exit
+// code on a laptop, not a surprise in CI review.
+
+// LoadTensorBenchReport reads a committed BENCH_tensor.json.
+func LoadTensorBenchReport(path string) (*TensorBenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep TensorBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Comparison is the delta between two reports plus the regressions that
+// crossed the threshold.
+type Comparison struct {
+	Threshold  float64 // fractional regression allowance (0.25 = +25%)
+	Rows       []CompareRow
+	Violations []string // human-readable threshold crossings
+}
+
+// CompareRow is one benchmark present in either report.
+type CompareRow struct {
+	Name                 string
+	OldNs, NewNs         int64
+	OldBytes, NewBytes   int64
+	OldAllocs, NewAllocs int64
+	InOld, InNew         bool
+}
+
+// CompareReports diffs fresh against baseline. Time (ns/op) and
+// allocations are gated: a benchmark slower or more allocation-heavy
+// than baseline by more than threshold becomes a violation. Rows
+// appearing in only one report are listed but never violate — renames
+// are the schema check's job, not the regression gate's.
+func CompareReports(baseline, fresh *TensorBenchReport, threshold float64) *Comparison {
+	cmp := &Comparison{Threshold: threshold}
+	base := map[string]BenchResult{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, nr := range fresh.Results {
+		seen[nr.Name] = true
+		or, ok := base[nr.Name]
+		row := CompareRow{Name: nr.Name, NewNs: nr.NsPerOp, NewBytes: nr.BytesPerOp, NewAllocs: nr.AllocsPerOp, InOld: ok, InNew: true}
+		if ok {
+			row.OldNs, row.OldBytes, row.OldAllocs = or.NsPerOp, or.BytesPerOp, or.AllocsPerOp
+			if exceeded(or.NsPerOp, nr.NsPerOp, threshold) {
+				cmp.Violations = append(cmp.Violations, fmt.Sprintf(
+					"%s: ns/op %d -> %d (%+.1f%% > +%.0f%% threshold)",
+					nr.Name, or.NsPerOp, nr.NsPerOp, pct(or.NsPerOp, nr.NsPerOp), threshold*100))
+			}
+			if exceeded(or.AllocsPerOp, nr.AllocsPerOp, threshold) {
+				cmp.Violations = append(cmp.Violations, fmt.Sprintf(
+					"%s: allocs/op %d -> %d (%+.1f%% > +%.0f%% threshold)",
+					nr.Name, or.AllocsPerOp, nr.AllocsPerOp, pct(or.AllocsPerOp, nr.AllocsPerOp), threshold*100))
+			}
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	for name, or := range base {
+		if !seen[name] {
+			cmp.Rows = append(cmp.Rows, CompareRow{Name: name, OldNs: or.NsPerOp, OldBytes: or.BytesPerOp, OldAllocs: or.AllocsPerOp, InOld: true})
+		}
+	}
+	sort.Slice(cmp.Rows, func(i, j int) bool { return cmp.Rows[i].Name < cmp.Rows[j].Name })
+	return cmp
+}
+
+// exceeded reports whether new regressed past old by more than the
+// fractional threshold. A zero/absent old value never violates (no
+// meaningful ratio), and improvements never violate.
+func exceeded(old, new int64, threshold float64) bool {
+	if old <= 0 {
+		return false
+	}
+	return float64(new) > float64(old)*(1+threshold)
+}
+
+func pct(old, new int64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (float64(new)/float64(old) - 1) * 100
+}
+
+func fmtPct(old, new int64) string {
+	if old <= 0 || new <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", pct(old, new))
+}
+
+func fmtSide(v int64, present bool) string {
+	if !present {
+		return "-"
+	}
+	return itoa(v)
+}
+
+// RenderTable formats the comparison benchstat-style: old and new
+// ns/op, B/op, allocs/op with percentage deltas.
+func (c *Comparison) RenderTable() *Table {
+	t := &Table{
+		Title:  "Benchmark comparison vs committed baseline",
+		Header: []string{"benchmark", "old ns/op", "new ns/op", "delta", "old B/op", "new B/op", "delta", "old allocs", "new allocs", "delta"},
+	}
+	for _, r := range c.Rows {
+		t.AddRow(r.Name,
+			fmtSide(r.OldNs, r.InOld), fmtSide(r.NewNs, r.InNew), fmtPct(r.OldNs, r.NewNs),
+			fmtSide(r.OldBytes, r.InOld), fmtSide(r.NewBytes, r.InNew), fmtPct(r.OldBytes, r.NewBytes),
+			fmtSide(r.OldAllocs, r.InOld), fmtSide(r.NewAllocs, r.InNew), fmtPct(r.OldAllocs, r.NewAllocs))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("regression threshold: +%.0f%% on ns/op and allocs/op", c.Threshold*100))
+	for _, v := range c.Violations {
+		t.Notes = append(t.Notes, "REGRESSION "+v)
+	}
+	return t
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func compareFixtures() (*TensorBenchReport, *TensorBenchReport) {
+	baseline := &TensorBenchReport{Results: []BenchResult{
+		{Name: "steady", NsPerOp: 1000, BytesPerOp: 512, AllocsPerOp: 10},
+		{Name: "regressed_time", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "regressed_allocs", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "improved", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "removed", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "zero_allocs", NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	fresh := &TensorBenchReport{Results: []BenchResult{
+		{Name: "steady", NsPerOp: 1100, BytesPerOp: 512, AllocsPerOp: 10},
+		{Name: "regressed_time", NsPerOp: 1300, AllocsPerOp: 10},
+		{Name: "regressed_allocs", NsPerOp: 1000, AllocsPerOp: 14},
+		{Name: "improved", NsPerOp: 400, AllocsPerOp: 2},
+		{Name: "added", NsPerOp: 9000, AllocsPerOp: 900},
+		{Name: "zero_allocs", NsPerOp: 1000, AllocsPerOp: 0},
+	}}
+	return baseline, fresh
+}
+
+func TestCompareReportsViolations(t *testing.T) {
+	baseline, fresh := compareFixtures()
+	cmp := CompareReports(baseline, fresh, 0.25)
+	if len(cmp.Violations) != 2 {
+		t.Fatalf("violations %v, want exactly the time and alloc regressions", cmp.Violations)
+	}
+	joined := strings.Join(cmp.Violations, "\n")
+	if !strings.Contains(joined, "regressed_time") || !strings.Contains(joined, "regressed_allocs") {
+		t.Fatalf("violations missed a regression: %v", cmp.Violations)
+	}
+	for _, benign := range []string{"steady", "improved", "added", "removed", "zero_allocs"} {
+		if strings.Contains(joined, benign) {
+			t.Fatalf("%q should not violate: %v", benign, cmp.Violations)
+		}
+	}
+}
+
+func TestCompareReportsThresholdBoundary(t *testing.T) {
+	baseline := &TensorBenchReport{Results: []BenchResult{{Name: "x", NsPerOp: 100, AllocsPerOp: 4}}}
+	at := &TensorBenchReport{Results: []BenchResult{{Name: "x", NsPerOp: 125, AllocsPerOp: 5}}}
+	if cmp := CompareReports(baseline, at, 0.25); len(cmp.Violations) != 0 {
+		t.Fatalf("exactly-at-threshold must not violate: %v", cmp.Violations)
+	}
+	past := &TensorBenchReport{Results: []BenchResult{{Name: "x", NsPerOp: 126, AllocsPerOp: 4}}}
+	if cmp := CompareReports(baseline, past, 0.25); len(cmp.Violations) != 1 {
+		t.Fatalf("past-threshold must violate: %v", cmp.Violations)
+	}
+}
+
+func TestCompareReportsOneSidedRows(t *testing.T) {
+	baseline, fresh := compareFixtures()
+	cmp := CompareReports(baseline, fresh, 0.25)
+	rows := map[string]CompareRow{}
+	for _, r := range cmp.Rows {
+		rows[r.Name] = r
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want union of both reports (7)", len(rows))
+	}
+	if r := rows["removed"]; !r.InOld || r.InNew {
+		t.Fatalf("removed row presence: %+v", r)
+	}
+	if r := rows["added"]; r.InOld || !r.InNew {
+		t.Fatalf("added row presence: %+v", r)
+	}
+	for i := 1; i < len(cmp.Rows); i++ {
+		if cmp.Rows[i-1].Name > cmp.Rows[i].Name {
+			t.Fatal("rows are not sorted by name")
+		}
+	}
+}
+
+func TestCompareRenderTable(t *testing.T) {
+	baseline, fresh := compareFixtures()
+	out := CompareReports(baseline, fresh, 0.25).RenderTable().Render()
+	for _, want := range []string{"REGRESSION", "regressed_time", "+30.0%", "threshold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// One-sided rows render a dash on the absent side, including for
+	// legitimate zeros on the present side.
+	clean := CompareReports(baseline, baseline, 0.25)
+	if len(clean.Violations) != 0 {
+		t.Fatalf("self-comparison violated: %v", clean.Violations)
+	}
+	if out := clean.RenderTable().Render(); !strings.Contains(out, "zero_allocs") {
+		t.Fatalf("missing row:\n%s", out)
+	}
+}
+
+func TestLoadTensorBenchReportMissing(t *testing.T) {
+	if _, err := LoadTensorBenchReport("/nonexistent/BENCH.json"); err == nil {
+		t.Fatal("expected error for missing baseline")
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	// this model's weights before freezing — the pretrained personal LLM
 	// that PAC adapts. It must have been built from the same Config.Model.
 	Backbone *model.Model
+	// QuantizeBackbone builds int8 forms of every replica's frozen
+	// backbone projections at construction, so quantized tensor
+	// backends (-backend int8) run the backbone forward in int8 while
+	// adapters, gradients, and optimizer state stay fp32.
+	QuantizeBackbone bool
 	// StepTimeout bounds each distributed training step: a rank that
 	// goes silent for longer is declared dead and the step returns a
 	// parallel.RankFailedError instead of hanging. Zero disables the
@@ -174,6 +179,13 @@ func New(cfg Config) *Framework {
 		m := model.New(cfg.Model)
 		if cfg.Backbone != nil {
 			nn.CopyParams(m, cfg.Backbone)
+		}
+		if cfg.QuantizeBackbone {
+			// Freeze first (idempotent with the technique's own freeze)
+			// so the projections are quantizable; scales computed here
+			// stay valid for the replica's lifetime.
+			m.Freeze()
+			m.QuantizeBackbone()
 		}
 		return m
 	}

@@ -93,9 +93,19 @@ func (d *IncrementalDecoder) Close() {
 }
 
 // applyLinear computes x·W + b on raw tensors, preserving leading dims.
+// Frozen projections carrying an int8 form take the quantized matmul
+// when the active backend asks for it — the incremental decoder runs the
+// backbone outside autograd, so it gates only on the weight, never on
+// gradient state.
 func applyLinear(l *nn.Linear, x *tensor.Tensor) *tensor.Tensor {
 	shape := x.Shape()
-	y := tensor.AddRowBroadcast(tensor.MatMul(x, l.W.Value), l.B.Value)
+	var y *tensor.Tensor
+	if l.QW != nil && !l.W.RequiresGrad() && tensor.BackendQuantized() {
+		y = tensor.QuantMatMul(x, l.QW)
+	} else {
+		y = tensor.MatMul(x, l.W.Value)
+	}
+	y = tensor.AddRowBroadcast(y, l.B.Value)
 	out := append(append([]int(nil), shape[:len(shape)-1]...), l.Out())
 	return y.Reshape(out...)
 }

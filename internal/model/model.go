@@ -110,6 +110,35 @@ func (m *Model) NumTaps() int { return 2 * m.Cfg.Layers }
 // freeze, paper Step 3).
 func (m *Model) Freeze() { nn.Freeze(m) }
 
+// QuantizeBackbone builds int8 forms of every frozen projection weight
+// (attention Q/K/V/O, feed-forward up/down, the head projection) for
+// quantized compute backends, returning how many projections were
+// quantized. Call after Freeze (peft techniques freeze on construction)
+// and after any checkpoint load that replaces backbone weights — scales
+// are computed from the weights as they are now, valid forever because
+// the backbone never trains. Trainable or LoRA-carrying projections are
+// skipped, so adapters and all gradient math stay fp32.
+func (m *Model) QuantizeBackbone() int {
+	n := 0
+	for _, b := range m.Blocks {
+		switch l := b.(type) {
+		case *EncLayer:
+			n += l.Attn.QuantizeFrozen() + l.FF.QuantizeFrozen()
+		case *DecLayer:
+			n += l.SelfAttn.QuantizeFrozen() + l.CrossAttn.QuantizeFrozen() + l.FF.QuantizeFrozen()
+		case *Head:
+			if l.Proj.QuantizeFrozen() {
+				n++
+			}
+		case *LMHead:
+			if l.Proj.QuantizeFrozen() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // BlockParams returns the parameters of blocks [start, end); the
 // pipeline engine uses it to scope optimizer state per stage.
 func (m *Model) BlockParams(start, end int) []*autograd.Variable {

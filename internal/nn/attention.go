@@ -54,6 +54,18 @@ func (m *MultiHeadAttention) Forward(query, context *autograd.Variable, mask *te
 	return m.O.Forward(autograd.MergeHeads(ctx, m.Heads))
 }
 
+// QuantizeFrozen quantizes the four projections when frozen, reporting
+// how many now carry int8 forms.
+func (m *MultiHeadAttention) QuantizeFrozen() int {
+	n := 0
+	for _, l := range []*Linear{m.Q, m.K, m.V, m.O} {
+		if l.QuantizeFrozen() {
+			n++
+		}
+	}
+	return n
+}
+
 // Params implements Module.
 func (m *MultiHeadAttention) Params() []*autograd.Variable {
 	out := append(m.Q.Params(), m.K.Params()...)

@@ -17,6 +17,12 @@ type Linear struct {
 	LoraB     *autograd.Variable // [r, out]
 	LoraScale float32
 
+	// QW is the int8 form of a frozen W, built by QuantizeFrozen. The
+	// forward pass uses it only while the weight stays frozen, the
+	// input carries no gradient, and the active tensor backend is
+	// quantized — so trainable math never touches it.
+	QW *tensor.QuantizedWeight
+
 	in, out int
 }
 
@@ -42,6 +48,11 @@ func NewLinear(in, out int, rng *tensor.RNG) *Linear {
 // dimension must equal in. The output keeps the leading dimensions.
 func (l *Linear) Forward(x *autograd.Variable) *autograd.Variable {
 	if l.LoraA == nil {
+		if l.QW != nil && !l.W.RequiresGrad() && !x.RequiresGrad() && tensor.BackendQuantized() {
+			// Frozen-backbone int8 path: the weight was quantized once
+			// at load; the bias and everything downstream stay fp32.
+			return autograd.AffineQuantized(x, l.QW, l.B)
+		}
 		// Fused hot path: one node, one buffer, no reshape views.
 		return autograd.Affine(x, l.W, l.B)
 	}
@@ -63,6 +74,18 @@ func (l *Linear) Params() []*autograd.Variable {
 		out = append(out, l.LoraA, l.LoraB)
 	}
 	return out
+}
+
+// QuantizeFrozen builds the int8 form of the weight so quantized
+// backends can use it. It refuses (returns false) when the weight is
+// trainable or LoRA is attached — quantization is a frozen-backbone
+// optimization only.
+func (l *Linear) QuantizeFrozen() bool {
+	if l.W.RequiresGrad() || l.LoraA != nil {
+		return false
+	}
+	l.QW = tensor.QuantizeWeight(l.W.Value)
+	return true
 }
 
 // In returns the input width.
@@ -147,9 +170,27 @@ func NewFeedForward(dim, ffDim int, rng *tensor.RNG) *FeedForward {
 // gelu(x·W1 + b1) in one node, the down-projection in another.
 func (f *FeedForward) Forward(x *autograd.Variable) *autograd.Variable {
 	if f.Up.LoraA == nil && f.Down.LoraA == nil {
+		if f.Up.QW != nil && f.Down.QW != nil && !f.Up.W.RequiresGrad() &&
+			!f.Down.W.RequiresGrad() && !x.RequiresGrad() && tensor.BackendQuantized() {
+			h := autograd.AffineGELUQuantized(x, f.Up.QW, f.Up.B)
+			return autograd.AffineQuantized(h, f.Down.QW, f.Down.B)
+		}
 		return autograd.Affine(autograd.AffineGELU(x, f.Up.W, f.Up.B), f.Down.W, f.Down.B)
 	}
 	return f.Down.Forward(autograd.GELU(f.Up.Forward(x)))
+}
+
+// QuantizeFrozen quantizes both halves when frozen, reporting how many
+// projections now carry int8 forms.
+func (f *FeedForward) QuantizeFrozen() int {
+	n := 0
+	if f.Up.QuantizeFrozen() {
+		n++
+	}
+	if f.Down.QuantizeFrozen() {
+		n++
+	}
+	return n
 }
 
 // Params implements Module.

@@ -81,6 +81,12 @@ func pruneInit(b model.Block, h, r int, rng *tensor.RNG) *tensor.Tensor {
 	return out
 }
 
+// QuantizeBackbone implements BackboneQuantizer: the backbone is frozen
+// for the lifetime of the technique, so its projections can carry int8
+// forms computed once. The side network (norms, down/mix, head) is
+// trainable and never quantized.
+func (p *Parallel) QuantizeBackbone() int { return p.m.QuantizeBackbone() }
+
 // Kind implements Technique.
 func (p *Parallel) Kind() Kind { return ParallelAdapters }
 

@@ -66,6 +66,14 @@ type Technique interface {
 	BackboneBackward() bool
 }
 
+// BackboneQuantizer is implemented by techniques whose backbone stays
+// frozen end to end (ParallelAdapters), making int8 quantization of the
+// backbone projections safe. QuantizeBackbone builds the int8 weight
+// forms and returns how many projections were quantized.
+type BackboneQuantizer interface {
+	QuantizeBackbone() int
+}
+
 // Options configures technique construction.
 type Options struct {
 	Reduction int   // Parallel Adapters / Adapters bottleneck factor k (paper: 8)

@@ -339,6 +339,7 @@ func (s *Server) Swaps() int64 { return s.swapped.Value() }
 // Stats returns the JSON-shaped snapshot GET /stats serves.
 func (s *Server) Stats() map[string]interface{} {
 	return map[string]interface{}{
+		"backend":          tensor.ActiveBackend().Name(),
 		"served":           s.Served(),
 		"swaps":            s.Swaps(),
 		"batches":          s.batches.Value(),

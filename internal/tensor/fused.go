@@ -69,9 +69,7 @@ func GELUInto(dst, a *Tensor) {
 }
 
 func shardGELU(kr *kern, start, end int) {
-	for i := start; i < end; i++ {
-		kr.dst[i] = geluScalar(kr.a[i])
-	}
+	kr.bk.GELURows(kr.dst, kr.a, start, end)
 }
 
 // GELUGradInto writes gelu'(pre)·g into dst (all same element count).
@@ -86,9 +84,7 @@ func GELUGradInto(dst, pre, g *Tensor) {
 }
 
 func shardGELUGrad(kr *kern, start, end int) {
-	for i := start; i < end; i++ {
-		kr.dst[i] = kr.b[i] * geluGradScalar(kr.a[i])
-	}
+	kr.bk.GELUGradRows(kr.dst, kr.a, kr.b, start, end)
 }
 
 // SoftmaxInPlace replaces a with its row-wise softmax over the last
@@ -104,24 +100,31 @@ func SoftmaxInPlace(a *Tensor) {
 }
 
 func shardSoftmaxInPlace(kr *kern, start, end int) {
-	cols := kr.i0
+	kr.bk.SoftmaxRows(kr.a, kr.a, start, end, kr.i0)
+}
+
+// softmaxRows is the reference row-wise softmax every backend shares:
+// max-subtracted, float64 exp and sum, so rows survive ±1e4-magnitude
+// logits without overflow and all-equal rows come out exactly uniform.
+// dst may alias a.
+func softmaxRows(dst, a []float32, start, end, cols int) {
 	for r := start; r < end; r++ {
 		base := r * cols
-		maxv := kr.a[base]
+		maxv := a[base]
 		for c := 1; c < cols; c++ {
-			if kr.a[base+c] > maxv {
-				maxv = kr.a[base+c]
+			if a[base+c] > maxv {
+				maxv = a[base+c]
 			}
 		}
 		var sum float64
 		for c := 0; c < cols; c++ {
-			e := math.Exp(float64(kr.a[base+c] - maxv))
-			kr.a[base+c] = float32(e)
+			e := math.Exp(float64(a[base+c] - maxv))
+			dst[base+c] = float32(e)
 			sum += e
 		}
 		inv := float32(1 / sum)
 		for c := 0; c < cols; c++ {
-			kr.a[base+c] *= inv
+			dst[base+c] *= inv
 		}
 	}
 }

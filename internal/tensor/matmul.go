@@ -17,15 +17,15 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulInto computes dst = A·B reusing dst's storage. dst must be [m,n].
+// MatMulInto computes dst = A·B reusing dst's storage. dst must be
+// [m,n]. Zeroing is fused into the kernel shards (each shard clears the
+// output rows it owns), so large outputs never pay a single-threaded
+// memset up front.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := matShape(a)
 	k2, n := matShape(b)
 	if k != k2 || dst.Numel() != m*n {
 		panic("tensor: MatMulInto shape mismatch")
-	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
 	}
 	matmulInto(dst.Data, a.Data, b.Data, m, k, n)
 }
@@ -40,9 +40,9 @@ func matShape(t *Tensor) (rows, cols int) {
 	return rows, cols
 }
 
-// matmulInto accumulates a[m,k]·b[k,n] into out (out must be zeroed).
-// The i-k-j loop order keeps the inner loop streaming over contiguous
-// rows of b and out.
+// matmulInto computes a[m,k]·b[k,n] into out through the active
+// backend. Shards own their output rows outright (zero then
+// accumulate), so out does not need to be pre-zeroed.
 func matmulInto(out, a, b []float32, m, k, n int) {
 	kr := getKern()
 	kr.fn = shardMatMul
@@ -52,20 +52,7 @@ func matmulInto(out, a, b []float32, m, k, n int) {
 }
 
 func shardMatMul(kr *kern, start, end int) {
-	k, n := kr.i0, kr.i1
-	for i := start; i < end; i++ {
-		arow := kr.a[i*k : (i+1)*k]
-		orow := kr.dst[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := kr.b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	kr.bk.MatMulRows(kr.dst, kr.a, kr.b, start, end, kr.i0, kr.i1)
 }
 
 // matmulTRows computes rows [i0,i1) of A·Bᵀ·alpha into o. The kernel is
@@ -139,7 +126,7 @@ func MatMulT(a, b *Tensor) *Tensor {
 }
 
 func shardMatMulT(kr *kern, start, end int) {
-	matmulTRows(kr.dst, kr.a, kr.b, start, end, kr.i0, kr.i1, kr.f0)
+	kr.bk.MatMulTRows(kr.dst, kr.a, kr.b, start, end, kr.i0, kr.i1, kr.f0)
 }
 
 // TMatMul computes C = Aᵀ·B for A [k,m] and B [k,n], i.e. the weight
@@ -155,26 +142,13 @@ func TMatMul(a, b *Tensor) *Tensor {
 	kr := getKern()
 	kr.fn = shardTMatMul
 	kr.dst, kr.a, kr.b = out.Data, a.Data, b.Data
-	kr.i0, kr.i1, kr.i2 = k, n, m
+	kr.i0, kr.i1, kr.i2 = k, m, n
 	runKern(kr, m)
 	return out
 }
 
 func shardTMatMul(kr *kern, start, end int) {
-	k, n, m := kr.i0, kr.i1, kr.i2
-	for i := start; i < end; i++ {
-		orow := kr.dst[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := kr.a[p*m+i]
-			if av == 0 {
-				continue
-			}
-			brow := kr.b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	kr.bk.TMatMulRows(kr.dst, kr.a, kr.b, start, end, kr.i0, kr.i1, kr.i2)
 }
 
 // BatchMatMul computes, for each batch index, C[b] = A[b]·B[b] where
@@ -200,19 +174,7 @@ func shardBatchMatMul(kr *kern, start, end int) {
 		ab := kr.a[bi*m*k : (bi+1)*m*k]
 		bb := kr.b[bi*k*n : (bi+1)*k*n]
 		ob := kr.dst[bi*m*n : (bi+1)*m*n]
-		for i := 0; i < m; i++ {
-			arow := ab[i*k : (i+1)*k]
-			orow := ob[i*n : (i+1)*n]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := bb[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
+		kr.bk.MatMulRows(ob, ab, bb, 0, m, k, n)
 	}
 }
 
@@ -257,7 +219,7 @@ func shardBatchMatMulT(kr *kern, start, end int) {
 		ab := kr.a[bi*m*k : (bi+1)*m*k]
 		bb := kr.b[bi*n*k : (bi+1)*n*k]
 		ob := kr.dst[bi*m*n : (bi+1)*m*n]
-		matmulTRows(ob, ab, bb, 0, m, k, n, kr.f0)
+		kr.bk.MatMulTRows(ob, ab, bb, 0, m, k, n, kr.f0)
 	}
 }
 
@@ -284,18 +246,6 @@ func shardBatchTMatMul(kr *kern, start, end int) {
 		ab := kr.a[bi*k*m : (bi+1)*k*m]
 		bb := kr.b[bi*k*n : (bi+1)*k*n]
 		ob := kr.dst[bi*m*n : (bi+1)*m*n]
-		for p := 0; p < k; p++ {
-			arow := ab[p*m : (p+1)*m]
-			brow := bb[p*n : (p+1)*n]
-			for i, av := range arow {
-				if av == 0 {
-					continue
-				}
-				orow := ob[i*n : (i+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
+		kr.bk.TMatMulRows(ob, ab, bb, 0, m, k, m, n)
 	}
 }

@@ -188,26 +188,7 @@ func Softmax(a *Tensor) *Tensor {
 }
 
 func shardSoftmax(kr *kern, start, end int) {
-	cols := kr.i0
-	for r := start; r < end; r++ {
-		base := r * cols
-		maxv := kr.a[base]
-		for c := 1; c < cols; c++ {
-			if kr.a[base+c] > maxv {
-				maxv = kr.a[base+c]
-			}
-		}
-		var sum float64
-		for c := 0; c < cols; c++ {
-			e := math.Exp(float64(kr.a[base+c] - maxv))
-			kr.dst[base+c] = float32(e)
-			sum += e
-		}
-		inv := float32(1 / sum)
-		for c := 0; c < cols; c++ {
-			kr.dst[base+c] *= inv
-		}
-	}
+	kr.bk.SoftmaxRows(kr.dst, kr.a, start, end, kr.i0)
 }
 
 // LogSoftmax computes a numerically stable row-wise log-softmax over the

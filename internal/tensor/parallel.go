@@ -42,9 +42,15 @@ type kern struct {
 	// Operand fields, meaning assigned per kernel. Slices must be
 	// cleared on release so a pooled kern never pins tensor buffers.
 	dst, a, b, c, d, e []float32
+	i8a, i8b           []int8
 	i0, i1, i2         int
 	f0                 float32
 	closure            func(start, end int) // parallelFor compatibility
+
+	// bk is the compute backend captured at dispatch (getKern) time, so
+	// every shard of one kernel call runs on the same backend even if
+	// SetBackend races with the call.
+	bk Backend
 
 	n, chunk int
 	next     atomic.Int64
@@ -58,7 +64,11 @@ type kern struct {
 
 var kernPool = sync.Pool{New: func() any { return new(kern) }}
 
-func getKern() *kern { return kernPool.Get().(*kern) }
+func getKern() *kern {
+	k := kernPool.Get().(*kern)
+	k.bk = ActiveBackend()
+	return k
+}
 
 func (k *kern) release() {
 	if k.refs.Add(-1) != 0 {
@@ -66,7 +76,9 @@ func (k *kern) release() {
 	}
 	k.fn = nil
 	k.dst, k.a, k.b, k.c, k.d, k.e = nil, nil, nil, nil, nil, nil
+	k.i8a, k.i8b = nil, nil
 	k.closure = nil
+	k.bk = nil
 	kernPool.Put(k)
 }
 

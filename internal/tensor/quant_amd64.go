@@ -1,0 +1,34 @@
+//go:build amd64
+
+package tensor
+
+// dot2Int8AVX2 returns a·w0 and a·w1 as int32 sums (implemented in
+// quant_amd64.s). Only called when hasAVX2 is true.
+func dot2Int8AVX2(a, w0, w1 []int8) (s0, s1 int32)
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// hasAVX2 gates the vectorized int8 kernel. Detection follows the
+// Intel manual: OSXSAVE + AVX in CPUID.1:ECX, YMM state enabled in
+// XCR0, AVX2 in CPUID.7.0:EBX. The scalar path stays the reference on
+// anything older.
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 { // XMM and YMM state saved by the OS
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&(1<<5) != 0
+}

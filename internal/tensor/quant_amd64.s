@@ -1,0 +1,93 @@
+// AVX2 int8 dot-product microkernel for the quantized frozen-backbone
+// path, plus the CPUID probes that gate it. See quant_amd64.go.
+
+#include "textflag.h"
+
+// func dot2Int8AVX2(a, w0, w1 []int8) (s0, s1 int32)
+//
+// Computes the two dot products a·w0 and a·w1 over min-length (callers
+// pass equal lengths). Main loop: 16 int8 lanes sign-extended to int16
+// (VPMOVSXBW), pairwise int16×int16 multiply-add to 8×int32
+// (VPMADDWD), accumulated in two ymm registers; products are ≤ 127² so
+// each VPMADDWD lane is ≤ 2·127² and the int32 accumulators are safe
+// for any k this repo uses (< 2³¹/127² ≈ 133k). Scalar tail for k%16.
+TEXT ·dot2Int8AVX2(SB), NOSPLIT, $0-80
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ w0_base+24(FP), DI
+	MOVQ w1_base+48(FP), R8
+
+	VPXOR Y0, Y0, Y0 // acc for w0
+	VPXOR Y1, Y1, Y1 // acc for w1
+	MOVQ  CX, DX
+	ANDQ  $-16, DX   // DX = k rounded down to 16
+	XORQ  AX, AX     // element index
+
+vloop:
+	CMPQ      AX, DX
+	JGE       vreduce
+	VPMOVSXBW (SI)(AX*1), Y2 // 16 activation int8 → int16
+	VPMOVSXBW (DI)(AX*1), Y3
+	VPMADDWD  Y2, Y3, Y3     // 8 int32 pair-sums for w0
+	VPADDD    Y3, Y0, Y0
+	VPMOVSXBW (R8)(AX*1), Y4
+	VPMADDWD  Y2, Y4, Y4
+	VPADDD    Y4, Y1, Y1
+	ADDQ      $16, AX
+	JMP       vloop
+
+vreduce:
+	// Horizontal sum of Y0 → R9d and Y1 → R10d.
+	VEXTRACTI128 $1, Y0, X2
+	VPADDD       X2, X0, X0
+	VPSHUFD      $0x4E, X0, X2
+	VPADDD       X2, X0, X0
+	VPSHUFD      $0xB1, X0, X2
+	VPADDD       X2, X0, X0
+	VMOVD        X0, R9
+
+	VEXTRACTI128 $1, Y1, X2
+	VPADDD       X2, X1, X1
+	VPSHUFD      $0x4E, X1, X2
+	VPADDD       X2, X1, X1
+	VPSHUFD      $0xB1, X1, X2
+	VPADDD       X2, X1, X1
+	VMOVD        X1, R10
+	VZEROUPPER
+
+tail:
+	CMPQ    AX, CX
+	JGE     done
+	MOVBLSX (SI)(AX*1), R11
+	MOVBLSX (DI)(AX*1), R12
+	IMULL   R11, R12
+	ADDL    R12, R9
+	MOVBLSX (R8)(AX*1), R12
+	IMULL   R11, R12
+	ADDL    R12, R10
+	INCQ    AX
+	JMP     tail
+
+done:
+	MOVL R9, s0+72(FP)
+	MOVL R10, s1+76(FP)
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

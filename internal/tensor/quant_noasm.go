@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always take the scalar int8 path.
+const hasAVX2 = false
+
+func dot2Int8AVX2(a, w0, w1 []int8) (s0, s1 int32) {
+	panic("tensor: dot2Int8AVX2 without AVX2")
+}

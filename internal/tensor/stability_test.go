@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// Numerical-stability characterization of the shared kernels under every
+// backend: extreme logits, degenerate row shapes, and saturated GELU
+// pre-activations must produce finite, correct results.
+
+func TestSoftmaxInPlaceExtremeLogitsAllBackends(t *testing.T) {
+	for _, name := range fp32Backends {
+		withBackend(t, name, func() {
+			// Row 0: one huge logit wins outright. Row 1: all hugely
+			// negative, still a distribution. Row 2: mixed ±1e4 span.
+			x := FromSlice([]float32{
+				1e4, 0, -1e4, 3,
+				-1e4, -1e4, -1e4, -1e4,
+				-1e4, 1e4, 1e4, -1e4,
+			}, 3, 4)
+			SoftmaxInPlace(x)
+			for i, v := range x.Data {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || v < 0 {
+					t.Fatalf("%s: elem %d = %v", name, i, v)
+				}
+			}
+			for r := 0; r < 3; r++ {
+				var sum float64
+				for c := 0; c < 4; c++ {
+					sum += float64(x.Data[r*4+c])
+				}
+				if math.Abs(sum-1) > 1e-5 {
+					t.Fatalf("%s: row %d sums to %v", name, r, sum)
+				}
+			}
+			if x.Data[0] < 0.9999 {
+				t.Fatalf("%s: dominant logit got mass %v", name, x.Data[0])
+			}
+			for c := 0; c < 4; c++ {
+				if d := math.Abs(float64(x.Data[4+c]) - 0.25); d > 1e-6 {
+					t.Fatalf("%s: uniform huge-negative row col %d = %v", name, c, x.Data[4+c])
+				}
+			}
+			if d := math.Abs(float64(x.Data[9]) - 0.5); d > 1e-6 {
+				t.Fatalf("%s: tied maxima should split mass, got %v", name, x.Data[9])
+			}
+		})
+	}
+}
+
+func TestSoftmaxInPlaceAllEqualRowsAllBackends(t *testing.T) {
+	for _, name := range fp32Backends {
+		withBackend(t, name, func() {
+			for _, cols := range []int{1, 3, 7} {
+				x := New(2, cols)
+				for i := range x.Data {
+					x.Data[i] = 42.5
+				}
+				SoftmaxInPlace(x)
+				want := 1 / float64(cols)
+				for i, v := range x.Data {
+					if math.Abs(float64(v)-want) > 1e-6 {
+						t.Fatalf("%s: cols=%d elem %d = %v want %v", name, cols, i, v, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSoftmaxInPlaceSingleColumnAllBackends(t *testing.T) {
+	for _, name := range fp32Backends {
+		withBackend(t, name, func() {
+			x := FromSlice([]float32{-1e4, 0, 1e4, 7}, 4, 1)
+			SoftmaxInPlace(x)
+			for i, v := range x.Data {
+				if v != 1 {
+					t.Fatalf("%s: single-column softmax row %d = %v want 1", name, i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestGELUGradExtremePreActivations: the tanh saturates, so the
+// derivative must flow to exactly 1 (deep positive) and exactly 0 (deep
+// negative) instead of overflowing through the x³ term.
+func TestGELUGradExtremePreActivations(t *testing.T) {
+	for _, name := range fp32Backends {
+		withBackend(t, name, func() {
+			pre := FromSlice([]float32{1e4, 30, 8, -8, -30, -1e4}, 1, 6)
+			g := Ones(1, 6)
+			dst := New(1, 6)
+			GELUGradInto(dst, pre, g)
+			for i, v := range dst.Data {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("%s: grad[%d] = %v", name, i, v)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if d := math.Abs(float64(dst.Data[i]) - 1); d > 1e-3 {
+					t.Fatalf("%s: saturated positive grad[%d] = %v want ~1", name, i, dst.Data[i])
+				}
+			}
+			for i := 3; i < 6; i++ {
+				if d := math.Abs(float64(dst.Data[i])); d > 1e-3 {
+					t.Fatalf("%s: saturated negative grad[%d] = %v want ~0", name, i, dst.Data[i])
+				}
+			}
+
+			// Upstream gradient scales linearly through the chain rule.
+			for i := range g.Data {
+				g.Data[i] = -2.5
+			}
+			GELUGradInto(dst, pre, g)
+			if d := math.Abs(float64(dst.Data[0]) + 2.5); d > 1e-3 {
+				t.Fatalf("%s: grad scaling broke: %v want ~-2.5", name, dst.Data[0])
+			}
+		})
+	}
+}
+
+func TestGELUExtremePreActivations(t *testing.T) {
+	pre := FromSlice([]float32{1e4, -1e4, 0}, 1, 3)
+	dst := New(1, 3)
+	GELUInto(dst, pre)
+	if dst.Data[0] != 1e4 {
+		t.Fatalf("gelu(1e4) = %v want 1e4", dst.Data[0])
+	}
+	if dst.Data[1] != 0 {
+		t.Fatalf("gelu(-1e4) = %v want 0", dst.Data[1])
+	}
+	if dst.Data[2] != 0 {
+		t.Fatalf("gelu(0) = %v want 0", dst.Data[2])
+	}
+}
